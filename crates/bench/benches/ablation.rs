@@ -1,0 +1,137 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * alias-method categorical sampling vs a linear-scan baseline;
+//! * exact factoring vs Monte-Carlo estimation on shared-component RBDs;
+//! * Wilson vs Clopper–Pearson in the trial estimation hot loop;
+//! * analytic eq. (8) vs table-driven Monte-Carlo for a table-2-sized
+//!   question (why the library computes instead of simulating when it can).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hmdiv_core::paper;
+use hmdiv_prob::estimate::{BinomialEstimate, CiMethod};
+use hmdiv_prob::Categorical;
+use hmdiv_rbd::monte_carlo::monte_carlo_failure;
+use hmdiv_rbd::reliability::system_failure;
+use hmdiv_rbd::{Block, RbdError};
+use hmdiv_sim::table_driven;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_alias_vs_linear_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("categorical_sampling");
+    for n in [4usize, 64, 1024] {
+        let weights: Vec<(usize, f64)> = (0..n).map(|i| (i, 1.0 + (i % 7) as f64)).collect();
+        let dist = Categorical::new(weights.clone()).expect("valid");
+        // Warm the alias table outside the measurement.
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = dist.sample_index(&mut rng);
+        group.bench_with_input(BenchmarkId::new("alias", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| dist.sample_index(&mut rng));
+        });
+        // Linear-scan baseline over the same weights.
+        let total: f64 = weights.iter().map(|(_, w)| w).sum();
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                let mut u = rng.gen::<f64>() * total;
+                let mut idx = 0;
+                for (i, (_, w)) in weights.iter().enumerate() {
+                    if u < *w {
+                        idx = i;
+                        break;
+                    }
+                    u -= w;
+                }
+                idx
+            });
+        });
+    }
+    group.finish();
+}
+
+fn shared_ladder(n: usize) -> Block {
+    let mut stages = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = Block::component(format!("a{i}"));
+        let b = if i > 0 {
+            Block::component(format!("a{}", i - 1))
+        } else {
+            Block::component("b0")
+        };
+        stages.push(Block::parallel(vec![a, b]));
+    }
+    Block::series(stages)
+}
+
+fn fail_of(name: &str) -> Result<hmdiv_prob::Probability, RbdError> {
+    let h: u32 = name
+        .bytes()
+        .fold(3u32, |acc, b| acc.wrapping_mul(37).wrapping_add(b.into()));
+    Ok(hmdiv_prob::Probability::clamped(
+        0.05 + f64::from(h % 60) / 150.0,
+    ))
+}
+
+fn bench_exact_vs_monte_carlo_rbd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rbd_exact_vs_monte_carlo");
+    group.sample_size(20);
+    let sys = shared_ladder(10);
+    group.bench_function("exact_factoring", |b| {
+        b.iter(|| system_failure(&sys, fail_of).expect("valid"));
+    });
+    group.bench_function("monte_carlo_10k", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| monte_carlo_failure(&sys, fail_of, 10_000, &mut rng).expect("valid"));
+    });
+    group.finish();
+}
+
+fn bench_ci_method_in_estimation_loop(c: &mut Criterion) {
+    // The trial harness computes ~3 intervals per class per estimate; this
+    // shows why Wilson is the default over the exact method.
+    let counts: Vec<BinomialEstimate> = (1..=50u64)
+        .map(|k| BinomialEstimate::new(k, 100 + k).expect("valid"))
+        .collect();
+    let mut group = c.benchmark_group("estimation_loop_50_classes");
+    for method in [CiMethod::Wilson, CiMethod::ClopperPearson] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{method}")),
+            &method,
+            |b, &method| {
+                b.iter(|| {
+                    counts
+                        .iter()
+                        .map(|e| e.interval(method, 0.95).expect("valid").width())
+                        .sum::<f64>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_analytic_vs_simulation_for_table2(c: &mut Criterion) {
+    let model = paper::example_model().expect("paper model");
+    let trial = paper::trial_profile().expect("profile");
+    let mut group = c.benchmark_group("table2_analytic_vs_simulated");
+    group.sample_size(20);
+    group.bench_function("analytic_eq8", |b| {
+        b.iter(|| model.system_failure(&trial).expect("covered"));
+    });
+    group.bench_function("monte_carlo_30k_cases", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| table_driven::cross_check(&model, &trial, 30_000, &mut rng).expect("valid"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alias_vs_linear_sampling,
+    bench_exact_vs_monte_carlo_rbd,
+    bench_ci_method_in_estimation_loop,
+    bench_analytic_vs_simulation_for_table2
+);
+criterion_main!(benches);

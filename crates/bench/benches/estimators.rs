@@ -1,0 +1,100 @@
+//! Benchmarks of the statistics substrate: confidence intervals, beta
+//! quantiles, bootstrap resampling, and streaming accumulators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hmdiv_prob::bayes::Beta;
+use hmdiv_prob::bootstrap::Bootstrap;
+use hmdiv_prob::estimate::{BinomialEstimate, CiMethod};
+use hmdiv_prob::seq::{RunningCovariance, RunningMoments};
+use hmdiv_prob::special::{beta_quantile, normal_quantile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ci_methods(c: &mut Criterion) {
+    let est = BinomialEstimate::new(82, 200).expect("valid counts");
+    let mut group = c.benchmark_group("binomial_ci");
+    for method in [
+        CiMethod::Wald,
+        CiMethod::Wilson,
+        CiMethod::ClopperPearson,
+        CiMethod::AgrestiCoull,
+        CiMethod::Jeffreys,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{method}")),
+            &method,
+            |b, &method| {
+                b.iter(|| est.interval(method, 0.95).expect("valid level"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_special_functions(c: &mut Criterion) {
+    c.bench_function("beta_quantile", |b| {
+        b.iter(|| beta_quantile(82.5, 118.5, 0.975));
+    });
+    c.bench_function("normal_quantile", |b| {
+        b.iter(|| normal_quantile(0.975));
+    });
+}
+
+fn bench_beta_sampling(c: &mut Criterion) {
+    let beta = Beta::new(82.5, 118.5).expect("valid shapes");
+    c.bench_function("beta_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| beta.sample(&mut rng));
+    });
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let data: Vec<f64> = (0..500)
+        .map(|_| f64::from(rand::Rng::gen::<f64>(&mut rng) < 0.3))
+        .collect();
+    c.bench_function("bootstrap_500x200", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            Bootstrap::run(&data, 200, &mut rng, |xs| {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            })
+            .expect("valid")
+        });
+    });
+}
+
+fn bench_streaming_accumulators(c: &mut Criterion) {
+    let data: Vec<(f64, f64)> = (0..10_000)
+        .map(|i| ((i as f64).sin(), (i as f64 * 0.7).cos()))
+        .collect();
+    c.bench_function("running_moments_10k", |b| {
+        b.iter(|| {
+            let mut acc = RunningMoments::new();
+            for &(x, _) in &data {
+                acc.push(x);
+            }
+            acc.sample_variance()
+        });
+    });
+    c.bench_function("running_covariance_10k", |b| {
+        b.iter(|| {
+            let mut acc = RunningCovariance::new();
+            for &(x, y) in &data {
+                acc.push(x, y);
+            }
+            acc.sample_covariance()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ci_methods,
+    bench_special_functions,
+    bench_beta_sampling,
+    bench_bootstrap,
+    bench_streaming_accumulators
+);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Benchmarks of analytic model evaluation: eq. (8) system failure,
+//! scenario prediction, covariance decomposition, and uncertainty
+//! propagation, across class counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hmdiv_core::decomposition::decompose;
+use hmdiv_core::extrapolate::Scenario;
+use hmdiv_core::uncertainty::{propagate, ClassPosterior, ModelPosterior};
+use hmdiv_core::{paper, ClassId, ClassParams, DemandProfile, ModelParams, SequentialModel};
+use hmdiv_prob::Probability;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A synthetic model with `n` classes of varied parameters.
+fn synthetic_model(n: usize) -> (SequentialModel, DemandProfile) {
+    let p = |v: f64| Probability::new(v).expect("valid");
+    let mut params = ModelParams::builder();
+    let mut profile = DemandProfile::builder();
+    for i in 0..n {
+        let f = i as f64 / n as f64;
+        let name = format!("class{i}");
+        params = params.class(
+            name.as_str(),
+            ClassParams::new(p(0.05 + 0.4 * f), p(0.1 + 0.3 * f), p(0.2 + 0.7 * f)),
+        );
+        profile = profile.class(name.as_str(), 1.0 + f);
+    }
+    (
+        SequentialModel::new(params.build().expect("non-empty")),
+        profile.build().expect("non-empty"),
+    )
+}
+
+fn bench_system_failure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_failure_eq8");
+    for n in [2usize, 8, 32, 128] {
+        let (model, profile) = synthetic_model(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| model.system_failure(&profile).expect("covered"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scenario_prediction(c: &mut Criterion) {
+    let model = paper::example_model().expect("paper model");
+    let field = paper::field_profile().expect("paper profile");
+    c.bench_function("scenario_improve_difficult_x10", |b| {
+        b.iter(|| {
+            Scenario::new()
+                .improve_machine(ClassId::new("difficult"), 10.0)
+                .predict(&model, &field)
+                .expect("valid scenario")
+        });
+    });
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eq10_decomposition");
+    for n in [2usize, 32, 128] {
+        let (model, profile) = synthetic_model(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| decompose(&model, &profile).expect("covered"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_uncertainty(c: &mut Criterion) {
+    let posterior = ModelPosterior::new()
+        .with_class(
+            "easy",
+            ClassPosterior::from_counts((14, 200), (26, 186), (3, 14)).expect("valid counts"),
+        )
+        .with_class(
+            "difficult",
+            ClassPosterior::from_counts((82, 200), (47, 118), (74, 82)).expect("valid counts"),
+        );
+    let field = paper::field_profile().expect("paper profile");
+    c.bench_function("uncertainty_propagate_1000_draws", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| propagate(&posterior, &field, 1000, &mut rng).expect("valid"));
+    });
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let (model, profile) = synthetic_model(32);
+    let members: Vec<ClassId> = model.params().classes().take(16).cloned().collect();
+    c.bench_function("merge_16_of_32_classes", |b| {
+        b.iter(|| {
+            hmdiv_core::aggregation::merge_classes(&model, &profile, &members).expect("valid")
+        });
+    });
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let (model, profile) = synthetic_model(32);
+    c.bench_function("screening_rounds_32_classes_5_rounds", |b| {
+        b.iter(|| hmdiv_core::rounds::screening_rounds(&model, &profile, 5, 0.8).expect("valid"));
+    });
+}
+
+fn bench_interval_bounds(c: &mut Criterion) {
+    let (model, profile) = synthetic_model(32);
+    let im = hmdiv_core::interval::IntervalModel::from_point(&model);
+    c.bench_function("interval_bounds_32_classes", |b| {
+        b.iter(|| im.system_failure_bounds(&profile).expect("valid"));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_system_failure,
+    bench_scenario_prediction,
+    bench_decomposition,
+    bench_uncertainty,
+    bench_aggregation,
+    bench_rounds,
+    bench_interval_bounds
+);
+criterion_main!(benches);

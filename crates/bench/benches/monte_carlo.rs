@@ -1,0 +1,70 @@
+//! Benchmarks of the Monte-Carlo machinery: table-driven sampling and the
+//! behavioural screening engine (single- and multi-threaded).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use hmdiv_core::paper;
+use hmdiv_sim::engine::{SimConfig, Simulation};
+use hmdiv_sim::{scenario, table_driven};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_table_driven(c: &mut Criterion) {
+    let model = paper::example_model().expect("paper model");
+    let profile = paper::trial_profile().expect("paper profile");
+    let mut group = c.benchmark_group("table_driven_sampling");
+    for cases in [1_000u64, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(cases));
+        group.bench_with_input(BenchmarkId::from_parameter(cases), &cases, |b, &cases| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| table_driven::simulate(&model, &profile, cases, &mut rng).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_behavioural_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("behavioural_engine");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let world = scenario::trial_world().expect("trial world");
+        let cases = 20_000u64;
+        group.throughput(Throughput::Elements(cases));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    Simulation::new(
+                        world.clone(),
+                        SimConfig {
+                            cases,
+                            seed: 3,
+                            threads,
+                        },
+                    )
+                    .run()
+                    .expect("valid run")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_case_screen(c: &mut Criterion) {
+    let world = scenario::default_world().expect("default world");
+    let mut rng = StdRng::seed_from_u64(5);
+    let case = world.population.sample_cancer_case(0, &mut rng);
+    c.bench_function("screen_one_cancer_case", |b| {
+        b.iter(|| world.team.screen(&case, &mut rng));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_table_driven,
+    bench_behavioural_engine,
+    bench_single_case_screen
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Benchmarks of the reliability-block-diagram substrate: path/cut set
+//! extraction, exact evaluation with shared components, and importance
+//! ranking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hmdiv_prob::Probability;
+use hmdiv_rbd::importance::rank_by_birnbaum;
+use hmdiv_rbd::paths::{minimal_cut_sets, minimal_path_sets};
+use hmdiv_rbd::reliability::system_failure;
+use hmdiv_rbd::{Block, RbdError};
+
+/// A ladder of `n` parallel pairs in series, with one shared component per
+/// rung pair boundary — stresses both path expansion and factoring.
+fn ladder(n: usize, shared: bool) -> Block {
+    let mut stages = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = Block::component(format!("a{i}"));
+        let b = if shared && i > 0 {
+            Block::component(format!("a{}", i - 1))
+        } else {
+            Block::component(format!("b{i}"))
+        };
+        stages.push(Block::parallel(vec![a, b]));
+    }
+    Block::series(stages)
+}
+
+fn failure_of(name: &str) -> Result<Probability, RbdError> {
+    // Stable pseudo-probability from the name hash.
+    let h: u32 = name
+        .bytes()
+        .fold(17u32, |acc, b| acc.wrapping_mul(31).wrapping_add(b.into()));
+    Ok(Probability::clamped(0.05 + f64::from(h % 90) / 200.0))
+}
+
+fn bench_path_sets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimal_path_sets");
+    for n in [4usize, 8, 12] {
+        let sys = ladder(n, false);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| minimal_path_sets(&sys).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cut_sets(c: &mut Criterion) {
+    let sys = ladder(8, false);
+    c.bench_function("minimal_cut_sets_ladder8", |b| {
+        b.iter(|| minimal_cut_sets(&sys).expect("valid"));
+    });
+}
+
+fn bench_exact_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_reliability");
+    for (label, shared) in [("distinct", false), ("shared", true)] {
+        let sys = ladder(10, shared);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &shared, |b, _| {
+            b.iter(|| system_failure(&sys, failure_of).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_importance_ranking(c: &mut Criterion) {
+    let sys = ladder(8, false);
+    c.bench_function("birnbaum_ranking_ladder8", |b| {
+        b.iter(|| rank_by_birnbaum(&sys, failure_of).expect("valid"));
+    });
+}
+
+fn bench_fig2_evaluation(c: &mut Criterion) {
+    // The paper's own diagram, as the baseline micro-benchmark.
+    let fig2 = Block::series(vec![
+        Block::parallel(vec![
+            Block::component("Hdetect"),
+            Block::component("Mdetect"),
+        ]),
+        Block::component("Hclassify"),
+    ]);
+    c.bench_function("fig2_system_failure", |b| {
+        b.iter(|| system_failure(&fig2, failure_of).expect("valid"));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_path_sets,
+    bench_cut_sets,
+    bench_exact_evaluation,
+    bench_importance_ranking,
+    bench_fig2_evaluation
+);
+criterion_main!(benches);

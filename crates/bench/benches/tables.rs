@@ -1,0 +1,99 @@
+//! One benchmark per paper artefact: regenerating each table and figure.
+//!
+//! These measure the cost of the exact computation behind each published
+//! number — they are the `cargo bench` face of the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hmdiv_bench::{fig4_series, table2_rows, table3_rows};
+use hmdiv_core::decomposition::decompose;
+use hmdiv_core::multi_reader::{CombinationRule, ReaderSkill, TeamModel};
+use hmdiv_core::{paper, ClassId};
+use hmdiv_prob::Probability;
+use hmdiv_sim::table_driven;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_parameters", |b| {
+        b.iter(|| {
+            let model = paper::example_model().expect("paper model");
+            let trial = paper::trial_profile().expect("profile");
+            let field = paper::field_profile().expect("profile");
+            (model, trial, field)
+        });
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_failure_probabilities", |b| {
+        b.iter(|| table2_rows().expect("valid"));
+    });
+}
+
+fn bench_table2_monte_carlo(c: &mut Criterion) {
+    let model = paper::example_model().expect("paper model");
+    let trial = paper::trial_profile().expect("profile");
+    let mut group = c.benchmark_group("table2_monte_carlo_cross_check");
+    group.sample_size(10);
+    group.bench_function("100k_cases", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| table_driven::cross_check(&model, &trial, 100_000, &mut rng).expect("valid"));
+    });
+    group.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    c.bench_function("table3_improvement_scenarios", |b| {
+        b.iter(|| table3_rows().expect("valid"));
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let model = paper::example_model().expect("paper model");
+    let difficult = ClassId::new("difficult");
+    c.bench_function("fig4_sweep_101_points", |b| {
+        b.iter(|| fig4_series(&model, &difficult, 101).expect("valid"));
+    });
+}
+
+fn bench_eq10(c: &mut Criterion) {
+    let model = paper::example_model().expect("paper model");
+    let trial = paper::trial_profile().expect("profile");
+    c.bench_function("eq10_decomposition", |b| {
+        b.iter(|| decompose(&model, &trial).expect("valid"));
+    });
+}
+
+fn bench_multireader_table(c: &mut Criterion) {
+    let p = |v: f64| Probability::new(v).expect("valid");
+    let expert = ReaderSkill::builder()
+        .class("easy", p(0.14), p(0.18))
+        .class("difficult", p(0.4), p(0.9))
+        .build()
+        .expect("valid skill");
+    let team = TeamModel::builder()
+        .machine("easy", p(0.07))
+        .machine("difficult", p(0.41))
+        .reader(expert.clone())
+        .reader(expert.clone())
+        .rule(CombinationRule::Arbitrated { arbiter: expert })
+        .build()
+        .expect("valid team");
+    let field = paper::field_profile().expect("profile");
+    c.bench_function("multireader_arbitrated_field", |b| {
+        b.iter(|| team.system_failure(&field).expect("covered"));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2,
+    bench_table2_monte_carlo,
+    bench_table3,
+    bench_fig4,
+    bench_eq10,
+    bench_multireader_table
+);
+criterion_main!(benches);

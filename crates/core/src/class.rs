@@ -1,0 +1,110 @@
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a *class of demands* (the paper's `x`).
+///
+/// The paper stresses that cases must be grouped into classes within which
+/// the conditional failure probabilities are homogeneous — e.g. "easy" vs
+/// "difficult" mammograms in the §5 example, or finer classifications by
+/// lesion type. A `ClassId` is a cheap-to-clone interned name.
+///
+/// # Example
+///
+/// ```
+/// use hmdiv_core::ClassId;
+///
+/// let easy = ClassId::new("easy");
+/// assert_eq!(easy.name(), "easy");
+/// assert_eq!(easy, ClassId::from("easy"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(from = "String", into = "String")]
+pub struct ClassId(Arc<str>);
+
+impl ClassId {
+    /// Creates a class identifier from a name.
+    #[must_use]
+    pub fn new(name: impl AsRef<str>) -> Self {
+        ClassId(Arc::from(name.as_ref()))
+    }
+
+    /// The class name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ClassId {
+    fn from(s: &str) -> Self {
+        ClassId::new(s)
+    }
+}
+
+impl From<String> for ClassId {
+    fn from(s: String) -> Self {
+        ClassId(Arc::from(s.as_str()))
+    }
+}
+
+impl From<ClassId> for String {
+    fn from(c: ClassId) -> String {
+        c.0.as_ref().to_owned()
+    }
+}
+
+impl AsRef<str> for ClassId {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for ClassId {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn equality_and_ordering_by_name() {
+        assert_eq!(ClassId::new("a"), ClassId::from("a"));
+        assert!(ClassId::new("a") < ClassId::new("b"));
+    }
+
+    #[test]
+    fn borrow_enables_str_lookup() {
+        let mut m: BTreeMap<ClassId, u32> = BTreeMap::new();
+        m.insert(ClassId::new("easy"), 1);
+        assert_eq!(m.get("easy"), Some(&1));
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        let c = ClassId::new("difficult");
+        assert_eq!(c.to_string(), "difficult");
+        assert_eq!(String::from(c.clone()), "difficult");
+        assert_eq!(ClassId::from(String::from("difficult")), c);
+        assert_eq!(c.as_ref(), "difficult");
+    }
+
+    #[test]
+    fn clone_is_cheap_shared() {
+        let a = ClassId::new("x");
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+    }
+}

@@ -1,0 +1,306 @@
+//! Design exploration: where should CADT improvement effort go? (§6.2)
+//!
+//! For a small reduction `ΔPMf(x)` of the machine's failure probability on
+//! class `x`, eq. (9) gives the system-level benefit
+//!
+//! ```text
+//! ΔPHf = p(x) · t(x) · ΔPMf(x)
+//! ```
+//!
+//! so the *leverage* of a class is `p(x)·t(x)·PMf(x)` for a proportional
+//! improvement — not its frequency alone. The §5 example's point is exactly
+//! this: improving the machine ×10 on the frequent easy cases (leverage
+//! 0.9·0.04·0.07 ≈ 0.0025 under the field profile) buys far less than the
+//! same improvement on the rare difficult ones (0.1·0.5·0.41 ≈ 0.021).
+
+use serde::{Deserialize, Serialize};
+
+use crate::extrapolate::Scenario;
+use crate::{ClassId, DemandProfile, ModelError, SequentialModel};
+
+/// The improvement leverage of one class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassLeverage {
+    /// The class.
+    pub class: ClassId,
+    /// Its profile weight `p(x)`.
+    pub weight: f64,
+    /// Its coherence index `t(x)`.
+    pub coherence_index: f64,
+    /// Its current machine failure probability `PMf(x)`.
+    pub p_mf: f64,
+    /// The reduction in system failure from *eliminating* machine failure
+    /// on this class: `p(x)·t(x)·PMf(x)`.
+    pub max_benefit: f64,
+}
+
+/// Ranks classes by the system-level benefit of improving the machine on
+/// them, descending (§6.2: "concentrate any improvements on cases for which
+/// readers have a high t(x) (and that are somewhat frequent)").
+///
+/// # Errors
+///
+/// [`ModelError::MissingClass`] if the profile mentions a class without
+/// parameters.
+///
+/// # Example
+///
+/// ```
+/// use hmdiv_core::{paper, design::rank_improvement_targets};
+///
+/// # fn main() -> Result<(), hmdiv_core::ModelError> {
+/// let model = paper::example_model()?;
+/// let field = paper::field_profile()?;
+/// let ranked = rank_improvement_targets(&model, &field)?;
+/// // Despite being 9× rarer, "difficult" dominates.
+/// assert_eq!(ranked[0].class.name(), "difficult");
+/// # Ok(())
+/// # }
+/// ```
+pub fn rank_improvement_targets(
+    model: &SequentialModel,
+    profile: &DemandProfile,
+) -> Result<Vec<ClassLeverage>, ModelError> {
+    let mut out = Vec::with_capacity(profile.len());
+    for (class, weight) in profile.iter() {
+        let cp = model.params().class(class)?;
+        let t = cp.coherence_index();
+        let p_mf = cp.p_mf().value();
+        out.push(ClassLeverage {
+            class: class.clone(),
+            weight: weight.value(),
+            coherence_index: t,
+            p_mf,
+            max_benefit: weight.value() * t * p_mf,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.max_benefit
+            .partial_cmp(&a.max_benefit)
+            .expect("leverage is finite")
+            .then_with(|| a.class.cmp(&b.class))
+    });
+    Ok(out)
+}
+
+/// The exact system-failure reduction from improving the machine by
+/// `factor` on one class (a convenience around [`Scenario`]).
+///
+/// # Errors
+///
+/// As [`Scenario::predict`].
+pub fn improvement_benefit(
+    model: &SequentialModel,
+    profile: &DemandProfile,
+    class: &ClassId,
+    factor: f64,
+) -> Result<f64, ModelError> {
+    let pred = Scenario::new()
+        .improve_machine(class.clone(), factor)
+        .predict(model, profile)?;
+    Ok(pred.improvement())
+}
+
+/// Greedy allocation of a limited improvement budget.
+///
+/// The budget is a number of "improvement units"; spending one unit on a
+/// class divides its `PMf(x)` by `step_factor`. Units are spent one at a
+/// time on whichever class currently yields the largest exact reduction in
+/// system failure. Returns the per-class unit counts and the final model.
+///
+/// This greedy policy is optimal here because each unit's benefit on a class
+/// — `p(x)·t(x)·PMf(x)·(1 − 1/step)` — strictly decreases as units
+/// accumulate on that class (diminishing returns), which makes the marginal
+/// benefit matroid-greedy-friendly.
+///
+/// # Errors
+///
+/// * [`ModelError::InvalidFactor`] if `step_factor <= 1` or `budget == 0`.
+/// * Coverage errors from evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetAllocation {
+    /// `(class, units spent)` pairs, in class order.
+    pub allocation: Vec<(ClassId, usize)>,
+    /// System failure before any spending.
+    pub before: f64,
+    /// System failure after the full budget.
+    pub after: f64,
+    /// The improved model.
+    pub model: SequentialModel,
+}
+
+/// See [`BudgetAllocation`].
+///
+/// # Errors
+///
+/// * [`ModelError::InvalidFactor`] if `step_factor <= 1` or `budget == 0`.
+/// * Coverage errors from evaluation.
+pub fn allocate_improvement_budget(
+    model: &SequentialModel,
+    profile: &DemandProfile,
+    budget: usize,
+    step_factor: f64,
+) -> Result<BudgetAllocation, ModelError> {
+    if step_factor.is_nan() || step_factor <= 1.0 || step_factor.is_infinite() {
+        return Err(ModelError::InvalidFactor {
+            value: step_factor,
+            context: "step factor",
+        });
+    }
+    if budget == 0 {
+        return Err(ModelError::InvalidFactor {
+            value: 0.0,
+            context: "improvement budget",
+        });
+    }
+    let before = model.system_failure(profile)?.value();
+    let mut current = model.clone();
+    let mut spent: std::collections::BTreeMap<ClassId, usize> = Default::default();
+    for _ in 0..budget {
+        let mut best: Option<(ClassId, f64)> = None;
+        for (class, _) in profile.iter() {
+            let benefit = improvement_benefit(&current, profile, class, step_factor)?;
+            match &best {
+                Some((_, b)) if *b >= benefit => {}
+                _ => best = Some((class.clone(), benefit)),
+            }
+        }
+        let (class, _) = best.ok_or(ModelError::Empty {
+            context: "demand profile",
+        })?;
+        current = Scenario::new()
+            .improve_machine(class.clone(), step_factor)
+            .apply(&current)?;
+        *spent.entry(class).or_insert(0) += 1;
+    }
+    let after = current.system_failure(profile)?.value();
+    Ok(BudgetAllocation {
+        allocation: spent.into_iter().collect(),
+        before,
+        after,
+        model: current,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn difficult_class_dominates_both_profiles() {
+        let model = paper::example_model().unwrap();
+        for profile in [
+            paper::trial_profile().unwrap(),
+            paper::field_profile().unwrap(),
+        ] {
+            let ranked = rank_improvement_targets(&model, &profile).unwrap();
+            assert_eq!(ranked[0].class.name(), "difficult");
+            assert!(ranked[0].max_benefit > ranked[1].max_benefit);
+        }
+    }
+
+    #[test]
+    fn leverage_formula_matches_exact_benefit_for_full_elimination() {
+        // Eliminating machine failure on a class (factor → ∞ approximated
+        // by setting PMf = 0) reduces system failure by exactly
+        // p(x)·t(x)·PMf(x).
+        let model = paper::example_model().unwrap();
+        let field = paper::field_profile().unwrap();
+        let ranked = rank_improvement_targets(&model, &field).unwrap();
+        for lever in &ranked {
+            let pred = Scenario::new()
+                .set_machine_failure(lever.class.clone(), hmdiv_prob::Probability::ZERO)
+                .predict(&model, &field)
+                .unwrap();
+            assert!(
+                (pred.improvement() - lever.max_benefit).abs() < 1e-12,
+                "{}: {} vs {}",
+                lever.class,
+                pred.improvement(),
+                lever.max_benefit
+            );
+        }
+    }
+
+    #[test]
+    fn finite_factor_benefit_is_fraction_of_max() {
+        let model = paper::example_model().unwrap();
+        let field = paper::field_profile().unwrap();
+        let class = ClassId::new("difficult");
+        let benefit10 = improvement_benefit(&model, &field, &class, 10.0).unwrap();
+        let ranked = rank_improvement_targets(&model, &field).unwrap();
+        let max = ranked
+            .iter()
+            .find(|l| l.class == class)
+            .unwrap()
+            .max_benefit;
+        // Factor 10 removes 90% of PMf, hence 90% of the max benefit.
+        assert!((benefit10 - 0.9 * max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_goes_to_difficult_first() {
+        let model = paper::example_model().unwrap();
+        let field = paper::field_profile().unwrap();
+        let alloc = allocate_improvement_budget(&model, &field, 3, 2.0).unwrap();
+        let difficult_units = alloc
+            .allocation
+            .iter()
+            .find(|(c, _)| c.name() == "difficult")
+            .map(|(_, u)| *u)
+            .unwrap_or(0);
+        assert!(difficult_units >= 2, "{:?}", alloc.allocation);
+        assert!(alloc.after < alloc.before);
+        let total: usize = alloc.allocation.iter().map(|(_, u)| u).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn budget_validation() {
+        let model = paper::example_model().unwrap();
+        let field = paper::field_profile().unwrap();
+        assert!(allocate_improvement_budget(&model, &field, 0, 2.0).is_err());
+        assert!(allocate_improvement_budget(&model, &field, 1, 1.0).is_err());
+        assert!(allocate_improvement_budget(&model, &field, 1, 0.5).is_err());
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_for_tiny_budget() {
+        // With budget 2, enumerate all allocations and check greedy's final
+        // failure probability is minimal.
+        let model = paper::example_model().unwrap();
+        let field = paper::field_profile().unwrap();
+        let greedy = allocate_improvement_budget(&model, &field, 2, 3.0).unwrap();
+        let classes = ["easy", "difficult"];
+        let mut best = f64::INFINITY;
+        for a in classes {
+            for b in classes {
+                let m = Scenario::new()
+                    .improve_machine(ClassId::new(a), 3.0)
+                    .improve_machine(ClassId::new(b), 3.0)
+                    .apply(&model)
+                    .unwrap();
+                best = best.min(m.system_failure(&field).unwrap().value());
+            }
+        }
+        assert!(
+            (greedy.after - best).abs() < 1e-12,
+            "{} vs {}",
+            greedy.after,
+            best
+        );
+    }
+
+    #[test]
+    fn leverage_fields_consistent() {
+        let model = paper::example_model().unwrap();
+        let field = paper::field_profile().unwrap();
+        for lever in rank_improvement_targets(&model, &field).unwrap() {
+            assert!(
+                (lever.max_benefit - lever.weight * lever.coherence_index * lever.p_mf).abs()
+                    < 1e-15
+            );
+        }
+    }
+}

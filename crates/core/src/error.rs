@@ -1,0 +1,104 @@
+use std::error::Error;
+use std::fmt;
+
+use hmdiv_prob::ProbError;
+
+use crate::ClassId;
+
+/// Error type for model construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A class referenced by a profile or scenario has no parameters.
+    MissingClass {
+        /// The class without parameters.
+        class: ClassId,
+    },
+    /// A profile mentions no classes, or a parameter table is empty.
+    Empty {
+        /// What was empty.
+        context: &'static str,
+    },
+    /// Duplicate class in a builder.
+    DuplicateClass {
+        /// The class added twice.
+        class: ClassId,
+    },
+    /// An improvement factor or other scale was invalid.
+    InvalidFactor {
+        /// The offending value.
+        value: f64,
+        /// What the factor was for.
+        context: &'static str,
+    },
+    /// An underlying probability computation failed.
+    Prob(ProbError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::MissingClass { class } => {
+                write!(f, "no parameters for demand class `{class}`")
+            }
+            ModelError::Empty { context } => write!(f, "{context} must not be empty"),
+            ModelError::DuplicateClass { class } => {
+                write!(f, "demand class `{class}` specified more than once")
+            }
+            ModelError::InvalidFactor { value, context } => {
+                write!(f, "invalid {context}: {value}")
+            }
+            ModelError::Prob(e) => write!(f, "probability error: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Prob(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProbError> for ModelError {
+    fn from(e: ProbError) -> Self {
+        ModelError::Prob(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errors = [
+            ModelError::MissingClass {
+                class: ClassId::new("difficult"),
+            },
+            ModelError::Empty {
+                context: "demand profile",
+            },
+            ModelError::DuplicateClass {
+                class: ClassId::new("easy"),
+            },
+            ModelError::InvalidFactor {
+                value: -2.0,
+                context: "improvement factor",
+            },
+            ModelError::Prob(ProbError::InvalidConfidence { level: 0.0 }),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn source_chains_prob_errors() {
+        let e = ModelError::from(ProbError::Empty { context: "weights" });
+        assert!(e.source().is_some());
+        assert!(ModelError::Empty { context: "x" }.source().is_none());
+    }
+}

@@ -1,0 +1,387 @@
+//! Propagation of parameter uncertainty into system predictions.
+//!
+//! The paper assumes "narrow enough confidence intervals can be obtained for
+//! all parameters" for its worked example, and notes that in reality "the
+//! equation will show the corresponding ranges of uncertainty in the
+//! predicted probability of system failure". This module does exactly that:
+//! each per-class parameter is a Beta posterior (from trial counts via
+//! conjugate updating), and the system failure probability's posterior is
+//! obtained by Monte-Carlo: draw a parameter table, evaluate eq. (8),
+//! repeat.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+
+use hmdiv_prob::bayes::Beta;
+use hmdiv_prob::Probability;
+
+use crate::{ClassId, ClassParams, DemandProfile, ModelError, ModelParams, SequentialModel};
+
+/// Beta posteriors for one class's parameter triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassPosterior {
+    /// Posterior for `PMf(x)`.
+    pub p_mf: Beta,
+    /// Posterior for `PHf|Ms(x)`.
+    pub p_hf_given_ms: Beta,
+    /// Posterior for `PHf|Mf(x)`.
+    pub p_hf_given_mf: Beta,
+}
+
+impl ClassPosterior {
+    /// Builds a posterior triple from trial counts with a Jeffreys prior:
+    /// `machine (k, n)` = machine failures out of cases, `hf_ms (k, n)` =
+    /// human failures out of machine-success cases, `hf_mf (k, n)` likewise
+    /// for machine-failure cases.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Prob`] if any count pair has `k > n` (zero `n` is
+    /// allowed and yields the bare prior).
+    pub fn from_counts(
+        machine: (u64, u64),
+        hf_ms: (u64, u64),
+        hf_mf: (u64, u64),
+    ) -> Result<Self, ModelError> {
+        let post = |(k, n): (u64, u64)| -> Result<Beta, ModelError> {
+            if k > n {
+                return Err(ModelError::Prob(hmdiv_prob::ProbError::InvalidCounts {
+                    successes: k,
+                    trials: n,
+                }));
+            }
+            Ok(Beta::jeffreys().updated(k, n - k))
+        };
+        Ok(ClassPosterior {
+            p_mf: post(machine)?,
+            p_hf_given_ms: post(hf_ms)?,
+            p_hf_given_mf: post(hf_mf)?,
+        })
+    }
+
+    /// Draws one [`ClassParams`] from the posterior.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> ClassParams {
+        ClassParams::new(
+            self.p_mf.sample(rng),
+            self.p_hf_given_ms.sample(rng),
+            self.p_hf_given_mf.sample(rng),
+        )
+    }
+
+    /// The posterior-mean [`ClassParams`].
+    #[must_use]
+    pub fn mean(&self) -> ClassParams {
+        ClassParams::new(
+            self.p_mf.mean(),
+            self.p_hf_given_ms.mean(),
+            self.p_hf_given_mf.mean(),
+        )
+    }
+}
+
+/// Posteriors for every class.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ModelPosterior {
+    table: BTreeMap<ClassId, ClassPosterior>,
+}
+
+impl ModelPosterior {
+    /// An empty posterior set (add classes with
+    /// [`ModelPosterior::with_class`]).
+    #[must_use]
+    pub fn new() -> Self {
+        ModelPosterior::default()
+    }
+
+    /// Adds (or replaces) a class's posterior.
+    #[must_use]
+    pub fn with_class(mut self, class: impl Into<ClassId>, posterior: ClassPosterior) -> Self {
+        self.table.insert(class.into(), posterior);
+        self
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether no class has a posterior.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Draws one full [`SequentialModel`] from the posteriors.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Empty`] if no classes have posteriors.
+    pub fn sample_model<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<SequentialModel, ModelError> {
+        if self.table.is_empty() {
+            return Err(ModelError::Empty {
+                context: "model posterior",
+            });
+        }
+        let mut builder = ModelParams::builder();
+        for (class, post) in &self.table {
+            builder = builder.class(class.clone(), post.sample(rng));
+        }
+        Ok(SequentialModel::new(builder.build()?))
+    }
+
+    /// The posterior-mean model.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Empty`] if no classes have posteriors.
+    pub fn mean_model(&self) -> Result<SequentialModel, ModelError> {
+        if self.table.is_empty() {
+            return Err(ModelError::Empty {
+                context: "model posterior",
+            });
+        }
+        let mut builder = ModelParams::builder();
+        for (class, post) in &self.table {
+            builder = builder.class(class.clone(), post.mean());
+        }
+        Ok(SequentialModel::new(builder.build()?))
+    }
+}
+
+/// The Monte-Carlo posterior of a system prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UncertainPrediction {
+    samples: Vec<f64>,
+}
+
+impl UncertainPrediction {
+    /// The posterior mean of the system failure probability.
+    #[must_use]
+    pub fn mean(&self) -> Probability {
+        Probability::clamped(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// The posterior standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        let mean = self.mean().value();
+        (self
+            .samples
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / self.samples.len() as f64)
+            .sqrt()
+    }
+
+    /// An equal-tailed credible interval at `level`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Prob`] if `level` is not strictly inside `(0, 1)`.
+    pub fn credible_interval(&self, level: f64) -> Result<(Probability, Probability), ModelError> {
+        if !(level > 0.0 && level < 1.0) {
+            return Err(ModelError::Prob(hmdiv_prob::ProbError::InvalidConfidence {
+                level,
+            }));
+        }
+        let alpha = (1.0 - level) / 2.0;
+        Ok((self.quantile(alpha), self.quantile(1.0 - alpha)))
+    }
+
+    /// The `q`-th quantile of the posterior samples (linear interpolation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Probability {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile order must be in [0,1], got {q}"
+        );
+        let n = self.samples.len();
+        if n == 1 {
+            return Probability::clamped(self.samples[0]);
+        }
+        let pos = q * (n - 1) as f64;
+        let idx = pos.floor() as usize;
+        let frac = pos - idx as f64;
+        let v = if idx + 1 >= n {
+            self.samples[n - 1]
+        } else {
+            self.samples[idx] * (1.0 - frac) + self.samples[idx + 1] * frac
+        };
+        Probability::clamped(v)
+    }
+
+    /// Number of Monte-Carlo draws.
+    #[must_use]
+    pub fn draws(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+/// Propagates posterior parameter uncertainty into the system failure
+/// probability under a profile, by `draws` Monte-Carlo evaluations of
+/// eq. (8).
+///
+/// # Errors
+///
+/// * [`ModelError::Empty`] if `draws == 0` or the posterior is empty.
+/// * [`ModelError::MissingClass`] if the profile mentions a class without a
+///   posterior.
+///
+/// # Example
+///
+/// ```
+/// use hmdiv_core::uncertainty::{ClassPosterior, ModelPosterior, propagate};
+/// use hmdiv_core::DemandProfile;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), hmdiv_core::ModelError> {
+/// let posterior = ModelPosterior::new()
+///     .with_class("easy", ClassPosterior::from_counts((14, 200), (26, 186), (3, 14))?)
+///     .with_class("difficult", ClassPosterior::from_counts((82, 200), (47, 118), (74, 82))?);
+/// let field = DemandProfile::builder().class("easy", 0.9).class("difficult", 0.1).build()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let prediction = propagate(&posterior, &field, 2000, &mut rng)?;
+/// let (lo, hi) = prediction.credible_interval(0.95)?;
+/// assert!(lo < prediction.mean() && prediction.mean() < hi);
+/// # Ok(())
+/// # }
+/// ```
+pub fn propagate<R: Rng + ?Sized>(
+    posterior: &ModelPosterior,
+    profile: &DemandProfile,
+    draws: usize,
+    rng: &mut R,
+) -> Result<UncertainPrediction, ModelError> {
+    if draws == 0 {
+        return Err(ModelError::Empty {
+            context: "monte-carlo draw count",
+        });
+    }
+    // Fail fast on coverage.
+    for (class, _) in profile.iter() {
+        if !posterior.table.contains_key(class) {
+            return Err(ModelError::MissingClass {
+                class: class.clone(),
+            });
+        }
+    }
+    let mut samples = Vec::with_capacity(draws);
+    for _ in 0..draws {
+        let model = posterior.sample_model(rng)?;
+        samples.push(model.system_failure(profile)?.value());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("failure probabilities are finite"));
+    Ok(UncertainPrediction { samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper_like_posterior(scale: u64) -> ModelPosterior {
+        // Counts matching the paper's parameters at sample size ~200·scale.
+        let s = scale;
+        ModelPosterior::new()
+            .with_class(
+                "easy",
+                ClassPosterior::from_counts((14 * s, 200 * s), (26 * s, 186 * s), (3 * s, 14 * s))
+                    .unwrap(),
+            )
+            .with_class(
+                "difficult",
+                ClassPosterior::from_counts((82 * s, 200 * s), (47 * s, 118 * s), (74 * s, 82 * s))
+                    .unwrap(),
+            )
+    }
+
+    fn field() -> DemandProfile {
+        DemandProfile::builder()
+            .class("easy", 0.9)
+            .class("difficult", 0.1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn posterior_mean_near_trial_rates() {
+        let post = paper_like_posterior(1);
+        let mean_model = post.mean_model().unwrap();
+        let cp = mean_model.params().class_by_name("easy").unwrap();
+        assert!((cp.p_mf().value() - 0.07).abs() < 0.01);
+    }
+
+    #[test]
+    fn interval_brackets_point_prediction() {
+        let post = paper_like_posterior(1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let pred = propagate(&post, &field(), 3000, &mut rng).unwrap();
+        let point = post.mean_model().unwrap().system_failure(&field()).unwrap();
+        let (lo, hi) = pred.credible_interval(0.95).unwrap();
+        assert!(
+            lo <= point && point <= hi,
+            "[{}, {}] vs {}",
+            lo.value(),
+            hi.value(),
+            point.value()
+        );
+        assert_eq!(pred.draws(), 3000);
+        assert!(pred.std_dev() > 0.0);
+    }
+
+    #[test]
+    fn more_data_narrows_the_interval() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let small = propagate(&paper_like_posterior(1), &field(), 2000, &mut rng).unwrap();
+        let large = propagate(&paper_like_posterior(20), &field(), 2000, &mut rng).unwrap();
+        let (lo_s, hi_s) = small.credible_interval(0.95).unwrap();
+        let (lo_l, hi_l) = large.credible_interval(0.95).unwrap();
+        assert!(
+            hi_l.value() - lo_l.value() < hi_s.value() - lo_s.value(),
+            "20x data should narrow the interval"
+        );
+    }
+
+    #[test]
+    fn quantiles_monotone() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pred = propagate(&paper_like_posterior(1), &field(), 500, &mut rng).unwrap();
+        assert!(pred.quantile(0.1) <= pred.quantile(0.5));
+        assert!(pred.quantile(0.5) <= pred.quantile(0.9));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let post = paper_like_posterior(1);
+        assert!(propagate(&post, &field(), 0, &mut rng).is_err());
+        let empty = ModelPosterior::new();
+        assert!(empty.is_empty());
+        assert!(propagate(&empty, &field(), 10, &mut rng).is_err());
+        let missing = DemandProfile::builder()
+            .class("ghost", 1.0)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            propagate(&post, &missing, 10, &mut rng),
+            Err(ModelError::MissingClass { .. })
+        ));
+        assert!(ClassPosterior::from_counts((5, 3), (0, 0), (0, 0)).is_err());
+        // Zero-trial counts fall back to the prior.
+        assert!(ClassPosterior::from_counts((0, 0), (0, 0), (0, 0)).is_ok());
+        let pred = propagate(&post, &field(), 100, &mut rng).unwrap();
+        assert!(pred.credible_interval(0.0).is_err());
+        assert!(pred.credible_interval(1.0).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Property-based tests of the core models at the crate level:
+//! aggregation invariants, adaptation sanity, multi-reader orderings, and
+//! trade-off monotonicity over random parameterisations.
+
+use hmdiv_core::adaptation::AdaptationResponse;
+use hmdiv_core::aggregation::{coarsen, merge_classes};
+use hmdiv_core::multi_reader::{CombinationRule, ReaderSkill, TeamModel};
+use hmdiv_core::tradeoff::{MachineRoc, TradeoffStudy, TwoSidedModel};
+use hmdiv_core::{ClassId, ClassParams, DemandProfile, ModelParams, SequentialModel};
+use hmdiv_prob::Probability;
+use proptest::prelude::*;
+
+fn p(v: f64) -> Probability {
+    Probability::new(v).unwrap()
+}
+
+fn prob() -> impl Strategy<Value = f64> {
+    0.0..=1.0f64
+}
+
+/// Interior probabilities, bounded away from 0/1 so conditionals stay
+/// defined.
+fn interior() -> impl Strategy<Value = f64> {
+    0.02..=0.98f64
+}
+
+#[derive(Debug, Clone)]
+struct TwoClassSystem {
+    model: SequentialModel,
+    profile: DemandProfile,
+}
+
+fn two_class_system() -> impl Strategy<Value = TwoClassSystem> {
+    (
+        interior(),
+        interior(),
+        interior(),
+        interior(),
+        interior(),
+        interior(),
+        0.05..=0.95f64,
+    )
+        .prop_map(|(mf_a, ms_a, mf_cond_a, mf_b, ms_b, mf_cond_b, w)| {
+            let model = SequentialModel::new(
+                ModelParams::builder()
+                    .class("a", ClassParams::new(p(mf_a), p(ms_a), p(mf_cond_a)))
+                    .class("b", ClassParams::new(p(mf_b), p(ms_b), p(mf_cond_b)))
+                    .build()
+                    .unwrap(),
+            );
+            let profile = DemandProfile::builder()
+                .class("a", w)
+                .class("b", 1.0 - w)
+                .build()
+                .unwrap();
+            TwoClassSystem { model, profile }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merging_always_preserves_system_failure(sys in two_class_system()) {
+        let members = [ClassId::new("a"), ClassId::new("b")];
+        let before = sys.model.system_failure(&sys.profile).unwrap().value();
+        let (coarse_model, coarse_profile) =
+            coarsen(&sys.model, &sys.profile, &members).unwrap();
+        let after = coarse_model.system_failure(&coarse_profile).unwrap().value();
+        prop_assert!((before - after).abs() < 1e-9, "{before} vs {after}");
+    }
+
+    #[test]
+    fn merged_parameters_are_convex_combinations(sys in two_class_system()) {
+        let members = [ClassId::new("a"), ClassId::new("b")];
+        let merged = merge_classes(&sys.model, &sys.profile, &members).unwrap();
+        let a = sys.model.params().class_by_name("a").unwrap();
+        let b = sys.model.params().class_by_name("b").unwrap();
+        let between = |m: f64, x: f64, y: f64| m >= x.min(y) - 1e-12 && m <= x.max(y) + 1e-12;
+        prop_assert!(between(
+            merged.params.p_mf().value(),
+            a.p_mf().value(),
+            b.p_mf().value()
+        ));
+        prop_assert!(between(
+            merged.params.p_hf_given_ms().value(),
+            a.p_hf_given_ms().value(),
+            b.p_hf_given_ms().value()
+        ));
+        prop_assert!(between(
+            merged.params.p_hf_given_mf().value(),
+            a.p_hf_given_mf().value(),
+            b.p_hf_given_mf().value()
+        ));
+    }
+
+    #[test]
+    fn adaptation_outputs_valid_parameters(
+        old_mf in interior(), new_mf in interior(), ms in prob(), mf_cond in prob(),
+        strength in 0.0..=1.0f64
+    ) {
+        let base = ClassParams::new(p(new_mf), p(ms), p(mf_cond));
+        for response in [
+            AdaptationResponse::None,
+            AdaptationResponse::Complacency { strength },
+            AdaptationResponse::Distrust { strength },
+            AdaptationResponse::Vigilance { strength },
+        ] {
+            let adapted = response.apply(p(old_mf), &base).unwrap();
+            // Machine parameter untouched by adaptation.
+            prop_assert_eq!(adapted.p_mf(), base.p_mf());
+            // Conditionals stay probabilities (enforced by type, but check
+            // coherence index bounds too).
+            prop_assert!((-1.0..=1.0).contains(&adapted.coherence_index()));
+        }
+    }
+
+    #[test]
+    fn distrust_never_increases_coherence_magnitude(
+        old_mf in 0.02..=0.5f64, ms in prob(), mf_cond in prob(), strength in 0.0..=1.0f64
+    ) {
+        // Degrade the machine: distrust pulls t toward zero, never past it.
+        let degraded = ClassParams::new(p(0.9), p(ms), p(mf_cond));
+        let adapted = AdaptationResponse::Distrust { strength }
+            .apply(p(old_mf), &degraded)
+            .unwrap();
+        prop_assert!(adapted.coherence_index().abs() <= degraded.coherence_index().abs() + 1e-12);
+        prop_assert!(adapted.coherence_index() * degraded.coherence_index() >= -1e-12,
+            "no sign flip");
+    }
+
+    #[test]
+    fn double_reading_dominates_single_which_dominates_consensus(
+        mf in interior(), ms_a in interior(), mf_a in interior(),
+        ms_b in interior(), mf_b in interior(), w in 0.05..=0.95f64
+    ) {
+        let skill_a = ReaderSkill::builder().class("x", p(ms_a), p(mf_a)).build().unwrap();
+        let skill_b = ReaderSkill::builder().class("x", p(ms_b), p(mf_b)).build().unwrap();
+        let _ = w;
+        let profile = DemandProfile::builder().class("x", 1.0).build().unwrap();
+        let build = |rule| {
+            TeamModel::builder()
+                .machine("x", p(mf))
+                .reader(skill_a.clone())
+                .reader(skill_b.clone())
+                .rule(rule)
+                .build()
+                .unwrap()
+        };
+        let either = build(CombinationRule::EitherRecalls).system_failure(&profile).unwrap();
+        let consensus = build(CombinationRule::Consensus).system_failure(&profile).unwrap();
+        let single = TeamModel::builder()
+            .machine("x", p(mf))
+            .reader(skill_a.clone())
+            .build()
+            .unwrap()
+            .system_failure(&profile)
+            .unwrap();
+        // Either-recalls FN = product <= single reader's own FN <= consensus FN.
+        prop_assert!(either.value() <= single.value() + 1e-12);
+        prop_assert!(single.value() <= consensus.value() + 1e-12);
+        // Arbitrated sits between either and consensus.
+        let arb = build(CombinationRule::Arbitrated { arbiter: skill_a.clone() })
+            .system_failure(&profile)
+            .unwrap();
+        prop_assert!(either.value() <= arb.value() + 1e-12);
+        prop_assert!(arb.value() <= consensus.value() + 1e-12);
+    }
+
+    #[test]
+    fn tradeoff_sweep_monotone_for_any_parameters(
+        r_a in 0.05..=1.0f64, r_b in 0.05..=1.0f64,
+        s_a in 0.0..=1.0f64, s_b in 0.0..=1.0f64,
+        ms in interior(), mf_cond in interior()
+    ) {
+        // Sweep monotonicity requires non-negative coherence (a reader who
+        // improves when the machine fails genuinely inverts it), so generate
+        // PHf|Mf as PHf|Ms plus a non-negative increment.
+        let hf_mf_a = ms + mf_cond * (1.0 - ms);
+        let ms_b = ms * 0.5;
+        let hf_mf_b = ms_b + mf_cond * (1.0 - ms_b);
+        let fn_model = SequentialModel::new(
+            ModelParams::builder()
+                .class("ca", ClassParams::new(p(0.5), p(ms), Probability::clamped(hf_mf_a)))
+                .class("cb", ClassParams::new(p(0.5), p(ms_b), Probability::clamped(hf_mf_b)))
+                .build()
+                .unwrap(),
+        );
+        let fp_model = SequentialModel::new(
+            ModelParams::builder()
+                .class("na", ClassParams::new(p(0.1), p(0.02), p(0.2)))
+                .class("nb", ClassParams::new(p(0.2), p(0.05), p(0.4)))
+                .build()
+                .unwrap(),
+        );
+        let study = TradeoffStudy {
+            base: TwoSidedModel { false_negative: fn_model, false_positive: fp_model },
+            roc: MachineRoc::builder()
+                .cancer_class("ca", r_a)
+                .cancer_class("cb", r_b)
+                .normal_class("na", s_a)
+                .normal_class("nb", s_b)
+                .build()
+                .unwrap(),
+            cancer_profile: DemandProfile::builder()
+                .class("ca", 0.6)
+                .class("cb", 0.4)
+                .build()
+                .unwrap(),
+            normal_profile: DemandProfile::builder()
+                .class("na", 0.7)
+                .class("nb", 0.3)
+                .build()
+                .unwrap(),
+            prevalence: p(0.01),
+        };
+        let sweep = study.sweep(9).unwrap();
+        for pair in sweep.windows(2) {
+            prop_assert!(pair[1].fn_rate <= pair[0].fn_rate);
+            prop_assert!(pair[1].fp_rate >= pair[0].fp_rate);
+        }
+    }
+}

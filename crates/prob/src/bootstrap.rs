@@ -1,0 +1,233 @@
+//! Non-parametric bootstrap resampling.
+//!
+//! When a statistic has no closed-form interval — e.g. the covariance
+//! `cov(PMf(x), t(x))` estimated from per-class trial counts, or a system
+//! failure probability that is a non-linear function of several estimated
+//! parameters — the trial harness falls back to bootstrap percentile
+//! intervals over resampled case sets.
+
+use rand::Rng;
+
+use crate::{ProbError, Probability};
+
+/// Result of a bootstrap run: the replicated statistic values, sorted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bootstrap {
+    replicates: Vec<f64>,
+}
+
+impl Bootstrap {
+    /// Resamples `data` with replacement `replicates` times, applying
+    /// `statistic` to each resample.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProbError::Empty`] if `data` is empty or `replicates == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hmdiv_prob::bootstrap::Bootstrap;
+    /// use rand::SeedableRng;
+    ///
+    /// # fn main() -> Result<(), hmdiv_prob::ProbError> {
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    /// let data: Vec<f64> = (0..100).map(|i| f64::from(i % 10 == 0)).collect();
+    /// let boot = Bootstrap::run(&data, 1000, &mut rng, |xs| {
+    ///     xs.iter().sum::<f64>() / xs.len() as f64
+    /// })?;
+    /// let (lo, hi) = boot.percentile_interval(0.95)?;
+    /// assert!(lo <= 0.1 && 0.1 <= hi);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn run<T: Clone, R: Rng + ?Sized, F: FnMut(&[T]) -> f64>(
+        data: &[T],
+        replicates: usize,
+        rng: &mut R,
+        mut statistic: F,
+    ) -> Result<Self, ProbError> {
+        if data.is_empty() {
+            return Err(ProbError::Empty {
+                context: "bootstrap sample",
+            });
+        }
+        if replicates == 0 {
+            return Err(ProbError::Empty {
+                context: "bootstrap replicate count",
+            });
+        }
+        let n = data.len();
+        let mut resample: Vec<T> = Vec::with_capacity(n);
+        let mut values = Vec::with_capacity(replicates);
+        for _ in 0..replicates {
+            resample.clear();
+            for _ in 0..n {
+                resample.push(data[rng.gen_range(0..n)].clone());
+            }
+            values.push(statistic(&resample));
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("bootstrap statistic produced NaN"));
+        Ok(Bootstrap { replicates: values })
+    }
+
+    /// The sorted replicate values.
+    #[must_use]
+    pub fn replicates(&self) -> &[f64] {
+        &self.replicates
+    }
+
+    /// The mean of the replicates.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.replicates.iter().sum::<f64>() / self.replicates.len() as f64
+    }
+
+    /// The standard error (standard deviation of the replicates).
+    #[must_use]
+    pub fn standard_error(&self) -> f64 {
+        let mean = self.mean();
+        let n = self.replicates.len() as f64;
+        (self
+            .replicates
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n)
+            .sqrt()
+    }
+
+    /// The `q`-th quantile of the replicates (linear interpolation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::OutOfRange`] if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Result<f64, ProbError> {
+        if q.is_nan() || !(0.0..=1.0).contains(&q) {
+            return Err(ProbError::OutOfRange {
+                value: q,
+                context: "quantile order",
+            });
+        }
+        let n = self.replicates.len();
+        if n == 1 {
+            return Ok(self.replicates[0]);
+        }
+        let pos = q * (n - 1) as f64;
+        let idx = pos.floor() as usize;
+        let frac = pos - idx as f64;
+        if idx + 1 >= n {
+            return Ok(self.replicates[n - 1]);
+        }
+        Ok(self.replicates[idx] * (1.0 - frac) + self.replicates[idx + 1] * frac)
+    }
+
+    /// The two-sided percentile interval at confidence `level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::InvalidConfidence`] if `level` is not strictly
+    /// inside `(0, 1)`.
+    pub fn percentile_interval(&self, level: f64) -> Result<(f64, f64), ProbError> {
+        if !(level > 0.0 && level < 1.0) {
+            return Err(ProbError::InvalidConfidence { level });
+        }
+        let alpha = 1.0 - level;
+        Ok((
+            self.quantile(alpha / 2.0)?,
+            self.quantile(1.0 - alpha / 2.0)?,
+        ))
+    }
+
+    /// Percentile interval for a statistic known to be a probability, with
+    /// the bounds returned as [`Probability`] values.
+    ///
+    /// # Errors
+    ///
+    /// As [`Bootstrap::percentile_interval`], plus
+    /// [`ProbError::OutOfRange`] if any replicate strays outside `[0, 1]`
+    /// by more than round-off.
+    pub fn probability_interval(
+        &self,
+        level: f64,
+    ) -> Result<(Probability, Probability), ProbError> {
+        let (lo, hi) = self.percentile_interval(level)?;
+        Ok((
+            Probability::new(lo.clamp(0.0, 1.0))?,
+            Probability::new(hi.clamp(0.0, 1.0))?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_stat(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn rejects_empty_inputs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(Bootstrap::run::<f64, _, _>(&[], 10, &mut rng, mean_stat).is_err());
+        assert!(Bootstrap::run(&[1.0], 0, &mut rng, mean_stat).is_err());
+    }
+
+    #[test]
+    fn interval_brackets_true_mean() {
+        let mut rng = StdRng::seed_from_u64(42);
+        // Bernoulli(0.3) sample of size 500.
+        let data: Vec<f64> = (0..500)
+            .map(|_| f64::from(rng.gen::<f64>() < 0.3))
+            .collect();
+        let boot = Bootstrap::run(&data, 2000, &mut rng, mean_stat).unwrap();
+        let (lo, hi) = boot.percentile_interval(0.99).unwrap();
+        assert!(lo < 0.3 && 0.3 < hi, "[{lo}, {hi}]");
+        assert!(boot.standard_error() > 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let boot = Bootstrap::run(&data, 500, &mut rng, mean_stat).unwrap();
+        let q10 = boot.quantile(0.1).unwrap();
+        let q50 = boot.quantile(0.5).unwrap();
+        let q90 = boot.quantile(0.9).unwrap();
+        assert!(q10 <= q50 && q50 <= q90);
+        assert!(boot.quantile(-0.1).is_err());
+        assert!(boot.quantile(1.1).is_err());
+    }
+
+    #[test]
+    fn constant_data_gives_degenerate_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = vec![0.25; 50];
+        let boot = Bootstrap::run(&data, 100, &mut rng, mean_stat).unwrap();
+        let (lo, hi) = boot.percentile_interval(0.95).unwrap();
+        assert_eq!(lo, 0.25);
+        assert_eq!(hi, 0.25);
+        assert_eq!(boot.standard_error(), 0.0);
+    }
+
+    #[test]
+    fn probability_interval_returns_probabilities() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let data: Vec<f64> = (0..200).map(|i| f64::from(i % 5 == 0)).collect();
+        let boot = Bootstrap::run(&data, 500, &mut rng, mean_stat).unwrap();
+        let (lo, hi) = boot.probability_interval(0.95).unwrap();
+        assert!(lo <= hi);
+        assert!(lo.value() >= 0.0 && hi.value() <= 1.0);
+    }
+
+    #[test]
+    fn invalid_level_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let boot = Bootstrap::run(&[1.0, 2.0], 10, &mut rng, mean_stat).unwrap();
+        assert!(boot.percentile_interval(0.0).is_err());
+        assert!(boot.percentile_interval(1.0).is_err());
+    }
+}

@@ -1,0 +1,129 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for every fallible operation in this crate.
+///
+/// All variants carry enough context to diagnose the offending input without
+/// a debugger; the `Display` output is lowercase and concise per C-GOOD-ERR.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProbError {
+    /// A value expected to be a probability fell outside `[0, 1]` or was NaN.
+    OutOfRange {
+        /// The offending value.
+        value: f64,
+        /// Description of what the value was supposed to be.
+        context: &'static str,
+    },
+    /// A collection that must be non-empty was empty.
+    Empty {
+        /// Description of the collection.
+        context: &'static str,
+    },
+    /// Weights of a distribution were invalid (negative, NaN, or all zero).
+    InvalidWeights {
+        /// Description of the failure.
+        detail: String,
+    },
+    /// A count pair was inconsistent (e.g. successes greater than trials).
+    InvalidCounts {
+        /// Number of successes supplied.
+        successes: u64,
+        /// Number of trials supplied.
+        trials: u64,
+    },
+    /// A confidence level was not strictly inside `(0, 1)`.
+    InvalidConfidence {
+        /// The offending level.
+        level: f64,
+    },
+    /// A shape parameter of a distribution was not strictly positive.
+    InvalidShape {
+        /// The offending value.
+        value: f64,
+        /// Name of the parameter.
+        name: &'static str,
+    },
+    /// Two paired sequences had different lengths.
+    LengthMismatch {
+        /// Length of the first sequence.
+        left: usize,
+        /// Length of the second sequence.
+        right: usize,
+    },
+}
+
+impl fmt::Display for ProbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbError::OutOfRange { value, context } => {
+                write!(f, "{context} must lie in [0, 1], got {value}")
+            }
+            ProbError::Empty { context } => write!(f, "{context} must not be empty"),
+            ProbError::InvalidWeights { detail } => write!(f, "invalid weights: {detail}"),
+            ProbError::InvalidCounts { successes, trials } => {
+                write!(
+                    f,
+                    "invalid counts: {successes} successes out of {trials} trials"
+                )
+            }
+            ProbError::InvalidConfidence { level } => {
+                write!(
+                    f,
+                    "confidence level must lie strictly in (0, 1), got {level}"
+                )
+            }
+            ProbError::InvalidShape { value, name } => {
+                write!(
+                    f,
+                    "shape parameter {name} must be strictly positive, got {value}"
+                )
+            }
+            ProbError::LengthMismatch { left, right } => {
+                write!(f, "paired sequences differ in length: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl Error for ProbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            ProbError::OutOfRange {
+                value: 1.5,
+                context: "probability",
+            },
+            ProbError::Empty { context: "sample" },
+            ProbError::InvalidWeights {
+                detail: "all weights zero".into(),
+            },
+            ProbError::InvalidCounts {
+                successes: 5,
+                trials: 3,
+            },
+            ProbError::InvalidConfidence { level: 1.0 },
+            ProbError::InvalidShape {
+                value: -1.0,
+                name: "alpha",
+            },
+            ProbError::LengthMismatch { left: 3, right: 4 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProbError>();
+    }
+}

@@ -1,0 +1,60 @@
+//! Probability and statistics substrate for the `hmdiv` workspace.
+//!
+//! The DSN 2003 paper this workspace reproduces ("Human-machine diversity in
+//! the use of computerised advisory systems", Strigini, Povyakalo & Alberdi)
+//! manipulates probabilities of discrete events conditional on classes of
+//! demands, and estimates those probabilities from trial data. Rust's
+//! ecosystem of statistics crates is thin, so this crate provides the exact
+//! toolbox the models need, self-contained:
+//!
+//! * [`Probability`] — a validated `[0, 1]` newtype that all other crates use
+//!   for event probabilities, plus [`Odds`] / log-odds conversions.
+//! * [`Categorical`] — a discrete distribution over arbitrary categories with
+//!   O(1) alias-method sampling, the foundation of demand profiles.
+//! * [`estimate`] — binomial point estimates and five confidence-interval
+//!   methods (Wald, Wilson, Clopper–Pearson, Agresti–Coull, Jeffreys).
+//! * [`moments`] — weighted means, variances, covariances and correlations
+//!   over discrete distributions (the paper's eq. 10 covariance term).
+//! * [`bootstrap`] — non-parametric bootstrap resampling and percentile CIs.
+//! * [`bayes`] — the Beta distribution and beta–binomial conjugate updating
+//!   for probability parameters.
+//! * [`counts`] — success/failure tallies and stratified 2×2 contingency
+//!   tables, the raw material produced by trials and consumed by estimators.
+//! * [`seq`] — streaming (Welford) moment accumulators for Monte-Carlo runs.
+//!
+//! # Example
+//!
+//! ```
+//! use hmdiv_prob::{Probability, estimate::{BinomialEstimate, CiMethod}};
+//!
+//! # fn main() -> Result<(), hmdiv_prob::ProbError> {
+//! // 7 machine failures observed in 100 "easy" cases:
+//! let est = BinomialEstimate::new(7, 100)?;
+//! let p: Probability = est.point();
+//! assert!((p.value() - 0.07).abs() < 1e-12);
+//! let ci = est.interval(CiMethod::Wilson, 0.95)?;
+//! assert!(ci.lo().value() < 0.07 && ci.hi().value() > 0.07);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod bayes;
+pub mod bootstrap;
+pub mod compare;
+pub mod counts;
+pub mod discrete;
+mod error;
+pub mod estimate;
+pub mod moments;
+pub mod odds;
+mod probability;
+pub mod seq;
+pub mod special;
+
+pub use discrete::Categorical;
+pub use error::ProbError;
+pub use odds::Odds;
+pub use probability::Probability;

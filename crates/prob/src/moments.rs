@@ -1,0 +1,260 @@
+//! Weighted moments over discrete distributions: means, variances,
+//! covariances and correlations.
+//!
+//! The paper's eq. (10) decomposes the system failure probability as
+//!
+//! ```text
+//! PHf = E[PHf|Ms(x)] + E[PMf(x)]·E[t(x)] + cov(PMf(x), t(x))
+//! ```
+//!
+//! where the expectations are taken over the demand profile `p(x)`. The
+//! functions here compute exactly those profile-weighted moments, and the
+//! covariance of eq. (3) for the parallel-detection model.
+
+use crate::{Categorical, ProbError};
+
+/// The weighted mean `Σ wᵢ fᵢ / Σ wᵢ`.
+///
+/// # Errors
+///
+/// * [`ProbError::LengthMismatch`] if `weights` and `values` differ in
+///   length.
+/// * [`ProbError::Empty`] if they are empty.
+/// * [`ProbError::InvalidWeights`] if weights are negative/NaN or all zero.
+pub fn weighted_mean(weights: &[f64], values: &[f64]) -> Result<f64, ProbError> {
+    validate(weights, values)?;
+    let total: f64 = weights.iter().sum();
+    Ok(weights.iter().zip(values).map(|(w, v)| w * v).sum::<f64>() / total)
+}
+
+/// The weighted (population) variance `E[f²] − E[f]²`.
+///
+/// # Errors
+///
+/// Same conditions as [`weighted_mean`].
+pub fn weighted_variance(weights: &[f64], values: &[f64]) -> Result<f64, ProbError> {
+    let mean = weighted_mean(weights, values)?;
+    let total: f64 = weights.iter().sum();
+    let var = weights
+        .iter()
+        .zip(values)
+        .map(|(w, v)| w * (v - mean) * (v - mean))
+        .sum::<f64>()
+        / total;
+    Ok(var.max(0.0))
+}
+
+/// The weighted (population) covariance `E[fg] − E[f]E[g]`.
+///
+/// This is the `cov` of the paper's eqs. (3) and (10): positive when the
+/// cases that are hard for one component tend to be hard for the other
+/// (correlated failure, diminished redundancy), negative when difficulties
+/// are complementary (useful diversity).
+///
+/// # Errors
+///
+/// Same conditions as [`weighted_mean`], checked for both value slices.
+pub fn weighted_covariance(
+    weights: &[f64],
+    values_a: &[f64],
+    values_b: &[f64],
+) -> Result<f64, ProbError> {
+    validate(weights, values_a)?;
+    validate(weights, values_b)?;
+    let mean_a = weighted_mean(weights, values_a)?;
+    let mean_b = weighted_mean(weights, values_b)?;
+    let total: f64 = weights.iter().sum();
+    Ok(weights
+        .iter()
+        .zip(values_a.iter().zip(values_b))
+        .map(|(w, (a, b))| w * (a - mean_a) * (b - mean_b))
+        .sum::<f64>()
+        / total)
+}
+
+/// The weighted Pearson correlation `cov(f, g) / (σ_f σ_g)`.
+///
+/// Returns `None` when either variance is zero (correlation undefined).
+///
+/// # Errors
+///
+/// Same conditions as [`weighted_covariance`].
+pub fn weighted_correlation(
+    weights: &[f64],
+    values_a: &[f64],
+    values_b: &[f64],
+) -> Result<Option<f64>, ProbError> {
+    let cov = weighted_covariance(weights, values_a, values_b)?;
+    let var_a = weighted_variance(weights, values_a)?;
+    let var_b = weighted_variance(weights, values_b)?;
+    if var_a <= 0.0 || var_b <= 0.0 {
+        return Ok(None);
+    }
+    Ok(Some((cov / (var_a * var_b).sqrt()).clamp(-1.0, 1.0)))
+}
+
+fn validate(weights: &[f64], values: &[f64]) -> Result<(), ProbError> {
+    if weights.len() != values.len() {
+        return Err(ProbError::LengthMismatch {
+            left: weights.len(),
+            right: values.len(),
+        });
+    }
+    if weights.is_empty() {
+        return Err(ProbError::Empty {
+            context: "weighted sample",
+        });
+    }
+    let mut total = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        if w.is_nan() || w < 0.0 || w.is_infinite() {
+            return Err(ProbError::InvalidWeights {
+                detail: format!("weight {w} at index {i} is not a finite non-negative number"),
+            });
+        }
+        total += w;
+    }
+    if total <= 0.0 {
+        return Err(ProbError::InvalidWeights {
+            detail: "all weights are zero".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Moments of per-category functions under a [`Categorical`] distribution.
+///
+/// These are convenience wrappers that evaluate `f` (and `g`) once per
+/// category and weight by the category probabilities.
+pub trait CategoricalMoments<T> {
+    /// `E[f(X)]` under the distribution.
+    fn mean_of<F: FnMut(&T) -> f64>(&self, f: F) -> f64;
+    /// `Var[f(X)]` under the distribution.
+    fn variance_of<F: FnMut(&T) -> f64>(&self, f: F) -> f64;
+    /// `Cov[f(X), g(X)]` under the distribution.
+    fn covariance_of<F: FnMut(&T) -> f64, G: FnMut(&T) -> f64>(&self, f: F, g: G) -> f64;
+}
+
+impl<T> CategoricalMoments<T> for Categorical<T> {
+    fn mean_of<F: FnMut(&T) -> f64>(&self, f: F) -> f64 {
+        self.expect(f)
+    }
+
+    fn variance_of<F: FnMut(&T) -> f64>(&self, mut f: F) -> f64 {
+        let values: Vec<f64> = self.categories().iter().map(&mut f).collect();
+        let weights: Vec<f64> = (0..self.len())
+            .map(|i| self.probability_at(i).value())
+            .collect();
+        weighted_variance(&weights, &values).expect("categorical weights are valid by construction")
+    }
+
+    fn covariance_of<F: FnMut(&T) -> f64, G: FnMut(&T) -> f64>(&self, mut f: F, mut g: G) -> f64 {
+        let a: Vec<f64> = self.categories().iter().map(&mut f).collect();
+        let b: Vec<f64> = self.categories().iter().map(&mut g).collect();
+        let weights: Vec<f64> = (0..self.len())
+            .map(|i| self.probability_at(i).value())
+            .collect();
+        weighted_covariance(&weights, &a, &b)
+            .expect("categorical weights are valid by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basic() {
+        let w = [1.0, 1.0, 1.0, 1.0];
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((weighted_mean(&w, &v).unwrap() - 2.5).abs() < 1e-12);
+        assert!((weighted_variance(&w, &v).unwrap() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unequal_weights() {
+        let w = [3.0, 1.0];
+        let v = [0.0, 4.0];
+        assert!((weighted_mean(&w, &v).unwrap() - 1.0).abs() < 1e-12);
+        // E[v²] = (3·0 + 1·16)/4 = 4; var = 4 − 1 = 3.
+        assert!((weighted_variance(&w, &v).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_signs() {
+        let w = [0.5, 0.5];
+        // Perfectly aligned difficulty: positive covariance.
+        assert!(weighted_covariance(&w, &[0.1, 0.9], &[0.2, 0.8]).unwrap() > 0.0);
+        // Complementary difficulty: negative covariance (diversity!).
+        assert!(weighted_covariance(&w, &[0.1, 0.9], &[0.8, 0.2]).unwrap() < 0.0);
+        // Constant second variable: zero covariance.
+        assert!(
+            weighted_covariance(&w, &[0.1, 0.9], &[0.5, 0.5])
+                .unwrap()
+                .abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn covariance_identity_e_fg() {
+        // cov(f,g) must equal E[fg] − E[f]E[g].
+        let w = [0.2, 0.3, 0.5];
+        let a = [0.07, 0.41, 0.2];
+        let b = [0.04, 0.5, 0.3];
+        let cov = weighted_covariance(&w, &a, &b).unwrap();
+        let e_fg = weighted_mean(&w, &[a[0] * b[0], a[1] * b[1], a[2] * b[2]]).unwrap();
+        let e_f = weighted_mean(&w, &a).unwrap();
+        let e_g = weighted_mean(&w, &b).unwrap();
+        assert!((cov - (e_fg - e_f * e_g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_bounds_and_undefined() {
+        let w = [0.5, 0.5];
+        let r = weighted_correlation(&w, &[0.0, 1.0], &[0.0, 1.0])
+            .unwrap()
+            .unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+        let r = weighted_correlation(&w, &[0.0, 1.0], &[1.0, 0.0])
+            .unwrap()
+            .unwrap();
+        assert!((r + 1.0).abs() < 1e-12);
+        assert!(weighted_correlation(&w, &[0.5, 0.5], &[0.0, 1.0])
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(weighted_mean(&[], &[]).is_err());
+        assert!(weighted_mean(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(weighted_mean(&[-1.0, 2.0], &[1.0, 2.0]).is_err());
+        assert!(weighted_mean(&[0.0, 0.0], &[1.0, 2.0]).is_err());
+        assert!(weighted_mean(&[f64::NAN, 1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn categorical_moments_match_direct() {
+        let d = Categorical::new(vec![("easy", 0.9), ("difficult", 0.1)]).unwrap();
+        let pmf = |c: &&str| if *c == "easy" { 0.07 } else { 0.41 };
+        let t = |c: &&str| if *c == "easy" { 0.04 } else { 0.5 };
+        let mean = d.mean_of(pmf);
+        assert!((mean - (0.9 * 0.07 + 0.1 * 0.41)).abs() < 1e-12);
+        let cov = d.covariance_of(pmf, t);
+        let direct = weighted_covariance(&[0.9, 0.1], &[0.07, 0.41], &[0.04, 0.5]).unwrap();
+        assert!((cov - direct).abs() < 1e-15);
+        assert!(
+            cov > 0.0,
+            "aligned difficulty should give positive covariance"
+        );
+    }
+
+    #[test]
+    fn variance_never_negative() {
+        // Catastrophic cancellation guard: near-constant values.
+        let w = [1.0; 5];
+        let v = [0.3; 5];
+        assert_eq!(weighted_variance(&w, &v).unwrap(), 0.0);
+    }
+}

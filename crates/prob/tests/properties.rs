@@ -1,0 +1,197 @@
+//! Property-based tests for the statistics substrate.
+
+use hmdiv_prob::bayes::Beta;
+use hmdiv_prob::estimate::{BinomialEstimate, CiMethod};
+use hmdiv_prob::moments::{weighted_covariance, weighted_mean, weighted_variance};
+use hmdiv_prob::seq::{RunningCovariance, RunningMoments};
+use hmdiv_prob::special::{incomplete_beta, normal_cdf, normal_quantile};
+use hmdiv_prob::{Categorical, Probability};
+use proptest::prelude::*;
+
+fn prob_value() -> impl Strategy<Value = f64> {
+    (0.0..=1.0f64).prop_filter("probability", |v| !v.is_nan())
+}
+
+proptest! {
+    #[test]
+    fn probability_roundtrips_value(v in prob_value()) {
+        let p = Probability::new(v).unwrap();
+        prop_assert_eq!(p.value(), v);
+    }
+
+    #[test]
+    fn complement_is_involution(v in prob_value()) {
+        let p = Probability::new(v).unwrap();
+        prop_assert!((p.complement().complement().value() - v).abs() < 1e-15);
+    }
+
+    #[test]
+    fn or_independent_bounds(a in prob_value(), b in prob_value()) {
+        let pa = Probability::new(a).unwrap();
+        let pb = Probability::new(b).unwrap();
+        let or = pa.or_independent(pb);
+        // P(A ∪ B) is at least max and at most min(1, sum).
+        prop_assert!(or.value() >= pa.max(pb).value() - 1e-12);
+        prop_assert!(or.value() <= (a + b).min(1.0) + 1e-12);
+    }
+
+    #[test]
+    fn mul_never_exceeds_factors(a in prob_value(), b in prob_value()) {
+        let p = Probability::new(a).unwrap() * Probability::new(b).unwrap();
+        prop_assert!(p.value() <= a + 1e-15);
+        prop_assert!(p.value() <= b + 1e-15);
+    }
+
+    #[test]
+    fn logit_roundtrip(v in 1e-6..=(1.0 - 1e-6)) {
+        let p = Probability::new(v).unwrap();
+        let back = Probability::from_logit(p.logit());
+        prop_assert!((back.value() - v).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mix_stays_between(a in prob_value(), b in prob_value(), w in prob_value()) {
+        let pa = Probability::new(a).unwrap();
+        let pb = Probability::new(b).unwrap();
+        let m = pa.mix(pb, Probability::new(w).unwrap());
+        prop_assert!(m.value() >= pa.min(pb).value() - 1e-12);
+        prop_assert!(m.value() <= pa.max(pb).value() + 1e-12);
+    }
+
+    #[test]
+    fn categorical_probabilities_sum_to_one(
+        weights in proptest::collection::vec(0.01..100.0f64, 1..20)
+    ) {
+        let pairs: Vec<(usize, f64)> = weights.iter().copied().enumerate().collect();
+        let d = Categorical::new(pairs).unwrap();
+        let total: f64 = (0..d.len()).map(|i| d.probability_at(i).value()).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn categorical_expectation_is_convex(
+        weights in proptest::collection::vec(0.01..100.0f64, 1..20),
+        values in proptest::collection::vec(-10.0..10.0f64, 20)
+    ) {
+        let pairs: Vec<(usize, f64)> = weights.iter().copied().enumerate().collect();
+        let d = Categorical::new(pairs).unwrap();
+        let vals = &values[..d.len()];
+        let e = d.expect(|&i| vals[i]);
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9);
+    }
+
+    #[test]
+    fn wilson_always_contains_point(k in 0u64..200, extra in 1u64..200) {
+        let n = k + extra;
+        let est = BinomialEstimate::new(k, n).unwrap();
+        for method in [CiMethod::Wilson, CiMethod::ClopperPearson,
+                       CiMethod::AgrestiCoull, CiMethod::Jeffreys] {
+            let ci = est.interval(method, 0.95).unwrap();
+            prop_assert!(ci.contains(est.point()), "{method}: {ci}");
+        }
+    }
+
+    #[test]
+    fn clopper_pearson_at_least_as_wide_as_jeffreys(k in 0u64..100, extra in 1u64..100) {
+        let n = k + extra;
+        let est = BinomialEstimate::new(k, n).unwrap();
+        let cp = est.interval(CiMethod::ClopperPearson, 0.95).unwrap();
+        let jf = est.interval(CiMethod::Jeffreys, 0.95).unwrap();
+        prop_assert!(cp.width() >= jf.width() - 1e-9);
+    }
+
+    #[test]
+    fn variance_nonneg_and_cov_cauchy_schwarz(
+        weights in proptest::collection::vec(0.01..10.0f64, 2..12),
+        seed in 0u64..1000
+    ) {
+        let n = weights.len();
+        // Deterministic pseudo-values from the seed to keep inputs paired.
+        let a: Vec<f64> = (0..n).map(|i| ((seed + i as u64) as f64 * 0.37).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| ((seed + i as u64) as f64 * 0.73).cos()).collect();
+        let var_a = weighted_variance(&weights, &a).unwrap();
+        let var_b = weighted_variance(&weights, &b).unwrap();
+        let cov = weighted_covariance(&weights, &a, &b).unwrap();
+        prop_assert!(var_a >= 0.0 && var_b >= 0.0);
+        prop_assert!(cov * cov <= var_a * var_b + 1e-9);
+    }
+
+    #[test]
+    fn weighted_mean_invariant_to_weight_scale(
+        weights in proptest::collection::vec(0.01..10.0f64, 2..12),
+        scale in 0.1..100.0f64
+    ) {
+        let values: Vec<f64> = (0..weights.len()).map(|i| i as f64).collect();
+        let m1 = weighted_mean(&weights, &values).unwrap();
+        let scaled: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let m2 = weighted_mean(&scaled, &values).unwrap();
+        prop_assert!((m1 - m2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_moments_agree_with_batch(values in proptest::collection::vec(-100.0..100.0f64, 2..50)) {
+        let mut acc = RunningMoments::new();
+        for &v in &values {
+            acc.push(v);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        prop_assert!((acc.mean().unwrap() - mean).abs() < 1e-8);
+        prop_assert!((acc.population_variance().unwrap() - var).abs() < 1e-7);
+    }
+
+    #[test]
+    fn running_covariance_merge_associative(
+        xs in proptest::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 4..40),
+        split in 1usize..3
+    ) {
+        let k = xs.len() * split / 4;
+        let mut whole = RunningCovariance::new();
+        let mut left = RunningCovariance::new();
+        let mut right = RunningCovariance::new();
+        for (i, &(x, y)) in xs.iter().enumerate() {
+            whole.push(x, y);
+            if i < k { left.push(x, y) } else { right.push(x, y) }
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        let (a, b) = (left.population_covariance().unwrap(), whole.population_covariance().unwrap());
+        prop_assert!((a - b).abs() < 1e-8, "{} vs {}", a, b);
+    }
+
+    #[test]
+    fn beta_cdf_monotone(a in 0.2..20.0f64, b in 0.2..20.0f64, x in 0.0..1.0f64, dx in 0.0..0.5f64) {
+        let beta = Beta::new(a, b).unwrap();
+        let x2 = (x + dx).min(1.0);
+        let c1 = beta.cdf(Probability::new(x).unwrap()).value();
+        let c2 = beta.cdf(Probability::new(x2).unwrap()).value();
+        prop_assert!(c2 >= c1 - 1e-12);
+    }
+
+    #[test]
+    fn beta_posterior_mean_between_prior_and_mle(k in 1u64..50, extra in 1u64..50) {
+        let n = k + extra;
+        let prior = Beta::uniform();
+        let post = prior.updated(k, n - k);
+        let mle = k as f64 / n as f64;
+        let prior_mean = prior.mean().value();
+        let post_mean = post.mean().value();
+        let lo = mle.min(prior_mean) - 1e-12;
+        let hi = mle.max(prior_mean) + 1e-12;
+        prop_assert!(post_mean >= lo && post_mean <= hi);
+    }
+
+    #[test]
+    fn normal_quantile_cdf_roundtrip(p in 0.001..0.999f64) {
+        prop_assert!((normal_cdf(normal_quantile(p)) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_beta_in_unit_interval(a in 0.1..30.0f64, b in 0.1..30.0f64, x in 0.0..1.0f64) {
+        let v = incomplete_beta(a, b, x);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+}

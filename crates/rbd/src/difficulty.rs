@@ -1,0 +1,234 @@
+//! Difficulty-function models of correlated failure between diverse
+//! components (Eckhardt–Lee, Littlewood–Miller).
+//!
+//! The paper's eq. (3) writes the probability that both the CADT and the
+//! reader miss the relevant features as
+//!
+//! ```text
+//! P(detection failure) = PMf·PHmiss + cov(pMf(x), pHmiss(x))
+//! ```
+//!
+//! This is the Littlewood–Miller result \[5\]: when two components fail
+//! *conditionally independently* given the demand, but each with a
+//! demand-dependent probability ("difficulty function"), the joint failure
+//! probability over a demand profile is the product of marginals **plus the
+//! covariance of the difficulty functions**. The Eckhardt–Lee model is the
+//! special case where both components share one difficulty function, making
+//! the covariance a variance — necessarily non-negative, so independence is
+//! the *best* one can do. Genuine diversity (negative covariance) requires
+//! *different* difficulty functions, which is the design lever the paper
+//! explores for the CADT.
+
+use hmdiv_prob::moments::CategoricalMoments;
+use hmdiv_prob::{Categorical, Probability};
+
+/// Summary of the joint failure behaviour of two diverse components over a
+/// demand profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiversityReport {
+    /// Marginal failure probability of component A, `E[θ_A]`.
+    pub p_a: Probability,
+    /// Marginal failure probability of component B, `E[θ_B]`.
+    pub p_b: Probability,
+    /// Probability both fail on the same demand, `E[θ_A·θ_B]`.
+    pub p_both: Probability,
+    /// The covariance `cov(θ_A, θ_B)` over the demand profile.
+    pub covariance: f64,
+    /// What `p_both` would be under (unconditional) independence,
+    /// `E[θ_A]·E[θ_B]`.
+    pub independent_product: f64,
+    /// Pearson correlation of the difficulty functions, if defined.
+    pub difficulty_correlation: Option<f64>,
+}
+
+impl DiversityReport {
+    /// The factor by which correlated failure inflates (or deflates) the
+    /// joint failure probability relative to independence:
+    /// `p_both / (p_a·p_b)`. `None` if either marginal is zero.
+    #[must_use]
+    pub fn correlation_factor(&self) -> Option<f64> {
+        (self.independent_product > 0.0).then(|| self.p_both.value() / self.independent_product)
+    }
+
+    /// Whether the pair exhibits *useful diversity*: negative covariance,
+    /// i.e. the demands hard for A tend to be easy for B and vice versa.
+    #[must_use]
+    pub fn is_diverse(&self) -> bool {
+        self.covariance < 0.0
+    }
+}
+
+/// Evaluates the Littlewood–Miller model for two components with difficulty
+/// functions `theta_a` and `theta_b` over the demand profile.
+///
+/// Both closures give the per-demand probability of failure of the
+/// respective component, conditional on the demand; failures are assumed
+/// conditionally independent given the demand (the paper's "conditional
+/// independence" for the reader and CADT performing detection separately).
+///
+/// # Example
+///
+/// ```
+/// use hmdiv_prob::{Categorical, Probability};
+/// use hmdiv_rbd::difficulty::littlewood_miller;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let profile = Categorical::new(vec![("easy", 0.8), ("difficult", 0.2)])?;
+/// // Machine finds "difficult" cases hard; so does the human: aligned
+/// // difficulty, positive covariance, redundancy worth less than it looks.
+/// let report = littlewood_miller(
+///     &profile,
+///     |c| Probability::new(if *c == "easy" { 0.07 } else { 0.41 }).unwrap(),
+///     |c| Probability::new(if *c == "easy" { 0.18 } else { 0.90 }).unwrap(),
+/// );
+/// assert!(report.covariance > 0.0);
+/// assert!(report.p_both.value() > report.independent_product);
+/// # Ok(())
+/// # }
+/// ```
+pub fn littlewood_miller<T>(
+    profile: &Categorical<T>,
+    mut theta_a: impl FnMut(&T) -> Probability,
+    mut theta_b: impl FnMut(&T) -> Probability,
+) -> DiversityReport {
+    let p_a = profile.mean_of(|x| theta_a(x).value());
+    let p_b = profile.mean_of(|x| theta_b(x).value());
+    let p_both = profile.mean_of(|x| theta_a(x).value() * theta_b(x).value());
+    let covariance = profile.covariance_of(|x| theta_a(x).value(), |x| theta_b(x).value());
+    let var_a = profile.variance_of(|x| theta_a(x).value());
+    let var_b = profile.variance_of(|x| theta_b(x).value());
+    let difficulty_correlation = (var_a > 0.0 && var_b > 0.0)
+        .then(|| (covariance / (var_a * var_b).sqrt()).clamp(-1.0, 1.0));
+    DiversityReport {
+        p_a: Probability::clamped(p_a),
+        p_b: Probability::clamped(p_b),
+        p_both: Probability::clamped(p_both),
+        covariance,
+        independent_product: p_a * p_b,
+        difficulty_correlation,
+    }
+}
+
+/// Evaluates the Eckhardt–Lee model: two versions developed "independently"
+/// that share a single difficulty function `theta`.
+///
+/// The joint failure probability is `E[θ²] = E[θ]² + Var(θ) ≥ E[θ]²`, so
+/// common difficulty always *hurts*: the two versions fail together more
+/// often than independent coin flips would.
+pub fn eckhardt_lee<T>(
+    profile: &Categorical<T>,
+    theta: impl Fn(&T) -> Probability,
+) -> DiversityReport {
+    littlewood_miller(profile, &theta, &theta)
+}
+
+/// The probability that a 1-out-of-2 system of the two components fails
+/// (both must fail), directly from the report: `p_both`.
+///
+/// Provided as a named function to make call sites read like the paper's
+/// eq. (3).
+#[must_use]
+pub fn one_out_of_two_failure(report: &DiversityReport) -> Probability {
+    report.p_both
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    fn two_class_profile() -> Categorical<&'static str> {
+        Categorical::new(vec![("easy", 0.8), ("difficult", 0.2)]).unwrap()
+    }
+
+    #[test]
+    fn lm_reduces_to_product_plus_covariance() {
+        let profile = two_class_profile();
+        let report = littlewood_miller(
+            &profile,
+            |c| p(if *c == "easy" { 0.07 } else { 0.41 }),
+            |c| p(if *c == "easy" { 0.2 } else { 0.9 }),
+        );
+        assert!(
+            (report.p_both.value() - (report.independent_product + report.covariance)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn aligned_difficulty_is_positive_covariance() {
+        let profile = two_class_profile();
+        let report = littlewood_miller(
+            &profile,
+            |c| p(if *c == "easy" { 0.07 } else { 0.41 }),
+            |c| p(if *c == "easy" { 0.2 } else { 0.9 }),
+        );
+        assert!(report.covariance > 0.0);
+        assert!(!report.is_diverse());
+        assert!(report.correlation_factor().unwrap() > 1.0);
+        assert!(report.difficulty_correlation.unwrap() > 0.99);
+    }
+
+    #[test]
+    fn complementary_difficulty_is_negative_covariance() {
+        // The machine is good exactly where the human is bad: the paper's
+        // ideal "diverse" CADT.
+        let profile = two_class_profile();
+        let report = littlewood_miller(
+            &profile,
+            |c| p(if *c == "easy" { 0.41 } else { 0.07 }),
+            |c| p(if *c == "easy" { 0.2 } else { 0.9 }),
+        );
+        assert!(report.covariance < 0.0);
+        assert!(report.is_diverse());
+        assert!(report.correlation_factor().unwrap() < 1.0);
+        // 1-of-2 failure beats the independence prediction.
+        assert!(one_out_of_two_failure(&report).value() < report.independent_product);
+    }
+
+    #[test]
+    fn eckhardt_lee_never_beats_independence() {
+        let profile = two_class_profile();
+        let report = eckhardt_lee(&profile, |c| p(if *c == "easy" { 0.1 } else { 0.6 }));
+        assert!(report.covariance >= 0.0);
+        assert!(report.p_both.value() >= report.independent_product - 1e-15);
+        // Variance of difficulty equals covariance here.
+        assert!(
+            (report.covariance - profile.variance_of(|c| if *c == "easy" { 0.1 } else { 0.6 }))
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn constant_difficulty_is_independence() {
+        let profile = two_class_profile();
+        let report = eckhardt_lee(&profile, |_| p(0.3));
+        assert!(report.covariance.abs() < 1e-15);
+        assert!((report.p_both.value() - 0.09).abs() < 1e-12);
+        assert!(report.difficulty_correlation.is_none());
+    }
+
+    #[test]
+    fn marginals_match_expectations() {
+        let profile = two_class_profile();
+        let report = littlewood_miller(
+            &profile,
+            |c| p(if *c == "easy" { 0.07 } else { 0.41 }),
+            |c| p(if *c == "easy" { 0.14 } else { 0.4 }),
+        );
+        assert!((report.p_a.value() - (0.8 * 0.07 + 0.2 * 0.41)).abs() < 1e-12);
+        assert!((report.p_b.value() - (0.8 * 0.14 + 0.2 * 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_factor_none_when_marginal_zero() {
+        let profile = two_class_profile();
+        let report = littlewood_miller(&profile, |_| Probability::ZERO, |_| p(0.5));
+        assert!(report.correlation_factor().is_none());
+        assert_eq!(report.p_both, Probability::ZERO);
+    }
+}

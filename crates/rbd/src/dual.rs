@@ -1,0 +1,190 @@
+//! Dual systems.
+//!
+//! The *dual* of a coherent system swaps the roles of working and failing:
+//! series ↔ parallel, and `k`-of-`n` ↔ `(n−k+1)`-of-`n`. The dual's minimal
+//! path sets are the original's minimal cut sets and vice versa, and its
+//! reliability at component reliabilities `r` equals one minus the
+//! original's reliability at `1 − r`. Duality is the standard consistency
+//! check for RBD algorithms, and it maps false-negative analyses onto
+//! false-positive ones (a "recall iff any reader recalls" rule is the dual
+//! of "no-recall iff all readers miss" — which is why the FN-optimal
+//! combination rule is FP-pessimal).
+
+use crate::{Block, RbdError};
+
+/// Returns the dual of a diagram.
+///
+/// # Example
+///
+/// ```
+/// use hmdiv_rbd::{Block, dual::dual};
+///
+/// let detect = Block::parallel(vec![Block::component("H"), Block::component("M")]);
+/// let d = dual(&detect);
+/// assert_eq!(d, Block::series(vec![Block::component("H"), Block::component("M")]));
+/// ```
+#[must_use]
+pub fn dual(block: &Block) -> Block {
+    match block {
+        Block::Component(name) => Block::Component(name.clone()),
+        Block::Series(blocks) => Block::Parallel(blocks.iter().map(dual).collect()),
+        Block::Parallel(blocks) => Block::Series(blocks.iter().map(dual).collect()),
+        Block::KOfN { k, blocks } => Block::KOfN {
+            k: blocks.len() - k + 1,
+            blocks: blocks.iter().map(dual).collect(),
+        },
+    }
+}
+
+/// Verifies the defining duality identity on a diagram, exhaustively over
+/// all component states (for diagrams with at most 20 distinct components):
+/// the dual works in state `s` iff the original fails in the complemented
+/// state `¬s`.
+///
+/// Returns `Ok(())` when the identity holds.
+///
+/// # Errors
+///
+/// * [`RbdError::TooLarge`] beyond 20 components.
+/// * Validation errors from either diagram.
+/// * [`RbdError::UnknownComponent`] never occurs (states are complete), but
+///   evaluation errors propagate.
+pub fn check_duality(block: &Block) -> Result<(), RbdError> {
+    use crate::structure::works;
+    block.validate()?;
+    let d = dual(block);
+    d.validate()?;
+    let names = block.component_names();
+    if names.len() > 20 {
+        return Err(RbdError::TooLarge {
+            repeated: names.len(),
+            max: 20,
+        });
+    }
+    for bits in 0u32..(1u32 << names.len()) {
+        let state: std::collections::BTreeMap<&str, bool> = names
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, bits & (1 << i) != 0))
+            .collect();
+        let complemented: std::collections::BTreeMap<&str, bool> =
+            state.iter().map(|(&n, &v)| (n, !v)).collect();
+        let dual_works = works(&d, &state)?;
+        let original_fails = !works(block, &complemented)?;
+        if dual_works != original_fails {
+            // Encode the failing state in the error for diagnosis.
+            return Err(RbdError::UnknownComponent {
+                name: format!("duality violated in state {bits:b}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::{minimal_cut_sets, minimal_path_sets};
+    use crate::reliability::system_failure;
+    use hmdiv_prob::Probability;
+
+    fn fig2() -> Block {
+        Block::series(vec![
+            Block::parallel(vec![Block::component("Hd"), Block::component("Md")]),
+            Block::component("Hc"),
+        ])
+    }
+
+    #[test]
+    fn dual_is_involution() {
+        let diagrams = [
+            fig2(),
+            Block::k_of_n(
+                2,
+                vec![
+                    Block::component("a"),
+                    Block::component("b"),
+                    Block::component("c"),
+                ],
+            ),
+            Block::component("x"),
+        ];
+        for d in &diagrams {
+            assert_eq!(&dual(&dual(d)), d);
+        }
+    }
+
+    #[test]
+    fn dual_swaps_paths_and_cuts() {
+        let sys = fig2();
+        let d = dual(&sys);
+        assert_eq!(
+            minimal_path_sets(&d).unwrap(),
+            minimal_cut_sets(&sys).unwrap()
+        );
+        assert_eq!(
+            minimal_cut_sets(&d).unwrap(),
+            minimal_path_sets(&sys).unwrap()
+        );
+    }
+
+    #[test]
+    fn two_of_three_is_self_dual() {
+        let sys = Block::k_of_n(
+            2,
+            vec![
+                Block::component("a"),
+                Block::component("b"),
+                Block::component("c"),
+            ],
+        );
+        assert_eq!(dual(&sys), sys);
+    }
+
+    #[test]
+    fn duality_identity_holds_exhaustively() {
+        check_duality(&fig2()).unwrap();
+        check_duality(&Block::k_of_n(
+            2,
+            vec![
+                Block::series(vec![Block::component("a"), Block::component("b")]),
+                Block::component("c"),
+                Block::parallel(vec![Block::component("d"), Block::component("a")]),
+            ],
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn dual_reliability_identity() {
+        // R_dual(r) = 1 − R(1 − r)
+        let sys = fig2();
+        let d = dual(&sys);
+        let p = |v: f64| Probability::new(v).unwrap();
+        let probs = [("Hd", 0.2), ("Md", 0.07), ("Hc", 0.1)];
+        let fail_of = |pairs: &'static [(&'static str, f64)]| {
+            move |name: &str| {
+                pairs
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, v)| p(*v))
+                    .ok_or_else(|| RbdError::UnknownComponent { name: name.into() })
+            }
+        };
+        // Dual with failure prob q equals original with failure prob 1−q,
+        // failure/reliability swapped.
+        let dual_failure = system_failure(&d, fail_of(&[("Hd", 0.2), ("Md", 0.07), ("Hc", 0.1)]))
+            .unwrap()
+            .value();
+        let orig_failure_flipped = system_failure(&sys, |name: &str| {
+            probs
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| p(1.0 - *v))
+                .ok_or_else(|| RbdError::UnknownComponent { name: name.into() })
+        })
+        .unwrap()
+        .value();
+        assert!((dual_failure - (1.0 - orig_failure_flipped)).abs() < 1e-12);
+    }
+}

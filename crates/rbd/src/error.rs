@@ -1,0 +1,103 @@
+use std::error::Error;
+use std::fmt;
+
+use hmdiv_prob::ProbError;
+
+/// Error type for reliability-block-diagram operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RbdError {
+    /// A series/parallel/k-of-n group was constructed with no children.
+    EmptyGroup {
+        /// The kind of group ("series", "parallel", "k-of-n").
+        kind: &'static str,
+    },
+    /// A k-out-of-n group was given an inconsistent threshold.
+    InvalidThreshold {
+        /// The threshold `k` requested.
+        k: usize,
+        /// The number of children `n`.
+        n: usize,
+    },
+    /// A component referenced in evaluation has no probability assigned.
+    UnknownComponent {
+        /// The component's name.
+        name: String,
+    },
+    /// An underlying probability computation failed.
+    Prob(ProbError),
+    /// The diagram is too large for exact evaluation.
+    TooLarge {
+        /// Number of distinct repeated components that would need
+        /// conditioning.
+        repeated: usize,
+        /// The supported maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for RbdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RbdError::EmptyGroup { kind } => write!(f, "{kind} group must have at least one child"),
+            RbdError::InvalidThreshold { k, n } => {
+                write!(f, "k-out-of-n threshold {k} is invalid for {n} children")
+            }
+            RbdError::UnknownComponent { name } => {
+                write!(f, "no failure probability assigned to component `{name}`")
+            }
+            RbdError::Prob(e) => write!(f, "probability error: {e}"),
+            RbdError::TooLarge { repeated, max } => write!(
+                f,
+                "diagram has {repeated} repeated components, exact evaluation supports at most {max}"
+            ),
+        }
+    }
+}
+
+impl Error for RbdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RbdError::Prob(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProbError> for RbdError {
+    fn from(e: ProbError) -> Self {
+        RbdError::Prob(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_and_lowercase() {
+        let errors = [
+            RbdError::EmptyGroup { kind: "series" },
+            RbdError::InvalidThreshold { k: 5, n: 3 },
+            RbdError::UnknownComponent {
+                name: "cadt".into(),
+            },
+            RbdError::Prob(ProbError::Empty { context: "weights" }),
+            RbdError::TooLarge {
+                repeated: 40,
+                max: 20,
+            },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with('k'));
+        }
+    }
+
+    #[test]
+    fn prob_error_is_source() {
+        let e = RbdError::from(ProbError::InvalidConfidence { level: 2.0 });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,69 @@
+//! Reliability block diagrams (RBDs) and diversity modelling for `hmdiv`.
+//!
+//! The paper's Fig. 2 describes the "parallel detection" model of
+//! computer-assisted detection as a reliability block diagram: human
+//! detection in parallel with machine detection, in series with human
+//! classification. This crate provides the general substrate that model is
+//! built on:
+//!
+//! * [`Block`] — an RBD as a composable AST of components, series, parallel
+//!   and k-out-of-n groups.
+//! * [`structure`] — the Boolean structure function, coherence
+//!   (monotonicity) checks.
+//! * [`paths`] — minimal path sets and minimal cut sets.
+//! * [`reliability`] — exact system reliability under independent component
+//!   failures (by conditioning on repeated components), and Esary–Proschan
+//!   path/cut bounds.
+//! * [`importance`] — Birnbaum's component importance \[1\] and the derived
+//!   measures (improvement potential, criticality, Fussell–Vesely, risk
+//!   achievement/reduction worth). The paper's `t(x)` index is "an
+//!   importance index (of the CADT for the whole system) \[1\]".
+//! * [`difficulty`] — Eckhardt–Lee and Littlewood–Miller difficulty-function
+//!   models of correlated failure between diverse components \[4, 5\]: the
+//!   machinery behind the covariance terms in the paper's eqs. (3) and (10).
+//!
+//! # Example
+//!
+//! Fig. 2 of the paper as an RBD:
+//!
+//! ```
+//! use hmdiv_rbd::{Block, reliability::system_failure};
+//! use hmdiv_prob::Probability;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let system = Block::series(vec![
+//!     Block::parallel(vec![
+//!         Block::component("human-detects"),
+//!         Block::component("machine-detects"),
+//!     ]),
+//!     Block::component("human-classifies"),
+//! ]);
+//! let p_fail = system_failure(&system, |name| {
+//!     Ok(match name {
+//!         "human-detects" => Probability::new(0.2)?,
+//!         "machine-detects" => Probability::new(0.1)?,
+//!         "human-classifies" => Probability::new(0.05)?,
+//!         _ => unreachable!(),
+//!     })
+//! })?;
+//! // 1 − (1 − 0.2·0.1)(1 − 0.05) = 0.069
+//! assert!((p_fail.value() - 0.069).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod block;
+pub mod difficulty;
+pub mod dual;
+mod error;
+pub mod importance;
+pub mod monte_carlo;
+pub mod paths;
+pub mod reliability;
+pub mod structure;
+
+pub use block::Block;
+pub use error::RbdError;

@@ -1,0 +1,159 @@
+//! Monte-Carlo reliability estimation for diagrams too large for exact
+//! evaluation.
+//!
+//! Exact factoring costs `2^(repeated components)`; beyond
+//! [`crate::reliability::MAX_REPEATED`] shared components (or for quick
+//! what-ifs), sampling component states and evaluating the structure
+//! function gives an unbiased estimate with a binomial confidence interval.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+
+use hmdiv_prob::estimate::{BinomialEstimate, CiMethod, ConfidenceInterval};
+use hmdiv_prob::Probability;
+
+use crate::structure::works;
+use crate::{Block, RbdError};
+
+/// A Monte-Carlo reliability estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloEstimate {
+    /// Estimated probability that the system *fails*.
+    pub failure: Probability,
+    /// Wilson interval on the failure probability.
+    pub interval: ConfidenceInterval,
+    /// Number of sampled states.
+    pub samples: u64,
+}
+
+/// Estimates system failure probability by sampling `samples` independent
+/// component-state vectors.
+///
+/// # Errors
+///
+/// * [`RbdError::Prob`] if `samples == 0`.
+/// * Validation errors, and any error from `failure_of`.
+pub fn monte_carlo_failure<F, R>(
+    block: &Block,
+    mut failure_of: F,
+    samples: u64,
+    rng: &mut R,
+) -> Result<MonteCarloEstimate, RbdError>
+where
+    F: FnMut(&str) -> Result<Probability, RbdError>,
+    R: Rng + ?Sized,
+{
+    block.validate()?;
+    if samples == 0 {
+        return Err(RbdError::Prob(hmdiv_prob::ProbError::InvalidCounts {
+            successes: 0,
+            trials: 0,
+        }));
+    }
+    let names: Vec<&str> = block.component_names();
+    let mut probs: BTreeMap<&str, f64> = BTreeMap::new();
+    for &name in &names {
+        probs.insert(name, failure_of(name)?.value());
+    }
+    let mut failures = 0u64;
+    let mut state: BTreeMap<&str, bool> = BTreeMap::new();
+    for _ in 0..samples {
+        for &name in &names {
+            state.insert(name, rng.gen::<f64>() >= probs[name]);
+        }
+        if !works(block, &state)? {
+            failures += 1;
+        }
+    }
+    let est = BinomialEstimate::new(failures, samples).map_err(RbdError::from)?;
+    let interval = est
+        .interval(CiMethod::Wilson, 0.95)
+        .map_err(RbdError::from)?;
+    Ok(MonteCarloEstimate {
+        failure: est.point(),
+        interval,
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reliability::system_failure;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    fn fail_of(name: &str) -> Result<Probability, RbdError> {
+        let h: u32 = name
+            .bytes()
+            .fold(7u32, |acc, b| acc.wrapping_mul(131).wrapping_add(b.into()));
+        Ok(Probability::clamped(0.05 + f64::from(h % 80) / 160.0))
+    }
+
+    #[test]
+    fn matches_exact_on_fig2() {
+        let sys = Block::series(vec![
+            Block::parallel(vec![Block::component("Hd"), Block::component("Md")]),
+            Block::component("Hc"),
+        ]);
+        let table = |name: &str| {
+            Ok(match name {
+                "Hd" => p(0.2),
+                "Md" => p(0.07),
+                "Hc" => p(0.1),
+                _ => unreachable!(),
+            })
+        };
+        let exact = system_failure(&sys, table).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mc = monte_carlo_failure(&sys, table, 200_000, &mut rng).unwrap();
+        assert!(
+            (mc.failure.value() - exact.value()).abs() < 0.004,
+            "{} vs {}",
+            mc.failure.value(),
+            exact.value()
+        );
+        assert!(mc.interval.contains(exact));
+    }
+
+    #[test]
+    fn matches_exact_on_shared_component_diagram() {
+        let sys = Block::parallel(vec![
+            Block::series(vec![Block::component("a"), Block::component("b")]),
+            Block::series(vec![Block::component("a"), Block::component("c")]),
+        ]);
+        let exact = system_failure(&sys, fail_of).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mc = monte_carlo_failure(&sys, fail_of, 200_000, &mut rng).unwrap();
+        assert!((mc.failure.value() - exact.value()).abs() < 0.005);
+    }
+
+    #[test]
+    fn interval_narrows_with_samples() {
+        let sys = Block::k_of_n(
+            2,
+            vec![
+                Block::component("x"),
+                Block::component("y"),
+                Block::component("z"),
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let small = monte_carlo_failure(&sys, fail_of, 1_000, &mut rng).unwrap();
+        let large = monte_carlo_failure(&sys, fail_of, 100_000, &mut rng).unwrap();
+        assert!(large.interval.width() < small.interval.width());
+        assert_eq!(large.samples, 100_000);
+    }
+
+    #[test]
+    fn zero_samples_rejected() {
+        let sys = Block::component("a");
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(monte_carlo_failure(&sys, fail_of, 0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! Minimal path sets and minimal cut sets.
+//!
+//! A *path set* is a set of components whose joint working guarantees system
+//! success; a *cut set* is a set whose joint failure guarantees system
+//! failure. The minimal ones characterise the structure function completely
+//! and drive the Esary–Proschan reliability bounds in
+//! [`crate::reliability`].
+
+use std::collections::BTreeSet;
+
+use crate::{Block, RbdError};
+
+/// A set of component names.
+pub type NameSet = BTreeSet<String>;
+
+/// Computes the minimal path sets of the diagram.
+///
+/// # Errors
+///
+/// Propagates validation errors from [`Block::validate`].
+///
+/// # Example
+///
+/// ```
+/// use hmdiv_rbd::{Block, paths::minimal_path_sets};
+///
+/// # fn main() -> Result<(), hmdiv_rbd::RbdError> {
+/// let fig2 = Block::series(vec![
+///     Block::parallel(vec![Block::component("Hd"), Block::component("Md")]),
+///     Block::component("Hc"),
+/// ]);
+/// let paths = minimal_path_sets(&fig2)?;
+/// // {Hd, Hc} and {Md, Hc}
+/// assert_eq!(paths.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn minimal_path_sets(block: &Block) -> Result<Vec<NameSet>, RbdError> {
+    block.validate()?;
+    Ok(minimise(path_sets(block)))
+}
+
+/// Computes the minimal cut sets of the diagram.
+///
+/// # Errors
+///
+/// Propagates validation errors from [`Block::validate`].
+pub fn minimal_cut_sets(block: &Block) -> Result<Vec<NameSet>, RbdError> {
+    block.validate()?;
+    Ok(minimise(cut_sets(block)))
+}
+
+fn path_sets(block: &Block) -> Vec<NameSet> {
+    match block {
+        Block::Component(name) => vec![[name.clone()].into()],
+        Block::Series(blocks) => cross_union(blocks.iter().map(path_sets)),
+        Block::Parallel(blocks) => blocks.iter().flat_map(path_sets).collect(),
+        Block::KOfN { k, blocks } => {
+            // Path sets of k-of-n: for every k-subset of children, the cross
+            // union of their path sets.
+            let child_paths: Vec<Vec<NameSet>> = blocks.iter().map(path_sets).collect();
+            subsets_of_size(blocks.len(), *k)
+                .into_iter()
+                .flat_map(|subset| cross_union(subset.into_iter().map(|i| child_paths[i].clone())))
+                .collect()
+        }
+    }
+}
+
+fn cut_sets(block: &Block) -> Vec<NameSet> {
+    match block {
+        Block::Component(name) => vec![[name.clone()].into()],
+        // Duality: cuts of a series are the union of children's cuts…
+        Block::Series(blocks) => blocks.iter().flat_map(cut_sets).collect(),
+        // …and cuts of a parallel are cross-unions of children's cuts.
+        Block::Parallel(blocks) => cross_union(blocks.iter().map(cut_sets)),
+        Block::KOfN { k, blocks } => {
+            // The system fails when n − k + 1 children fail.
+            let child_cuts: Vec<Vec<NameSet>> = blocks.iter().map(cut_sets).collect();
+            let fail_count = blocks.len() - *k + 1;
+            subsets_of_size(blocks.len(), fail_count)
+                .into_iter()
+                .flat_map(|subset| cross_union(subset.into_iter().map(|i| child_cuts[i].clone())))
+                .collect()
+        }
+    }
+}
+
+/// All ways to pick one set from each collection, unioned.
+fn cross_union<I>(collections: I) -> Vec<NameSet>
+where
+    I: IntoIterator<Item = Vec<NameSet>>,
+{
+    let mut acc: Vec<NameSet> = vec![NameSet::new()];
+    for collection in collections {
+        let mut next = Vec::with_capacity(acc.len() * collection.len());
+        for base in &acc {
+            for set in &collection {
+                let mut merged = base.clone();
+                merged.extend(set.iter().cloned());
+                next.push(merged);
+            }
+        }
+        acc = next;
+    }
+    acc
+}
+
+fn subsets_of_size(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    fn rec(start: usize, n: usize, k: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..n {
+            current.push(i);
+            rec(i + 1, n, k, current, out);
+            current.pop();
+        }
+    }
+    rec(0, n, k, &mut current, &mut out);
+    out
+}
+
+/// Removes non-minimal sets (supersets of another set) and duplicates.
+fn minimise(mut sets: Vec<NameSet>) -> Vec<NameSet> {
+    sets.sort_by_key(BTreeSet::len);
+    sets.dedup();
+    let mut minimal: Vec<NameSet> = Vec::new();
+    for s in sets {
+        if !minimal.iter().any(|m| m.is_subset(&s)) {
+            minimal.push(s);
+        }
+    }
+    minimal.sort();
+    minimal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(names: &[&str]) -> NameSet {
+        names.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    fn fig2() -> Block {
+        Block::series(vec![
+            Block::parallel(vec![Block::component("Hd"), Block::component("Md")]),
+            Block::component("Hc"),
+        ])
+    }
+
+    #[test]
+    fn fig2_paths_and_cuts() {
+        let paths = minimal_path_sets(&fig2()).unwrap();
+        assert_eq!(paths, vec![set(&["Hc", "Hd"]), set(&["Hc", "Md"])]);
+        let cuts = minimal_cut_sets(&fig2()).unwrap();
+        assert_eq!(cuts, vec![set(&["Hc"]), set(&["Hd", "Md"])]);
+    }
+
+    #[test]
+    fn series_paths() {
+        let sys = Block::series(vec![Block::component("a"), Block::component("b")]);
+        assert_eq!(minimal_path_sets(&sys).unwrap(), vec![set(&["a", "b"])]);
+        assert_eq!(
+            minimal_cut_sets(&sys).unwrap(),
+            vec![set(&["a"]), set(&["b"])]
+        );
+    }
+
+    #[test]
+    fn two_of_three_paths_and_cuts() {
+        let sys = Block::k_of_n(
+            2,
+            vec![
+                Block::component("a"),
+                Block::component("b"),
+                Block::component("c"),
+            ],
+        );
+        let paths = minimal_path_sets(&sys).unwrap();
+        assert_eq!(
+            paths,
+            vec![set(&["a", "b"]), set(&["a", "c"]), set(&["b", "c"])]
+        );
+        // 2-of-3 is self-dual.
+        let cuts = minimal_cut_sets(&sys).unwrap();
+        assert_eq!(cuts, paths);
+    }
+
+    #[test]
+    fn shared_component_sets_minimised() {
+        // ((a -> b) | (a -> c)): paths {a,b}, {a,c}; cuts {a}, {b,c}.
+        let sys = Block::parallel(vec![
+            Block::series(vec![Block::component("a"), Block::component("b")]),
+            Block::series(vec![Block::component("a"), Block::component("c")]),
+        ]);
+        assert_eq!(
+            minimal_path_sets(&sys).unwrap(),
+            vec![set(&["a", "b"]), set(&["a", "c"])]
+        );
+        assert_eq!(
+            minimal_cut_sets(&sys).unwrap(),
+            vec![set(&["a"]), set(&["b", "c"])]
+        );
+    }
+
+    #[test]
+    fn duality_on_random_small_diagrams() {
+        use crate::structure::works;
+        // For every state: system works iff some minimal path set is fully
+        // working; system fails iff some minimal cut set is fully failed.
+        let diagrams = [
+            fig2(),
+            Block::k_of_n(
+                2,
+                vec![
+                    Block::series(vec![Block::component("a"), Block::component("b")]),
+                    Block::component("c"),
+                    Block::parallel(vec![Block::component("d"), Block::component("a")]),
+                ],
+            ),
+        ];
+        for sys in &diagrams {
+            let names = sys.component_names();
+            let paths = minimal_path_sets(sys).unwrap();
+            let cuts = minimal_cut_sets(sys).unwrap();
+            for bits in 0u32..(1 << names.len()) {
+                let state: std::collections::BTreeMap<&str, bool> = names
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &n)| (n, bits & (1 << i) != 0))
+                    .collect();
+                let up = works(sys, &state).unwrap();
+                let path_up = paths.iter().any(|p| p.iter().all(|c| state[c.as_str()]));
+                let cut_down = cuts.iter().any(|c| c.iter().all(|x| !state[x.as_str()]));
+                assert_eq!(up, path_up, "path mismatch for {sys} state {bits:b}");
+                assert_eq!(!up, cut_down, "cut mismatch for {sys} state {bits:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        assert!(minimal_path_sets(&Block::series(vec![])).is_err());
+        assert!(minimal_cut_sets(&Block::parallel(vec![])).is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! System reliability evaluation.
+//!
+//! Components fail independently with given probabilities (conditional on a
+//! class of demand — the caller is expected to evaluate once per class, as
+//! the paper insists). For diagrams where each component appears once, the
+//! series/parallel/k-of-n composition rules are exact. Shared (repeated)
+//! components are handled by *factoring*: condition on a repeated component
+//! working/failing and recurse on the simplified diagram.
+//!
+//! [`esary_proschan_bounds`] gives the classical min-path upper and min-cut
+//! lower bounds on reliability, which bracket the exact value for coherent
+//! systems with independent components.
+
+use std::collections::BTreeMap;
+
+use hmdiv_prob::Probability;
+
+use crate::paths::{minimal_cut_sets, minimal_path_sets};
+use crate::{Block, RbdError};
+
+/// Maximum number of repeated components the factoring evaluation supports
+/// (cost is `2^repeated` recursive evaluations).
+pub const MAX_REPEATED: usize = 24;
+
+/// The probability that the system *fails*, given per-component failure
+/// probabilities.
+///
+/// `failure_of` maps a component name to its failure probability; it may be
+/// a closure over a table, a model, or a constant.
+///
+/// # Errors
+///
+/// * Propagates validation errors from [`Block::validate`].
+/// * [`RbdError::UnknownComponent`] (or any error from `failure_of`).
+/// * [`RbdError::TooLarge`] if more than [`MAX_REPEATED`] distinct
+///   components are repeated.
+pub fn system_failure<F>(block: &Block, mut failure_of: F) -> Result<Probability, RbdError>
+where
+    F: FnMut(&str) -> Result<Probability, RbdError>,
+{
+    Ok(system_reliability(block, &mut failure_of)?.complement())
+}
+
+/// The probability that the system *works*. See [`system_failure`].
+///
+/// # Errors
+///
+/// As [`system_failure`].
+pub fn system_reliability<F>(block: &Block, failure_of: &mut F) -> Result<Probability, RbdError>
+where
+    F: FnMut(&str) -> Result<Probability, RbdError>,
+{
+    block.validate()?;
+    let repeated: Vec<String> = block
+        .repeated_names()
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+    if repeated.len() > MAX_REPEATED {
+        return Err(RbdError::TooLarge {
+            repeated: repeated.len(),
+            max: MAX_REPEATED,
+        });
+    }
+    // Gather failure probabilities for the repeated components once.
+    let mut shared: BTreeMap<String, Probability> = BTreeMap::new();
+    for name in &repeated {
+        shared.insert(name.clone(), failure_of(name)?);
+    }
+    factored_reliability(block, failure_of, &repeated, &mut BTreeMap::new(), &shared)
+}
+
+/// Conditions on each repeated component in turn, then evaluates the
+/// series/parallel rules on the conditionally-independent remainder.
+fn factored_reliability<F>(
+    block: &Block,
+    failure_of: &mut F,
+    remaining: &[String],
+    fixed: &mut BTreeMap<String, bool>,
+    shared: &BTreeMap<String, Probability>,
+) -> Result<Probability, RbdError>
+where
+    F: FnMut(&str) -> Result<Probability, RbdError>,
+{
+    match remaining.split_first() {
+        None => independent_reliability(block, failure_of, fixed),
+        Some((name, rest)) => {
+            let p_fail = shared[name];
+            fixed.insert(name.clone(), true);
+            let r_works = factored_reliability(block, failure_of, rest, fixed, shared)?;
+            fixed.insert(name.clone(), false);
+            let r_fails = factored_reliability(block, failure_of, rest, fixed, shared)?;
+            fixed.remove(name);
+            // Law of total probability over the conditioned component.
+            Ok(r_works.mix(r_fails, p_fail.complement()))
+        }
+    }
+}
+
+/// Exact composition for diagrams whose unfixed components are all distinct.
+fn independent_reliability<F>(
+    block: &Block,
+    failure_of: &mut F,
+    fixed: &BTreeMap<String, bool>,
+) -> Result<Probability, RbdError>
+where
+    F: FnMut(&str) -> Result<Probability, RbdError>,
+{
+    match block {
+        Block::Component(name) => match fixed.get(name) {
+            Some(true) => Ok(Probability::ONE),
+            Some(false) => Ok(Probability::ZERO),
+            None => Ok(failure_of(name)?.complement()),
+        },
+        Block::Series(blocks) => {
+            let mut r = Probability::ONE;
+            for b in blocks {
+                r = r * independent_reliability(b, failure_of, fixed)?;
+            }
+            Ok(r)
+        }
+        Block::Parallel(blocks) => {
+            let mut p_all_fail = Probability::ONE;
+            for b in blocks {
+                p_all_fail =
+                    p_all_fail * independent_reliability(b, failure_of, fixed)?.complement();
+            }
+            Ok(p_all_fail.complement())
+        }
+        Block::KOfN { k, blocks } => {
+            // Dynamic programme over "probability that exactly j of the
+            // first i children work".
+            let mut dist = vec![1.0f64];
+            for b in blocks {
+                let r = independent_reliability(b, failure_of, fixed)?.value();
+                let mut next = vec![0.0f64; dist.len() + 1];
+                for (j, &pj) in dist.iter().enumerate() {
+                    next[j] += pj * (1.0 - r);
+                    next[j + 1] += pj * r;
+                }
+                dist = next;
+            }
+            let p: f64 = dist.iter().skip(*k).sum();
+            Ok(Probability::clamped(p))
+        }
+    }
+}
+
+/// Esary–Proschan bounds on system *reliability* for a coherent system with
+/// independent components:
+///
+/// ```text
+/// Π over min cuts (1 − Π q_i)   <=   R   <=   1 − Π over min paths (1 − Π r_i)
+/// ```
+///
+/// Returns `(lower, upper)` bounds on reliability.
+///
+/// # Errors
+///
+/// As [`system_failure`], plus any error from the path/cut extraction.
+pub fn esary_proschan_bounds<F>(
+    block: &Block,
+    mut failure_of: F,
+) -> Result<(Probability, Probability), RbdError>
+where
+    F: FnMut(&str) -> Result<Probability, RbdError>,
+{
+    let cuts = minimal_cut_sets(block)?;
+    let paths = minimal_path_sets(block)?;
+    let mut table: BTreeMap<String, Probability> = BTreeMap::new();
+    for name in block.component_names() {
+        table.insert(name.to_owned(), failure_of(name)?);
+    }
+    let lower = cuts
+        .iter()
+        .map(|cut| {
+            let all_fail: f64 = cut.iter().map(|c| table[c].value()).product();
+            1.0 - all_fail
+        })
+        .product::<f64>();
+    let upper = 1.0
+        - paths
+            .iter()
+            .map(|path| {
+                let all_work: f64 = path.iter().map(|c| 1.0 - table[c].value()).product();
+                1.0 - all_work
+            })
+            .product::<f64>();
+    Ok((Probability::clamped(lower), Probability::clamped(upper)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    fn table<'a>(
+        pairs: &'a [(&'a str, f64)],
+    ) -> impl FnMut(&str) -> Result<Probability, RbdError> + 'a {
+        move |name| {
+            pairs
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| p(*v))
+                .ok_or_else(|| RbdError::UnknownComponent { name: name.into() })
+        }
+    }
+
+    #[test]
+    fn single_component() {
+        let sys = Block::component("a");
+        let f = system_failure(&sys, table(&[("a", 0.3)])).unwrap();
+        assert!((f.value() - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn series_failure_composition() {
+        let sys = Block::series(vec![Block::component("a"), Block::component("b")]);
+        let f = system_failure(&sys, table(&[("a", 0.1), ("b", 0.2)])).unwrap();
+        assert!((f.value() - (1.0 - 0.9 * 0.8)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn parallel_failure_composition() {
+        let sys = Block::parallel(vec![Block::component("a"), Block::component("b")]);
+        let f = system_failure(&sys, table(&[("a", 0.1), ("b", 0.2)])).unwrap();
+        assert!((f.value() - 0.02).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fig2_detection_failure() {
+        // The paper's eq. (2) with independence: PMf·PHmiss for detection,
+        // then classification in series.
+        let sys = Block::series(vec![
+            Block::parallel(vec![Block::component("Hd"), Block::component("Md")]),
+            Block::component("Hc"),
+        ]);
+        let f = system_failure(&sys, table(&[("Hd", 0.2), ("Md", 0.07), ("Hc", 0.1)])).unwrap();
+        let expected = 1.0 - (1.0 - 0.2 * 0.07) * 0.9;
+        assert!((f.value() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn k_of_n_matches_binomial() {
+        // 2-of-3 identical components with reliability r:
+        // R = 3r²(1−r) + r³
+        let sys = Block::k_of_n(
+            2,
+            vec![
+                Block::component("a"),
+                Block::component("b"),
+                Block::component("c"),
+            ],
+        );
+        let r: f64 = 0.9;
+        let f = system_failure(&sys, table(&[("a", 0.1), ("b", 0.1), ("c", 0.1)])).unwrap();
+        let expected = 1.0 - (3.0 * r * r * (1.0 - r) + r * r * r);
+        assert!((f.value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_of_n_equals_parallel_and_n_of_n_equals_series() {
+        let children = vec![
+            Block::component("a"),
+            Block::component("b"),
+            Block::component("c"),
+        ];
+        let probs = [("a", 0.1), ("b", 0.2), ("c", 0.3)];
+        let one_of = system_failure(&Block::k_of_n(1, children.clone()), table(&probs)).unwrap();
+        let par = system_failure(&Block::parallel(children.clone()), table(&probs)).unwrap();
+        assert!((one_of.value() - par.value()).abs() < 1e-15);
+        let n_of = system_failure(&Block::k_of_n(3, children.clone()), table(&probs)).unwrap();
+        let ser = system_failure(&Block::series(children), table(&probs)).unwrap();
+        assert!((n_of.value() - ser.value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn shared_component_factoring_exact() {
+        // ((a -> b) | (a -> c)): exact R = P(a works)·(1 − P(b fails)P(c fails)).
+        let sys = Block::parallel(vec![
+            Block::series(vec![Block::component("a"), Block::component("b")]),
+            Block::series(vec![Block::component("a"), Block::component("c")]),
+        ]);
+        let probs = [("a", 0.2), ("b", 0.3), ("c", 0.4)];
+        let f = system_failure(&sys, table(&probs)).unwrap();
+        let expected_r = 0.8 * (1.0 - 0.3 * 0.4);
+        assert!((f.value() - (1.0 - expected_r)).abs() < 1e-12);
+        // The naive (wrong) independent evaluation would differ:
+        let naive_r = 1.0 - (1.0 - 0.8 * 0.7) * (1.0 - 0.8 * 0.6);
+        assert!((f.complement().value() - naive_r).abs() > 0.01);
+    }
+
+    #[test]
+    fn exact_matches_enumeration_on_shared_diagram() {
+        use crate::structure::works;
+        // Brute-force check: sum over all states of P(state)·works(state).
+        let sys = Block::k_of_n(
+            2,
+            vec![
+                Block::series(vec![Block::component("a"), Block::component("b")]),
+                Block::component("c"),
+                Block::parallel(vec![Block::component("d"), Block::component("a")]),
+            ],
+        );
+        let probs = [("a", 0.15), ("b", 0.25), ("c", 0.35), ("d", 0.45)];
+        let names = sys.component_names();
+        let mut total = 0.0;
+        for bits in 0u32..(1 << names.len()) {
+            let state: std::collections::BTreeMap<&str, bool> = names
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (n, bits & (1 << i) != 0))
+                .collect();
+            let mut weight = 1.0;
+            for (i, &n) in names.iter().enumerate() {
+                let fail = probs.iter().find(|(m, _)| *m == n).unwrap().1;
+                weight *= if bits & (1 << i) != 0 {
+                    1.0 - fail
+                } else {
+                    fail
+                };
+            }
+            if works(&sys, &state).unwrap() {
+                total += weight;
+            }
+        }
+        let exact = system_failure(&sys, table(&probs))
+            .unwrap()
+            .complement()
+            .value();
+        assert!(
+            (exact - total).abs() < 1e-12,
+            "exact {exact} vs enumerated {total}"
+        );
+    }
+
+    #[test]
+    fn bounds_bracket_exact_value() {
+        let sys = Block::series(vec![
+            Block::parallel(vec![Block::component("Hd"), Block::component("Md")]),
+            Block::component("Hc"),
+        ]);
+        let probs = [("Hd", 0.2), ("Md", 0.07), ("Hc", 0.1)];
+        let exact = system_failure(&sys, table(&probs)).unwrap().complement();
+        let (lo, hi) = esary_proschan_bounds(&sys, table(&probs)).unwrap();
+        assert!(lo <= exact, "{} <= {}", lo.value(), exact.value());
+        assert!(exact <= hi, "{} <= {}", exact.value(), hi.value());
+    }
+
+    #[test]
+    fn unknown_component_error_surfaces() {
+        let sys = Block::component("missing");
+        assert!(matches!(
+            system_failure(&sys, table(&[("other", 0.5)])),
+            Err(RbdError::UnknownComponent { .. })
+        ));
+    }
+
+    #[test]
+    fn certain_failure_and_certain_success() {
+        let sys = Block::parallel(vec![Block::component("a"), Block::component("b")]);
+        let f = system_failure(&sys, table(&[("a", 1.0), ("b", 1.0)])).unwrap();
+        assert_eq!(f, Probability::ONE);
+        let f = system_failure(&sys, table(&[("a", 0.0), ("b", 1.0)])).unwrap();
+        assert_eq!(f, Probability::ZERO);
+    }
+}

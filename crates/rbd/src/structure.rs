@@ -1,0 +1,246 @@
+//! The Boolean structure function of a reliability block diagram.
+//!
+//! A *state* assigns working/failed to each component; the structure
+//! function says whether the system works in that state. Coherent-system
+//! theory (monotone structure functions with no irrelevant components) is
+//! the classical setting of Birnbaum's importance measure, which the paper
+//! cites for its `t(x)` index.
+
+use std::collections::BTreeMap;
+
+use crate::{Block, RbdError};
+
+/// A component state assignment: `true` = working.
+pub type State<'a> = BTreeMap<&'a str, bool>;
+
+/// Evaluates the structure function: does the system work in `state`?
+///
+/// # Errors
+///
+/// Returns [`RbdError::UnknownComponent`] if a component in the diagram has
+/// no entry in `state`.
+///
+/// # Example
+///
+/// ```
+/// use hmdiv_rbd::{Block, structure::works};
+/// use std::collections::BTreeMap;
+///
+/// # fn main() -> Result<(), hmdiv_rbd::RbdError> {
+/// let sys = Block::parallel(vec![Block::component("h"), Block::component("m")]);
+/// let state: BTreeMap<&str, bool> = [("h", false), ("m", true)].into();
+/// assert!(works(&sys, &state)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn works(block: &Block, state: &State<'_>) -> Result<bool, RbdError> {
+    match block {
+        Block::Component(name) => state
+            .get(name.as_str())
+            .copied()
+            .ok_or_else(|| RbdError::UnknownComponent { name: name.clone() }),
+        Block::Series(blocks) => {
+            for b in blocks {
+                if !works(b, state)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Block::Parallel(blocks) => {
+            for b in blocks {
+                if works(b, state)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Block::KOfN { k, blocks } => {
+            let mut working = 0usize;
+            for b in blocks {
+                if works(b, state)? {
+                    working += 1;
+                    if working >= *k {
+                        return Ok(true);
+                    }
+                }
+            }
+            Ok(false)
+        }
+    }
+}
+
+/// Report on the coherence of a structure function over its components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoherenceReport {
+    /// Components whose state never affects the system state (violating the
+    /// "every component is relevant" half of coherence).
+    pub irrelevant: Vec<String>,
+    /// Whether the system works when all components work.
+    pub works_when_all_work: bool,
+    /// Whether the system fails when all components fail.
+    pub fails_when_all_fail: bool,
+}
+
+impl CoherenceReport {
+    /// Whether the diagram is a coherent system in the classical sense.
+    #[must_use]
+    pub fn is_coherent(&self) -> bool {
+        self.irrelevant.is_empty() && self.works_when_all_work && self.fails_when_all_fail
+    }
+}
+
+/// Exhaustively checks coherence of the diagram.
+///
+/// Series/parallel/k-of-n compositions are monotone by construction, so the
+/// check concentrates on relevance and the boundary states. Exhaustive over
+/// `2^n` states of the distinct components; intended for the small diagrams
+/// (n ≲ 20) this workspace uses.
+///
+/// # Errors
+///
+/// * [`RbdError::TooLarge`] if the diagram has more than 20 distinct
+///   components.
+/// * Propagates validation errors from [`Block::validate`].
+pub fn coherence(block: &Block) -> Result<CoherenceReport, RbdError> {
+    block.validate()?;
+    let names = block.component_names();
+    let n = names.len();
+    if n > 20 {
+        return Err(RbdError::TooLarge {
+            repeated: n,
+            max: 20,
+        });
+    }
+    let mut relevant = vec![false; n];
+    let mut works_when_all_work = false;
+    let mut fails_when_all_fail = false;
+    for bits in 0u32..(1u32 << n) {
+        let state: State<'_> = names
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, bits & (1 << i) != 0))
+            .collect();
+        let base = works(block, &state).expect("all components present");
+        if bits == (1 << n) - 1 {
+            works_when_all_work = base;
+        }
+        if bits == 0 {
+            fails_when_all_fail = !base;
+        }
+        for (i, &name) in names.iter().enumerate() {
+            if relevant[i] {
+                continue;
+            }
+            let mut flipped = state.clone();
+            flipped.insert(name, bits & (1 << i) == 0);
+            if works(block, &flipped).expect("all components present") != base {
+                relevant[i] = true;
+            }
+        }
+    }
+    Ok(CoherenceReport {
+        irrelevant: names
+            .iter()
+            .zip(&relevant)
+            .filter(|(_, &r)| !r)
+            .map(|(&n, _)| n.to_owned())
+            .collect(),
+        works_when_all_work,
+        fails_when_all_fail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(pairs: &[(&'static str, bool)]) -> State<'static> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn series_needs_all() {
+        let sys = Block::series(vec![Block::component("a"), Block::component("b")]);
+        assert!(works(&sys, &state(&[("a", true), ("b", true)])).unwrap());
+        assert!(!works(&sys, &state(&[("a", true), ("b", false)])).unwrap());
+        assert!(!works(&sys, &state(&[("a", false), ("b", false)])).unwrap());
+    }
+
+    #[test]
+    fn parallel_needs_one() {
+        let sys = Block::parallel(vec![Block::component("a"), Block::component("b")]);
+        assert!(works(&sys, &state(&[("a", false), ("b", true)])).unwrap());
+        assert!(!works(&sys, &state(&[("a", false), ("b", false)])).unwrap());
+    }
+
+    #[test]
+    fn two_of_three_majority() {
+        let sys = Block::k_of_n(
+            2,
+            vec![
+                Block::component("a"),
+                Block::component("b"),
+                Block::component("c"),
+            ],
+        );
+        assert!(works(&sys, &state(&[("a", true), ("b", true), ("c", false)])).unwrap());
+        assert!(!works(&sys, &state(&[("a", true), ("b", false), ("c", false)])).unwrap());
+        assert!(works(&sys, &state(&[("a", true), ("b", true), ("c", true)])).unwrap());
+    }
+
+    #[test]
+    fn missing_component_is_error() {
+        let sys = Block::component("ghost");
+        let err = works(&sys, &state(&[("other", true)])).unwrap_err();
+        assert_eq!(
+            err,
+            RbdError::UnknownComponent {
+                name: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn fig2_structure() {
+        // System works iff (Hdetect OR Mdetect) AND Hclassify.
+        let sys = Block::series(vec![
+            Block::parallel(vec![Block::component("Hd"), Block::component("Md")]),
+            Block::component("Hc"),
+        ]);
+        assert!(works(&sys, &state(&[("Hd", false), ("Md", true), ("Hc", true)])).unwrap());
+        assert!(!works(&sys, &state(&[("Hd", false), ("Md", true), ("Hc", false)])).unwrap());
+        assert!(!works(&sys, &state(&[("Hd", false), ("Md", false), ("Hc", true)])).unwrap());
+    }
+
+    #[test]
+    fn coherence_of_standard_diagrams() {
+        let sys = Block::series(vec![
+            Block::parallel(vec![Block::component("Hd"), Block::component("Md")]),
+            Block::component("Hc"),
+        ]);
+        let report = coherence(&sys).unwrap();
+        assert!(report.is_coherent(), "{report:?}");
+    }
+
+    #[test]
+    fn irrelevant_component_detected() {
+        // `b` is in parallel with an always-needed `a` inside a series with
+        // `a` again: ((a | b) -> a). When `a` works the system works; when
+        // `a` fails the series fails regardless of `b`. So `b` is irrelevant.
+        let sys = Block::series(vec![
+            Block::parallel(vec![Block::component("a"), Block::component("b")]),
+            Block::component("a"),
+        ]);
+        let report = coherence(&sys).unwrap();
+        assert_eq!(report.irrelevant, vec!["b".to_owned()]);
+        assert!(!report.is_coherent());
+    }
+
+    #[test]
+    fn coherence_rejects_oversized() {
+        let blocks: Vec<Block> = (0..25).map(|i| Block::component(format!("c{i}"))).collect();
+        let sys = Block::series(blocks);
+        assert!(matches!(coherence(&sys), Err(RbdError::TooLarge { .. })));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the RBD substrate over randomly generated
+//! diagrams.
+
+use std::collections::BTreeMap;
+
+use hmdiv_prob::Probability;
+use hmdiv_rbd::dual::{check_duality, dual};
+use hmdiv_rbd::importance::importance;
+use hmdiv_rbd::paths::{minimal_cut_sets, minimal_path_sets};
+use hmdiv_rbd::reliability::{esary_proschan_bounds, system_failure, system_reliability};
+use hmdiv_rbd::structure::works;
+use hmdiv_rbd::{Block, RbdError};
+use proptest::prelude::*;
+
+/// Random diagram over a small component alphabet (repeats allowed), with
+/// bounded depth and width.
+fn arb_block(depth: u32) -> BoxedStrategy<Block> {
+    let leaf = (0u8..6).prop_map(|i| Block::component(format!("c{i}")));
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = arb_block(depth - 1);
+    prop_oneof![
+        3 => leaf,
+        2 => proptest::collection::vec(inner.clone(), 1..4).prop_map(Block::series),
+        2 => proptest::collection::vec(inner.clone(), 1..4).prop_map(Block::parallel),
+        1 => (proptest::collection::vec(inner, 1..4), any::<proptest::sample::Index>()).prop_map(
+            |(blocks, idx)| {
+                let k = idx.index(blocks.len()) + 1;
+                Block::k_of_n(k, blocks)
+            }
+        ),
+    ]
+    .boxed()
+}
+
+fn arb_probs() -> impl Strategy<Value = BTreeMap<String, f64>> {
+    proptest::collection::vec(0.0..=1.0f64, 6).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, p)| (format!("c{i}"), p))
+            .collect()
+    })
+}
+
+fn lookup(probs: &BTreeMap<String, f64>) -> impl FnMut(&str) -> Result<Probability, RbdError> + '_ {
+    move |name| {
+        probs
+            .get(name)
+            .map(|&p| Probability::clamped(p))
+            .ok_or_else(|| RbdError::UnknownComponent { name: name.into() })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn exact_reliability_matches_enumeration(block in arb_block(2), probs in arb_probs()) {
+        let names = block.component_names();
+        prop_assume!(names.len() <= 6);
+        let exact = system_reliability(&block, &mut lookup(&probs)).unwrap().value();
+        // Brute force over all states.
+        let mut total = 0.0;
+        for bits in 0u32..(1 << names.len()) {
+            let state: BTreeMap<&str, bool> =
+                names.iter().enumerate().map(|(i, &n)| (n, bits & (1 << i) != 0)).collect();
+            let mut weight = 1.0;
+            for (i, &n) in names.iter().enumerate() {
+                let q = probs[n];
+                weight *= if bits & (1 << i) != 0 { 1.0 - q } else { q };
+            }
+            if works(&block, &state).unwrap() {
+                total += weight;
+            }
+        }
+        prop_assert!((exact - total).abs() < 1e-9, "{exact} vs {total} for {block}");
+    }
+
+    #[test]
+    fn bounds_bracket_exact_without_repeats(block in arb_block(2), probs in arb_probs()) {
+        // The EP bounds assume independent components, i.e. no repeats.
+        prop_assume!(block.repeated_names().is_empty());
+        let exact = system_reliability(&block, &mut lookup(&probs)).unwrap();
+        let (lo, hi) = esary_proschan_bounds(&block, lookup(&probs)).unwrap();
+        prop_assert!(lo.value() <= exact.value() + 1e-9, "{} > {}", lo.value(), exact.value());
+        prop_assert!(exact.value() <= hi.value() + 1e-9);
+    }
+
+    #[test]
+    fn paths_and_cuts_characterise_structure(block in arb_block(2)) {
+        let names = block.component_names();
+        prop_assume!(names.len() <= 6);
+        let paths = minimal_path_sets(&block).unwrap();
+        let cuts = minimal_cut_sets(&block).unwrap();
+        for bits in 0u32..(1 << names.len()) {
+            let state: BTreeMap<&str, bool> =
+                names.iter().enumerate().map(|(i, &n)| (n, bits & (1 << i) != 0)).collect();
+            let up = works(&block, &state).unwrap();
+            let via_paths = paths.iter().any(|p| p.iter().all(|c| state[c.as_str()]));
+            let via_cuts = cuts.iter().any(|c| c.iter().all(|x| !state[x.as_str()]));
+            prop_assert_eq!(up, via_paths);
+            prop_assert_eq!(!up, via_cuts);
+        }
+    }
+
+    #[test]
+    fn dual_involutes_and_satisfies_identity(block in arb_block(2)) {
+        prop_assume!(block.component_names().len() <= 6);
+        prop_assert_eq!(dual(&dual(&block)), block.clone());
+        check_duality(&block).unwrap();
+    }
+
+    #[test]
+    fn birnbaum_importance_in_unit_interval(block in arb_block(2), probs in arb_probs()) {
+        let names: Vec<String> = block.component_names().iter().map(|s| s.to_string()).collect();
+        prop_assume!(names.len() <= 6);
+        for name in &names {
+            let m = importance(&block, name, lookup(&probs)).unwrap();
+            // Coherent (monotone) systems: 0 <= I_B <= 1.
+            prop_assert!(m.birnbaum >= -1e-12 && m.birnbaum <= 1.0 + 1e-12, "{}", m.birnbaum);
+            prop_assert!(m.improvement_potential >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn failure_monotone_in_component_failure(block in arb_block(2), probs in arb_probs()) {
+        // Raising any one component's failure probability cannot lower the
+        // system failure probability (coherence).
+        let names: Vec<String> = block.component_names().iter().map(|s| s.to_string()).collect();
+        prop_assume!(names.len() <= 6);
+        let base = system_failure(&block, lookup(&probs)).unwrap().value();
+        for name in &names {
+            let mut bumped = probs.clone();
+            let q = bumped[name.as_str()];
+            bumped.insert(name.clone(), (q + 0.2).min(1.0));
+            let worse = system_failure(&block, lookup(&bumped)).unwrap().value();
+            prop_assert!(worse >= base - 1e-9, "{name}: {worse} < {base}");
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Calibration: tuning simulator knobs to hit target probabilities.
+//!
+//! The behavioural simulator's conditional probabilities are *emergent*, so
+//! matching a prescribed parameter table (e.g. the paper's table 1) requires
+//! searching the knob space. This module provides the two searches the
+//! experiments need:
+//!
+//! * [`calibrate_operating`] — find the CADT operating threshold whose
+//!   emergent machine failure probability on a chosen class hits a target
+//!   (monotone in the threshold, so bisection converges).
+//! * [`estimate_machine_failure`] — the measurement primitive: the CADT's
+//!   marginal false-negative rate on one class, by simulation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hmdiv_prob::Probability;
+
+use crate::cadt::Cadt;
+use crate::population::PopulationSpec;
+use crate::SimError;
+
+/// Estimates the CADT's false-negative probability on cancer cases of one
+/// class, by direct simulation of `samples` cases.
+///
+/// # Errors
+///
+/// * [`SimError::EmptyRun`] if `samples == 0`.
+/// * [`SimError::InvalidConfig`] if the class does not occur in the
+///   population's cancer mix (no case of it can ever be sampled).
+pub fn estimate_machine_failure(
+    cadt: &Cadt,
+    population: &PopulationSpec,
+    class: &str,
+    samples: u64,
+    seed: u64,
+) -> Result<Probability, SimError> {
+    if samples == 0 {
+        return Err(SimError::EmptyRun {
+            context: "calibration sample count",
+        });
+    }
+    if !population
+        .cancer_mix()
+        .categories()
+        .iter()
+        .any(|s| s.class.name() == class)
+    {
+        return Err(SimError::InvalidConfig {
+            value: f64::NAN,
+            context: "calibration class (not in the cancer mix)",
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut misses = 0u64;
+    let mut seen = 0u64;
+    let mut id = 0u64;
+    // Rejection-sample cases of the requested class.
+    while seen < samples {
+        let case = population.sample_cancer_case(id, &mut rng);
+        id += 1;
+        if case.class.name() != class {
+            continue;
+        }
+        seen += 1;
+        if !cadt.process(&case, &mut rng).detected_cancer() {
+            misses += 1;
+        }
+    }
+    Probability::from_ratio(misses, samples).map_err(SimError::from)
+}
+
+/// Result of an operating-threshold calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// The calibrated CADT.
+    pub cadt: Cadt,
+    /// The achieved machine failure probability at the returned threshold.
+    pub achieved: Probability,
+    /// Number of bisection iterations used.
+    pub iterations: u32,
+}
+
+/// Finds the operating threshold at which the CADT's false-negative
+/// probability on `class` is within `tolerance` of `target`, by bisection
+/// (the miss rate decreases monotonically in the threshold).
+///
+/// Returns the boundary threshold if the target is unreachable (e.g. a
+/// target below the floor set by the detector's sharpness), with
+/// `achieved` reporting the actual value — callers should check it.
+///
+/// # Errors
+///
+/// * [`SimError::InvalidConfig`] for a non-positive tolerance.
+/// * Errors from [`estimate_machine_failure`].
+pub fn calibrate_operating(
+    cadt: &Cadt,
+    population: &PopulationSpec,
+    class: &str,
+    target: Probability,
+    tolerance: f64,
+    samples_per_probe: u64,
+    seed: u64,
+) -> Result<Calibration, SimError> {
+    if tolerance.is_nan() || tolerance <= 0.0 {
+        return Err(SimError::InvalidConfig {
+            value: tolerance,
+            context: "calibration tolerance",
+        });
+    }
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    let mut best = cadt.with_operating(0.5)?;
+    let mut achieved = estimate_machine_failure(&best, population, class, samples_per_probe, seed)?;
+    let mut iterations = 0u32;
+    // Check the endpoints first: the target may be unreachable.
+    let at_hi = estimate_machine_failure(
+        &cadt.with_operating(1.0)?,
+        population,
+        class,
+        samples_per_probe,
+        seed ^ 0xA5A5,
+    )?;
+    if at_hi > target {
+        return Ok(Calibration {
+            cadt: cadt.with_operating(1.0)?,
+            achieved: at_hi,
+            iterations: 1,
+        });
+    }
+    let at_lo = estimate_machine_failure(
+        &cadt.with_operating(0.0)?,
+        population,
+        class,
+        samples_per_probe,
+        seed ^ 0x5A5A,
+    )?;
+    if at_lo < target {
+        return Ok(Calibration {
+            cadt: cadt.with_operating(0.0)?,
+            achieved: at_lo,
+            iterations: 1,
+        });
+    }
+    for i in 0..32 {
+        iterations = i + 1;
+        if achieved.value() > target.value() + tolerance {
+            // Missing too much: prompt more.
+            lo = best.operating;
+        } else if achieved.value() < target.value() - tolerance {
+            hi = best.operating;
+        } else {
+            break;
+        }
+        let mid = (lo + hi) / 2.0;
+        best = cadt.with_operating(mid)?;
+        achieved = estimate_machine_failure(
+            &best,
+            population,
+            class,
+            samples_per_probe,
+            seed.wrapping_add(u64::from(i)),
+        )?;
+    }
+    Ok(Calibration {
+        cadt: best,
+        achieved,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    #[test]
+    fn estimate_is_monotone_in_operating() {
+        let population = scenario::field_population().unwrap();
+        let base = Cadt::default_detector().unwrap();
+        let low = estimate_machine_failure(
+            &base.with_operating(0.3).unwrap(),
+            &population,
+            "difficult",
+            4_000,
+            1,
+        )
+        .unwrap();
+        let high = estimate_machine_failure(
+            &base.with_operating(0.9).unwrap(),
+            &population,
+            "difficult",
+            4_000,
+            1,
+        )
+        .unwrap();
+        assert!(high < low, "{} vs {}", high.value(), low.value());
+    }
+
+    #[test]
+    fn calibration_hits_reachable_target() {
+        let population = scenario::field_population().unwrap();
+        let base = Cadt::default_detector().unwrap();
+        let target = Probability::new(0.35).unwrap();
+        let cal = calibrate_operating(&base, &population, "easy", target, 0.02, 6_000, 42).unwrap();
+        assert!(
+            (cal.achieved.value() - 0.35).abs() <= 0.04,
+            "achieved {} at operating {}",
+            cal.achieved.value(),
+            cal.cadt.operating
+        );
+        // Verify independently at a fresh seed.
+        let check = estimate_machine_failure(&cal.cadt, &population, "easy", 8_000, 777).unwrap();
+        assert!((check.value() - 0.35).abs() <= 0.05, "{}", check.value());
+    }
+
+    #[test]
+    fn unreachable_target_returns_boundary() {
+        let population = scenario::field_population().unwrap();
+        let base = Cadt::default_detector().unwrap();
+        // Nobody misses 100% of easy cancers at threshold 1.
+        let impossible_low = calibrate_operating(
+            &base,
+            &population,
+            "easy",
+            Probability::new(0.001).unwrap(),
+            0.005,
+            4_000,
+            7,
+        )
+        .unwrap();
+        assert!((impossible_low.cadt.operating - 1.0).abs() < 1e-12);
+        assert!(impossible_low.achieved.value() > 0.001);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let population = scenario::field_population().unwrap();
+        let base = Cadt::default_detector().unwrap();
+        assert!(estimate_machine_failure(&base, &population, "easy", 0, 1).is_err());
+        assert!(estimate_machine_failure(&base, &population, "ghost", 10, 1).is_err());
+        assert!(
+            calibrate_operating(&base, &population, "easy", Probability::HALF, 0.0, 10, 1).is_err()
+        );
+    }
+}

@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+use hmdiv_core::ModelError;
+use hmdiv_prob::ProbError;
+
+/// Error type for simulator configuration and runs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value was out of its legal range.
+    InvalidConfig {
+        /// The offending value.
+        value: f64,
+        /// What the value configures.
+        context: &'static str,
+    },
+    /// A run was requested with zero cases or zero threads.
+    EmptyRun {
+        /// What was zero.
+        context: &'static str,
+    },
+    /// An underlying model operation failed.
+    Model(ModelError),
+    /// An underlying probability operation failed.
+    Prob(ProbError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { value, context } => {
+                write!(f, "invalid {context}: {value}")
+            }
+            SimError::EmptyRun { context } => write!(f, "{context} must be positive"),
+            SimError::Model(e) => write!(f, "model error: {e}"),
+            SimError::Prob(e) => write!(f, "probability error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Model(e) => Some(e),
+            SimError::Prob(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SimError {
+    fn from(e: ModelError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+impl From<ProbError> for SimError {
+    fn from(e: ProbError) -> Self {
+        SimError::Prob(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let errors: Vec<SimError> = vec![
+            SimError::InvalidConfig {
+                value: -1.0,
+                context: "prevalence",
+            },
+            SimError::EmptyRun {
+                context: "case count",
+            },
+            SimError::Model(ModelError::Empty { context: "profile" }),
+            SimError::Prob(ProbError::Empty { context: "weights" }),
+        ];
+        for e in &errors {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(errors[2].source().is_some());
+        assert!(errors[3].source().is_some());
+        assert!(errors[0].source().is_none());
+    }
+}

@@ -1,0 +1,58 @@
+//! A stochastic screening simulator for the `hmdiv` workspace.
+//!
+//! The paper's models consume probabilities estimated from trials of a real
+//! computer-aided detection tool (CADT) used by real readers on real
+//! mammograms. None of those are available here, so this crate builds the
+//! closest synthetic equivalent that exercises the same pipeline:
+//!
+//! * [`case`] — synthetic screening cases: a latent *difficulty*, lesions
+//!   with *subtlety* scores for cancer cases, distractor features for
+//!   normal ones. The shared latent difficulty is what correlates human and
+//!   machine failures — the mechanism behind the paper's covariance terms.
+//! * [`population`] — case generators for field populations (cancer
+//!   prevalence well under 1%) and enriched trial sets (the paper: "the set
+//!   of cases used was chosen to have a much higher proportion of cancers").
+//! * [`cadt`] — a pattern-detector model with a tunable operating threshold
+//!   (prompt rate vs. sensitivity), logistic in the lesion subtlety.
+//! * [`reader`] — a behavioural reader: two-stage (detect, classify),
+//!   attention lapses, prompt-following, automation bias (neglect of
+//!   unprompted regions), and extra scrutiny of prompted regions.
+//! * [`protocol`] — reading protocols: unaided, CADT-assisted (the paper's
+//!   "sequential operation"), and double reading with unilateral recall or
+//!   arbitration.
+//! * [`engine`] — a multi-threaded Monte-Carlo runner producing stratified
+//!   outcome counts ready for the estimators in `hmdiv-prob`.
+//! * [`table_driven`] — a direct sampler from a `hmdiv_core` parameter
+//!   table, used to cross-check the analytic equations by simulation.
+//!
+//! # Example
+//!
+//! ```
+//! use hmdiv_sim::{engine::{Simulation, SimConfig}, scenario};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let world = scenario::default_world()?;
+//! let report = Simulation::new(world, SimConfig { cases: 2_000, seed: 7, threads: 2 })
+//!     .run()?;
+//! // Cancer cases were screened; some were missed by both parties.
+//! assert!(report.cancer_cases() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod cadt;
+pub mod calibrate;
+pub mod case;
+pub mod engine;
+mod error;
+pub mod population;
+pub mod protocol;
+pub mod reader;
+pub mod scenario;
+pub mod session;
+pub mod table_driven;
+
+pub use error::SimError;

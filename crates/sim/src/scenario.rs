@@ -1,0 +1,349 @@
+//! Canonical simulated worlds.
+//!
+//! Ready-made [`World`]s mirroring the paper's setting: a screening
+//! population with rare cancers split into "easy" and "difficult" classes,
+//! an enriched trial variant, and team variants (unaided, assisted, biased
+//! reader, double reading).
+
+use hmdiv_prob::Probability;
+
+use crate::cadt::Cadt;
+use crate::engine::World;
+use crate::population::{ClassSpec, PopulationSpec};
+use crate::protocol::{DecisionRule, Procedure, ReadingTeam};
+use crate::reader::Reader;
+use crate::SimError;
+
+/// The screened population: ~0.8% cancer prevalence; cancer cases 80% easy
+/// (low difficulty) / 20% difficult; normal films mostly clear with a dense
+/// minority.
+///
+/// # Errors
+///
+/// Never fails in practice; returns `Result` for uniformity.
+pub fn field_population() -> Result<PopulationSpec, SimError> {
+    PopulationSpec::new(
+        Probability::new(0.008)?,
+        vec![
+            (ClassSpec::new("easy", 2.2, 5.5, 1.3)?, 0.8),
+            (ClassSpec::new("difficult", 6.0, 2.2, 1.1)?, 0.2),
+        ],
+        vec![
+            (ClassSpec::new("clear", 1.8, 7.0, 1.0)?, 0.85),
+            (ClassSpec::new("dense", 5.0, 2.5, 1.0)?, 0.15),
+        ],
+    )
+}
+
+/// The enriched trial population: same case mix, 50% prevalence (the §1
+/// trial-design concession that motivates the extrapolation machinery).
+///
+/// # Errors
+///
+/// Never fails in practice.
+pub fn trial_population() -> Result<PopulationSpec, SimError> {
+    Ok(field_population()?.with_prevalence(Probability::HALF))
+}
+
+/// The default world: field population, default CADT, one expert reader in
+/// the concurrent ("sequential operation") protocol.
+///
+/// # Errors
+///
+/// Never fails in practice.
+pub fn default_world() -> Result<World, SimError> {
+    Ok(World {
+        population: field_population()?,
+        team: ReadingTeam {
+            cadt: Some(Cadt::default_detector()?),
+            readers: vec![Reader::expert()],
+            rule: DecisionRule::Single,
+            procedure: Procedure::Concurrent,
+        },
+    })
+}
+
+/// The trial world: enriched population, otherwise as [`default_world`].
+///
+/// # Errors
+///
+/// Never fails in practice.
+pub fn trial_world() -> Result<World, SimError> {
+    Ok(World {
+        population: trial_population()?,
+        ..default_world()?
+    })
+}
+
+/// The unaided world: no CADT.
+///
+/// # Errors
+///
+/// Never fails in practice.
+pub fn unaided_world() -> Result<World, SimError> {
+    let mut world = default_world()?;
+    world.team.cadt = None;
+    Ok(world)
+}
+
+/// A world whose reader exhibits strong automation bias (heavy neglect of
+/// unprompted regions) — the regime where the machine's failures hurt the
+/// human most (large `t(x)`).
+///
+/// # Errors
+///
+/// Never fails in practice.
+pub fn biased_reader_world(neglect: f64) -> Result<World, SimError> {
+    let mut world = default_world()?;
+    world.team.readers = vec![Reader::expert().with_unprompted_neglect(neglect)];
+    world.team.validate()?;
+    Ok(world)
+}
+
+/// Double reading with unilateral recall, both readers CADT-assisted (§7).
+///
+/// # Errors
+///
+/// Never fails in practice.
+pub fn double_reading_world() -> Result<World, SimError> {
+    let mut world = default_world()?;
+    world.team.readers = vec![Reader::expert(), Reader::expert()];
+    world.team.rule = DecisionRule::EitherRecalls;
+    Ok(world)
+}
+
+/// Two novice readers with a CADT, unilateral recall — the paper's "less
+/// qualified readers assisted by CADTs" cost-effectiveness configuration.
+///
+/// # Errors
+///
+/// Never fails in practice.
+pub fn novice_pair_world() -> Result<World, SimError> {
+    let mut world = default_world()?;
+    world.team.readers = vec![Reader::novice(), Reader::novice()];
+    world.team.rule = DecisionRule::EitherRecalls;
+    Ok(world)
+}
+
+/// The §3 procedure-1 world: the reader examines the films alone first and
+/// only then reviews the CADT's prompts. The unaided pass cannot be biased
+/// by the machine, so this world realises the "parallel detection" model's
+/// assumptions by construction.
+///
+/// # Errors
+///
+/// Never fails in practice.
+pub fn reader_first_world() -> Result<World, SimError> {
+    let mut world = default_world()?;
+    world.team.procedure = Procedure::ReaderFirstReview;
+    Ok(world)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimConfig, Simulation};
+
+    #[test]
+    fn all_worlds_validate() {
+        for world in [
+            default_world().unwrap(),
+            trial_world().unwrap(),
+            unaided_world().unwrap(),
+            biased_reader_world(0.5).unwrap(),
+            double_reading_world().unwrap(),
+            novice_pair_world().unwrap(),
+        ] {
+            world.team.validate().unwrap();
+        }
+        assert!(biased_reader_world(1.5).is_err());
+    }
+
+    #[test]
+    fn assisted_beats_unaided_on_fn_rate() {
+        let run = |world: World| {
+            Simulation::new(
+                world,
+                SimConfig {
+                    cases: 30_000,
+                    seed: 77,
+                    threads: 4,
+                },
+            )
+            .run()
+            .unwrap()
+        };
+        // Use the enriched population so FN rates are well estimated.
+        let mut unaided = unaided_world().unwrap();
+        unaided.population = trial_population().unwrap();
+        let mut aided = default_world().unwrap();
+        aided.population = trial_population().unwrap();
+        let fn_unaided = run(unaided).fn_rate().unwrap();
+        let fn_aided = run(aided).fn_rate().unwrap();
+        assert!(
+            fn_aided.value() < fn_unaided.value(),
+            "{} vs {}",
+            fn_aided.value(),
+            fn_unaided.value()
+        );
+    }
+
+    #[test]
+    fn double_reading_improves_over_single() {
+        let run = |mut world: World| {
+            world.population = trial_population().unwrap();
+            Simulation::new(
+                world,
+                SimConfig {
+                    cases: 30_000,
+                    seed: 78,
+                    threads: 4,
+                },
+            )
+            .run()
+            .unwrap()
+        };
+        let single = run(default_world().unwrap()).fn_rate().unwrap();
+        let double = run(double_reading_world().unwrap()).fn_rate().unwrap();
+        assert!(
+            double.value() < single.value(),
+            "{} vs {}",
+            double.value(),
+            single.value()
+        );
+    }
+
+    #[test]
+    fn reader_first_never_worse_than_unaided() {
+        // Procedure 1 can only ADD recalls on top of the unaided pass, so
+        // its FN rate is at most the unaided one (pure 1-of-2 redundancy).
+        let run = |mut world: World| {
+            world.population = trial_population().unwrap();
+            Simulation::new(
+                world,
+                SimConfig {
+                    cases: 40_000,
+                    seed: 90,
+                    threads: 4,
+                },
+            )
+            .run()
+            .unwrap()
+        };
+        let unaided = run(unaided_world().unwrap()).fn_rate().unwrap();
+        let reader_first = run(reader_first_world().unwrap()).fn_rate().unwrap();
+        assert!(
+            reader_first.value() < unaided.value(),
+            "{} vs {}",
+            reader_first.value(),
+            unaided.value()
+        );
+    }
+
+    #[test]
+    fn reader_first_machine_failure_does_not_hurt() {
+        // The signature of procedure 1: when the machine fails, the decision
+        // is (almost) the unaided one, so PHf|Mf ≈ the reader's unaided
+        // failure rate on that class. Under concurrent reading with
+        // automation bias, machine failures actively mislead: PHf|Mf rises
+        // clearly above the unaided rate. (t(x) itself stays large in both
+        // procedures — the machine's *successes* help either way.)
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let population = trial_population().unwrap();
+        let biased = Reader::expert().with_unprompted_neglect(0.6);
+        // Unaided failure rate on difficult cancer cases, measured directly.
+        let mut rng = StdRng::seed_from_u64(91);
+        let mut misses = 0u64;
+        let mut seen = 0u64;
+        let mut id = 0u64;
+        while seen < 20_000 {
+            let case = population.sample_cancer_case(id, &mut rng);
+            id += 1;
+            if case.class.name() != "difficult" {
+                continue;
+            }
+            seen += 1;
+            if !biased.read(&case, None, &mut rng).recall {
+                misses += 1;
+            }
+        }
+        let unaided_rate = misses as f64 / seen as f64;
+
+        let run = |procedure: Procedure| {
+            let mut w = default_world().unwrap();
+            w.population = trial_population().unwrap();
+            w.team.readers = vec![biased];
+            w.team.procedure = procedure;
+            Simulation::new(
+                w,
+                SimConfig {
+                    cases: 150_000,
+                    seed: 92,
+                    threads: 4,
+                },
+            )
+            .run()
+            .unwrap()
+            .estimated_model()
+            .unwrap()
+        };
+        let hf_mf = |m: &hmdiv_core::SequentialModel| {
+            m.params()
+                .class_by_name("difficult")
+                .unwrap()
+                .p_hf_given_mf()
+                .value()
+        };
+        let rf = run(Procedure::ReaderFirstReview);
+        let cc = run(Procedure::Concurrent);
+        assert!(
+            (hf_mf(&rf) - unaided_rate).abs() < 0.03,
+            "reader-first PHf|Mf {} should match unaided {}",
+            hf_mf(&rf),
+            unaided_rate
+        );
+        assert!(
+            hf_mf(&cc) > unaided_rate + 0.03,
+            "concurrent+bias PHf|Mf {} should exceed unaided {}",
+            hf_mf(&cc),
+            unaided_rate
+        );
+    }
+
+    #[test]
+    fn biased_reader_has_larger_coherence_index() {
+        // Strong automation bias inflates PHf|Mf relative to PHf|Ms — the
+        // simulated analogue of the paper's high-t classes.
+        let run = |world: World| {
+            let mut w = world;
+            w.population = trial_population().unwrap();
+            Simulation::new(
+                w,
+                SimConfig {
+                    cases: 80_000,
+                    seed: 79,
+                    threads: 4,
+                },
+            )
+            .run()
+            .unwrap()
+            .estimated_model()
+            .unwrap()
+        };
+        let neutral = run(biased_reader_world(0.0).unwrap());
+        let biased = run(biased_reader_world(0.8).unwrap());
+        let t = |m: &hmdiv_core::SequentialModel| {
+            m.params()
+                .class_by_name("difficult")
+                .unwrap()
+                .coherence_index()
+        };
+        assert!(
+            t(&biased) > t(&neutral),
+            "{} vs {}",
+            t(&biased),
+            t(&neutral)
+        );
+    }
+}

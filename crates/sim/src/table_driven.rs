@@ -1,0 +1,210 @@
+//! Table-driven sampling: Monte-Carlo directly from a parameter table.
+//!
+//! The behavioural simulator in the rest of this crate produces the
+//! conditional probabilities *emergently*. For validating the analytic
+//! equations (and regenerating the paper's tables by simulation), it is
+//! useful to go the other way: draw `(class, Mf, Hf)` events directly from a
+//! [`SequentialModel`]'s table and check that empirical frequencies
+//! reproduce eq. (8). Any discrepancy beyond Monte-Carlo noise would be a
+//! bug in either the model arithmetic or the sampler.
+
+use rand::Rng;
+
+use hmdiv_core::{ClassId, DemandProfile, ModelError, SequentialModel};
+use hmdiv_prob::counts::StratifiedCounts;
+use hmdiv_prob::Probability;
+
+use crate::SimError;
+
+/// Simulates `cases` demands drawn from `profile` through the model's
+/// conditional tables, returning the stratified outcome counts.
+///
+/// # Errors
+///
+/// * [`SimError::EmptyRun`] if `cases == 0`.
+/// * [`SimError::Model`] if the profile mentions a class without parameters.
+pub fn simulate<R: Rng + ?Sized>(
+    model: &SequentialModel,
+    profile: &DemandProfile,
+    cases: u64,
+    rng: &mut R,
+) -> Result<StratifiedCounts<ClassId>, SimError> {
+    if cases == 0 {
+        return Err(SimError::EmptyRun {
+            context: "case count",
+        });
+    }
+    // Fail fast on coverage.
+    for (class, _) in profile.iter() {
+        model.params().class(class).map_err(SimError::from)?;
+    }
+    let mut counts = StratifiedCounts::new();
+    for _ in 0..cases {
+        let class = profile.sample(rng).clone();
+        let cp = model.params().class(&class).map_err(SimError::from)?;
+        let machine_failed = rng.gen::<f64>() < cp.p_mf().value();
+        let p_hf = if machine_failed {
+            cp.p_hf_given_mf()
+        } else {
+            cp.p_hf_given_ms()
+        };
+        let human_failed = rng.gen::<f64>() < p_hf.value();
+        counts.record(class, machine_failed, human_failed);
+    }
+    Ok(counts)
+}
+
+/// The empirical system failure frequency from a table-driven run.
+///
+/// # Errors
+///
+/// [`SimError::EmptyRun`] if the counts are empty.
+pub fn empirical_failure(counts: &StratifiedCounts<ClassId>) -> Result<Probability, SimError> {
+    let pooled = counts.pooled();
+    if pooled.total() == 0 {
+        return Err(SimError::EmptyRun {
+            context: "recorded case count",
+        });
+    }
+    Ok(Probability::clamped(
+        pooled.human_failures() as f64 / pooled.total() as f64,
+    ))
+}
+
+/// Convenience: run a table-driven simulation and report the empirical vs
+/// analytic system failure probability.
+///
+/// Returns `(empirical, analytic)`.
+///
+/// # Errors
+///
+/// As [`simulate`], plus model-evaluation errors.
+pub fn cross_check<R: Rng + ?Sized>(
+    model: &SequentialModel,
+    profile: &DemandProfile,
+    cases: u64,
+    rng: &mut R,
+) -> Result<(Probability, Probability), SimError> {
+    let counts = simulate(model, profile, cases, rng)?;
+    let empirical = empirical_failure(&counts)?;
+    let analytic = model.system_failure(profile).map_err(SimError::from)?;
+    Ok((empirical, analytic))
+}
+
+/// Re-estimates a [`SequentialModel`] from table-driven counts (closing the
+/// loop: model → simulate → estimate → model).
+///
+/// # Errors
+///
+/// [`ModelError::Empty`] if no class has all conditionals estimable.
+pub fn reestimate(counts: &StratifiedCounts<ClassId>) -> Result<SequentialModel, ModelError> {
+    let mut builder = hmdiv_core::ModelParams::builder();
+    let mut any = false;
+    for (class, table) in counts.iter() {
+        let (Ok(p_mf), Ok(hf_ms), Ok(hf_mf)) = (
+            table.p_machine_fails(),
+            table.p_human_fails_given_machine_succeeds(),
+            table.p_human_fails_given_machine_fails(),
+        ) else {
+            continue;
+        };
+        builder = builder.class(
+            class.clone(),
+            hmdiv_core::ClassParams::new(p_mf.point(), hf_ms.point(), hf_mf.point()),
+        );
+        any = true;
+    }
+    if !any {
+        return Err(ModelError::Empty {
+            context: "estimable class set",
+        });
+    }
+    Ok(SequentialModel::new(builder.build()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmdiv_core::paper;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_matches_analytic_table2() {
+        let model = paper::example_model().unwrap();
+        let mut rng = StdRng::seed_from_u64(2003);
+        for (profile, expected) in [
+            (
+                paper::trial_profile().unwrap(),
+                paper::published::TRIAL_FAILURE,
+            ),
+            (
+                paper::field_profile().unwrap(),
+                paper::published::FIELD_FAILURE,
+            ),
+        ] {
+            let (empirical, analytic) = cross_check(&model, &profile, 400_000, &mut rng).unwrap();
+            assert!((analytic.value() - expected).abs() < 1e-9);
+            assert!(
+                (empirical.value() - expected).abs() < 0.005,
+                "{} vs {}",
+                empirical.value(),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn reestimation_recovers_parameters() {
+        let model = paper::example_model().unwrap();
+        let profile = paper::trial_profile().unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let counts = simulate(&model, &profile, 500_000, &mut rng).unwrap();
+        let recovered = reestimate(&counts).unwrap();
+        for class in ["easy", "difficult"] {
+            let truth = model.params().class_by_name(class).unwrap();
+            let est = recovered.params().class_by_name(class).unwrap();
+            assert!(
+                (truth.p_mf().value() - est.p_mf().value()).abs() < 0.01,
+                "{class} PMf"
+            );
+            assert!(
+                (truth.p_hf_given_ms().value() - est.p_hf_given_ms().value()).abs() < 0.01,
+                "{class} PHf|Ms"
+            );
+            assert!(
+                (truth.p_hf_given_mf().value() - est.p_hf_given_mf().value()).abs() < 0.02,
+                "{class} PHf|Mf"
+            );
+        }
+    }
+
+    #[test]
+    fn class_frequencies_follow_profile() {
+        let model = paper::example_model().unwrap();
+        let profile = paper::field_profile().unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let counts = simulate(&model, &profile, 100_000, &mut rng).unwrap();
+        let empirical = counts.empirical_profile();
+        let difficult_share = empirical
+            .iter()
+            .find(|(c, _)| c.name() == "difficult")
+            .map(|(_, p)| p.value())
+            .unwrap();
+        assert!((difficult_share - 0.1).abs() < 0.01, "{difficult_share}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let model = paper::example_model().unwrap();
+        let profile = paper::trial_profile().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(simulate(&model, &profile, 0, &mut rng).is_err());
+        let missing = hmdiv_core::DemandProfile::builder()
+            .class("ghost", 1.0)
+            .build()
+            .unwrap();
+        assert!(simulate(&model, &missing, 10, &mut rng).is_err());
+        assert!(empirical_failure(&StratifiedCounts::new()).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests of the simulator: empirical frequencies must track
+//! the configured probabilities, and the behavioural mechanisms must move
+//! outcomes in their documented directions over random configurations.
+
+use hmdiv_core::ClassId;
+use hmdiv_sim::cadt::{Cadt, CadtOutput};
+use hmdiv_sim::case::{Case, CaseKind, Lesion};
+use hmdiv_sim::reader::Reader;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn case_with(subtlety: f64, difficulty: f64) -> Case {
+    Case {
+        id: 0,
+        kind: CaseKind::Cancer,
+        class: ClassId::new("t"),
+        difficulty,
+        lesions: vec![Lesion { subtlety }],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cadt_detection_frequency_matches_probability(
+        operating in 0.1..=0.9f64,
+        subtlety in 0.0..=1.0f64,
+        difficulty in 0.0..=1.0f64,
+        seed in 0u64..500
+    ) {
+        let cadt = Cadt::new(operating, 6.0, 0.35, 1.0).unwrap();
+        let case = case_with(subtlety, difficulty);
+        let p = cadt.p_prompt_lesion(subtlety, difficulty).value();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 4_000;
+        let hits = (0..n)
+            .filter(|_| cadt.process(&case, &mut rng).detected_cancer())
+            .count();
+        let freq = hits as f64 / n as f64;
+        // 4k draws: 4σ ≈ 0.032 at worst.
+        prop_assert!((freq - p).abs() < 0.04, "{freq} vs {p}");
+    }
+
+    #[test]
+    fn cadt_monotone_in_operating(
+        lo in 0.0..=0.45f64,
+        delta in 0.1..=0.5f64,
+        subtlety in 0.0..=1.0f64,
+        difficulty in 0.0..=1.0f64
+    ) {
+        let hi = (lo + delta).min(1.0);
+        let a = Cadt::new(lo, 6.0, 0.35, 1.0).unwrap();
+        let b = Cadt::new(hi, 6.0, 0.35, 1.0).unwrap();
+        prop_assert!(
+            b.p_prompt_lesion(subtlety, difficulty).value()
+                >= a.p_prompt_lesion(subtlety, difficulty).value() - 1e-12
+        );
+    }
+
+    #[test]
+    fn reader_detection_monotone_in_subtlety(
+        s_lo in 0.0..=0.5f64,
+        delta in 0.1..=0.5f64,
+        difficulty in 0.0..=1.0f64
+    ) {
+        let s_hi = (s_lo + delta).min(1.0);
+        let r = Reader::expert();
+        prop_assert!(
+            r.p_notice_lesion(s_hi, difficulty).value()
+                <= r.p_notice_lesion(s_lo, difficulty).value() + 1e-12
+        );
+    }
+
+    #[test]
+    fn prompt_benefit_never_hurts_detection(
+        subtlety in 0.0..=1.0f64,
+        difficulty in 0.0..=1.0f64,
+        trust in 0.0..=1.0f64,
+        seed in 0u64..200
+    ) {
+        // A truly-prompted case is never detected LESS often than the same
+        // case read unaided, for a reader without automation bias.
+        let reader = Reader { prompt_trust: trust, unprompted_neglect: 0.0, ..Reader::expert() };
+        let case = case_with(subtlety, difficulty);
+        let prompted = CadtOutput { prompted_lesions: vec![true], spurious_prompts: 0 };
+        let n = 4_000;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let unaided = (0..n)
+            .filter(|_| reader.read(&case, None, &mut rng).noticed_lesion)
+            .count() as f64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let aided = (0..n)
+            .filter(|_| reader.read(&case, Some(&prompted), &mut rng).noticed_lesion)
+            .count() as f64;
+        // Allow Monte-Carlo noise in the null direction.
+        prop_assert!(aided >= unaided - 4.0 * (n as f64).sqrt() / 2.0,
+            "aided {aided} vs unaided {unaided}");
+    }
+
+    #[test]
+    fn table_driven_class_shares_track_profile(w in 0.05..=0.95f64, seed in 0u64..200) {
+        use hmdiv_core::{ClassParams, DemandProfile, ModelParams, SequentialModel};
+        use hmdiv_prob::Probability;
+        let p = |v: f64| Probability::new(v).unwrap();
+        let model = SequentialModel::new(
+            ModelParams::builder()
+                .class("a", ClassParams::new(p(0.3), p(0.2), p(0.6)))
+                .class("b", ClassParams::new(p(0.5), p(0.4), p(0.8)))
+                .build()
+                .unwrap(),
+        );
+        let profile = DemandProfile::builder().class("a", w).class("b", 1.0 - w).build().unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts =
+            hmdiv_sim::table_driven::simulate(&model, &profile, 20_000, &mut rng).unwrap();
+        let share = counts
+            .stratum(&ClassId::new("a"))
+            .map(|t| t.total() as f64 / 20_000.0)
+            .unwrap_or(0.0);
+        prop_assert!((share - w).abs() < 0.02, "{share} vs {w}");
+    }
+}

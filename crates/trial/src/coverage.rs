@@ -1,0 +1,209 @@
+//! Empirical coverage validation of the interval estimators.
+//!
+//! A confidence-interval method is only trustworthy if, over repeated
+//! trials, it covers the true parameter at (at least) its nominal rate.
+//! This module replays many simulated trials against a known ground-truth
+//! model and tallies coverage per parameter — the calibration experiment a
+//! real screening programme could never afford to run.
+
+use rand::Rng;
+
+use hmdiv_core::{DemandProfile, SequentialModel};
+use hmdiv_prob::estimate::CiMethod;
+use hmdiv_sim::table_driven;
+
+use crate::estimate::estimate_stratified;
+use crate::TrialError;
+
+/// Coverage tallies for one parameter of one class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageRecord {
+    /// Class name.
+    pub class: String,
+    /// Parameter name (`"PMf"`, `"PHf|Ms"`, `"PHf|Mf"`).
+    pub parameter: &'static str,
+    /// Number of replications where the parameter was estimable.
+    pub attempts: u64,
+    /// Number of replications whose interval covered the truth.
+    pub covered: u64,
+}
+
+impl CoverageRecord {
+    /// The empirical coverage rate, or `None` with no attempts.
+    #[must_use]
+    pub fn rate(&self) -> Option<f64> {
+        (self.attempts > 0).then(|| self.covered as f64 / self.attempts as f64)
+    }
+}
+
+/// Runs `replications` simulated trials of `cases_per_trial` cases each and
+/// tallies how often the `method` intervals at `level` cover the true
+/// parameters of `model`.
+///
+/// # Errors
+///
+/// * [`TrialError::InvalidDesign`] if `replications` or `cases_per_trial`
+///   is zero.
+/// * Simulation/estimation errors.
+pub fn coverage_experiment<R: Rng + ?Sized>(
+    model: &SequentialModel,
+    profile: &DemandProfile,
+    cases_per_trial: u64,
+    replications: u64,
+    method: CiMethod,
+    level: f64,
+    rng: &mut R,
+) -> Result<Vec<CoverageRecord>, TrialError> {
+    if replications == 0 {
+        return Err(TrialError::InvalidDesign {
+            value: 0.0,
+            context: "replication count",
+        });
+    }
+    if cases_per_trial == 0 {
+        return Err(TrialError::InvalidDesign {
+            value: 0.0,
+            context: "cases per trial",
+        });
+    }
+    let mut records: Vec<CoverageRecord> = Vec::new();
+    let mut bump = |class: &str, parameter: &'static str, covered: bool| {
+        if let Some(rec) = records
+            .iter_mut()
+            .find(|r| r.class == class && r.parameter == parameter)
+        {
+            rec.attempts += 1;
+            rec.covered += u64::from(covered);
+        } else {
+            records.push(CoverageRecord {
+                class: class.to_owned(),
+                parameter,
+                attempts: 1,
+                covered: u64::from(covered),
+            });
+        }
+    };
+    for _ in 0..replications {
+        let counts = table_driven::simulate(model, profile, cases_per_trial, rng)
+            .map_err(TrialError::from)?;
+        let Ok(estimates) = estimate_stratified(&counts, method, level, true) else {
+            continue; // trial too sparse to estimate anything: skip
+        };
+        for est in &estimates.classes {
+            let truth = model.params().class(&est.class).map_err(TrialError::from)?;
+            bump(est.class.name(), "PMf", est.p_mf_ci.contains(truth.p_mf()));
+            bump(
+                est.class.name(),
+                "PHf|Ms",
+                est.p_hf_given_ms_ci.contains(truth.p_hf_given_ms()),
+            );
+            bump(
+                est.class.name(),
+                "PHf|Mf",
+                est.p_hf_given_mf_ci.contains(truth.p_hf_given_mf()),
+            );
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmdiv_core::paper;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wilson_coverage_near_nominal() {
+        let model = paper::example_model().unwrap();
+        let profile = paper::trial_profile().unwrap();
+        let mut rng = StdRng::seed_from_u64(404);
+        let records = coverage_experiment(
+            &model,
+            &profile,
+            2_000,
+            300,
+            CiMethod::Wilson,
+            0.95,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(!records.is_empty());
+        for rec in &records {
+            let rate = rec.rate().unwrap();
+            // 300 replications: 3σ of a 95% coverage estimate is ~0.038.
+            assert!(
+                rate > 0.90,
+                "{}/{}: coverage {rate} over {} attempts",
+                rec.class,
+                rec.parameter,
+                rec.attempts
+            );
+        }
+    }
+
+    #[test]
+    fn clopper_pearson_is_conservative() {
+        let model = paper::example_model().unwrap();
+        let profile = paper::trial_profile().unwrap();
+        let mut rng = StdRng::seed_from_u64(405);
+        let records = coverage_experiment(
+            &model,
+            &profile,
+            1_000,
+            200,
+            CiMethod::ClopperPearson,
+            0.90,
+            &mut rng,
+        )
+        .unwrap();
+        for rec in &records {
+            // Exact intervals must cover at least nominally (minus MC noise).
+            assert!(rec.rate().unwrap() > 0.86, "{rec:?}");
+        }
+    }
+
+    #[test]
+    fn wald_undercovers_on_sparse_conditionals() {
+        // The comparison that justifies Wilson as the default: at small
+        // machine-failure counts Wald's coverage of PHf|Mf dips visibly.
+        let model = paper::example_model().unwrap();
+        let profile = paper::trial_profile().unwrap();
+        let mut rng = StdRng::seed_from_u64(406);
+        let wald = coverage_experiment(&model, &profile, 300, 300, CiMethod::Wald, 0.95, &mut rng)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(406);
+        let wilson =
+            coverage_experiment(&model, &profile, 300, 300, CiMethod::Wilson, 0.95, &mut rng)
+                .unwrap();
+        let rate = |recs: &[CoverageRecord], class: &str, param: &str| {
+            recs.iter()
+                .find(|r| r.class == class && r.parameter == param)
+                .and_then(CoverageRecord::rate)
+                .unwrap_or(0.0)
+        };
+        // Easy class has PMf = 0.07: at 300 trial cases only ~17 machine
+        // failures per trial, where Wald misbehaves.
+        let wald_rate = rate(&wald, "easy", "PHf|Mf");
+        let wilson_rate = rate(&wilson, "easy", "PHf|Mf");
+        assert!(
+            wilson_rate >= wald_rate,
+            "wilson {wilson_rate} should not undercover relative to wald {wald_rate}"
+        );
+        assert!(wilson_rate > 0.88, "{wilson_rate}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let model = paper::example_model().unwrap();
+        let profile = paper::trial_profile().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(
+            coverage_experiment(&model, &profile, 0, 10, CiMethod::Wilson, 0.95, &mut rng).is_err()
+        );
+        assert!(
+            coverage_experiment(&model, &profile, 10, 0, CiMethod::Wilson, 0.95, &mut rng).is_err()
+        );
+    }
+}

@@ -1,0 +1,107 @@
+use std::error::Error;
+use std::fmt;
+
+use hmdiv_core::ModelError;
+use hmdiv_prob::ProbError;
+use hmdiv_sim::SimError;
+
+/// Error type for the trial harness.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TrialError {
+    /// A design parameter was invalid.
+    InvalidDesign {
+        /// The offending value.
+        value: f64,
+        /// What it configures.
+        context: &'static str,
+    },
+    /// A class had too little data to estimate a required conditional.
+    Inestimable {
+        /// The class name.
+        class: String,
+        /// Which parameter could not be estimated.
+        parameter: &'static str,
+    },
+    /// An underlying simulation failed.
+    Sim(SimError),
+    /// An underlying model operation failed.
+    Model(ModelError),
+    /// An underlying probability operation failed.
+    Prob(ProbError),
+}
+
+impl fmt::Display for TrialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrialError::InvalidDesign { value, context } => {
+                write!(f, "invalid trial design {context}: {value}")
+            }
+            TrialError::Inestimable { class, parameter } => {
+                write!(
+                    f,
+                    "class `{class}` has too little data to estimate {parameter}"
+                )
+            }
+            TrialError::Sim(e) => write!(f, "simulation error: {e}"),
+            TrialError::Model(e) => write!(f, "model error: {e}"),
+            TrialError::Prob(e) => write!(f, "probability error: {e}"),
+        }
+    }
+}
+
+impl Error for TrialError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TrialError::Sim(e) => Some(e),
+            TrialError::Model(e) => Some(e),
+            TrialError::Prob(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for TrialError {
+    fn from(e: SimError) -> Self {
+        TrialError::Sim(e)
+    }
+}
+
+impl From<ModelError> for TrialError {
+    fn from(e: ModelError) -> Self {
+        TrialError::Model(e)
+    }
+}
+
+impl From<ProbError> for TrialError {
+    fn from(e: ProbError) -> Self {
+        TrialError::Prob(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let errors: Vec<TrialError> = vec![
+            TrialError::InvalidDesign {
+                value: -1.0,
+                context: "case count",
+            },
+            TrialError::Inestimable {
+                class: "difficult".into(),
+                parameter: "PHf|Mf",
+            },
+            TrialError::Sim(SimError::EmptyRun { context: "cases" }),
+            TrialError::Model(ModelError::Empty { context: "profile" }),
+            TrialError::Prob(ProbError::Empty { context: "weights" }),
+        ];
+        for e in &errors {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(errors[2].source().is_some());
+        assert!(errors[0].source().is_none());
+    }
+}

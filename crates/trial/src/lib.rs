@@ -1,0 +1,49 @@
+//! Trial and evaluation harness for the `hmdiv` workspace.
+//!
+//! The paper's methodology runs in three steps: measure per-class
+//! conditional probabilities in a *controlled trial* (necessarily enriched
+//! in cancers), plug them into the clear-box model, and *extrapolate* to the
+//! field demand profile. This crate automates that pipeline against the
+//! simulator:
+//!
+//! * [`design`] — trial specifications (size, enrichment, seed).
+//! * [`run`] — execute a trial of a simulated [`World`] and collect the
+//!   stratified outcome tables.
+//! * [`estimate`] — turn tables into per-class parameter estimates with
+//!   confidence intervals (Wilson by default) and Bayesian posteriors.
+//! * [`extrapolate`] — the end-to-end validation loop: trial → estimate →
+//!   predict field dependability → compare against a direct field
+//!   simulation. This is the experiment the paper could only argue for;
+//!   the simulator lets us close the loop.
+//! * [`report`] — paper-style table formatting.
+//!
+//! [`World`]: hmdiv_sim::engine::World
+//!
+//! # Example
+//!
+//! ```
+//! use hmdiv_trial::{design::TrialDesign, run::run_trial};
+//! use hmdiv_sim::scenario;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let world = scenario::default_world()?;
+//! let design = TrialDesign::new("smoke", 4_000, 0.5, 42)?;
+//! let data = run_trial(&world, &design)?;
+//! assert!(data.report.cancer_cases() > 1_000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod coverage;
+pub mod design;
+mod error;
+pub mod estimate;
+pub mod extrapolate;
+pub mod power;
+pub mod report;
+pub mod run;
+
+pub use error::TrialError;

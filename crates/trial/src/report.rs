@@ -1,0 +1,173 @@
+//! Paper-style table formatting.
+//!
+//! Renders parameter tables and prediction tables in the layout of the
+//! paper's §5, for the `repro` binary and examples. Formatting only — no
+//! statistics happen here.
+
+use std::fmt::Write as _;
+
+use hmdiv_core::{DemandProfile, ModelError, SequentialModel};
+
+use crate::estimate::EstimatedParams;
+
+/// Renders table 1 of the paper: demand profiles and model parameters per
+/// class.
+///
+/// # Errors
+///
+/// [`ModelError::MissingClass`] if a profile class has no parameters.
+pub fn render_table1(
+    model: &SequentialModel,
+    trial: &DemandProfile,
+    field: &DemandProfile,
+) -> Result<String, ModelError> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}",
+        "class", "p(trial)", "p(field)", "PMf", "PMs", "PHf|Mf", "PHf|Ms"
+    );
+    for (class, w_trial) in trial.iter() {
+        let cp = model.params().class(class)?;
+        let w_field = field.weight(class.name()).map(|p| p.value()).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>9.2} {:>9.2}",
+            class.name(),
+            w_trial.value(),
+            w_field,
+            cp.p_mf().value(),
+            cp.p_ms().value(),
+            cp.p_hf_given_mf().value(),
+            cp.p_hf_given_ms().value(),
+        );
+    }
+    Ok(out)
+}
+
+/// Renders table 2/3 of the paper: per-class and all-cases failure
+/// probabilities under the trial and field profiles.
+///
+/// # Errors
+///
+/// [`ModelError::MissingClass`] if a profile class has no parameters.
+pub fn render_failure_table(
+    model: &SequentialModel,
+    trial: &DemandProfile,
+    field: &DemandProfile,
+) -> Result<String, ModelError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<14} {:>12}", "class", "P(failure)");
+    for (class, _) in trial.iter() {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12.3}",
+            format!("{} cases", class.name()),
+            model.class_failure(class)?.value()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<14} {:>12.3} (trial)  {:>8.3} (field)",
+        "all cases",
+        model.system_failure(trial)?.value(),
+        model.system_failure(field)?.value()
+    );
+    Ok(out)
+}
+
+/// Renders estimated parameters with confidence intervals.
+#[must_use]
+pub fn render_estimates(estimates: &EstimatedParams) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>6} {:>22} {:>22} {:>22}",
+        "class", "cases", "PMf", "PHf|Ms", "PHf|Mf"
+    );
+    for est in &estimates.classes {
+        let fmt_ci = |point: f64, ci: &hmdiv_prob::estimate::ConfidenceInterval| {
+            format!(
+                "{:.3} [{:.3},{:.3}]",
+                point,
+                ci.lo().value(),
+                ci.hi().value()
+            )
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>22} {:>22} {:>22}",
+            est.class.name(),
+            est.cases,
+            fmt_ci(est.point.p_mf().value(), &est.p_mf_ci),
+            fmt_ci(est.point.p_hf_given_ms().value(), &est.p_hf_given_ms_ci),
+            fmt_ci(est.point.p_hf_given_mf().value(), &est.p_hf_given_mf_ci),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmdiv_core::paper;
+
+    #[test]
+    fn table1_contains_paper_values() {
+        let s = render_table1(
+            &paper::example_model().unwrap(),
+            &paper::trial_profile().unwrap(),
+            &paper::field_profile().unwrap(),
+        )
+        .unwrap();
+        assert!(s.contains("easy"), "{s}");
+        assert!(s.contains("0.07"), "{s}");
+        assert!(s.contains("0.41"), "{s}");
+        assert!(s.contains("0.90"), "{s}");
+    }
+
+    #[test]
+    fn failure_table_matches_paper_rounding() {
+        let s = render_failure_table(
+            &paper::example_model().unwrap(),
+            &paper::trial_profile().unwrap(),
+            &paper::field_profile().unwrap(),
+        )
+        .unwrap();
+        assert!(s.contains("0.143"), "{s}");
+        assert!(s.contains("0.605"), "{s}");
+        assert!(s.contains("0.235"), "{s}");
+        assert!(s.contains("0.189"), "{s}");
+    }
+
+    #[test]
+    fn estimates_render_with_intervals() {
+        use crate::estimate::estimate_stratified;
+        use hmdiv_core::ClassId;
+        use hmdiv_prob::counts::StratifiedCounts;
+        use hmdiv_prob::estimate::CiMethod;
+        let mut counts: StratifiedCounts<ClassId> = StratifiedCounts::new();
+        for i in 0..200u32 {
+            counts.record(ClassId::new("easy"), i % 10 == 0, i % 7 == 0);
+        }
+        let est = estimate_stratified(&counts, CiMethod::Wilson, 0.95, true).unwrap();
+        let s = render_estimates(&est);
+        assert!(s.contains("easy"), "{s}");
+        assert!(s.contains('['), "intervals rendered: {s}");
+        assert!(s.contains("200"), "case counts rendered: {s}");
+    }
+
+    #[test]
+    fn missing_class_is_error() {
+        let profile = DemandProfile::builder()
+            .class("ghost", 1.0)
+            .build()
+            .unwrap();
+        assert!(render_table1(
+            &paper::example_model().unwrap(),
+            &profile,
+            &paper::field_profile().unwrap()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Trial execution.
+
+use hmdiv_sim::engine::{SimConfig, Simulation, SimulationReport, World};
+
+use crate::design::TrialDesign;
+use crate::TrialError;
+
+/// The raw product of a trial: the design it followed and the stratified
+/// outcome tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialData {
+    /// The design that was executed.
+    pub design: TrialDesign,
+    /// The collected outcome tables.
+    pub report: SimulationReport,
+}
+
+/// Runs a controlled trial of `world`'s team on an *enriched* version of
+/// `world`'s population, per the design.
+///
+/// # Errors
+///
+/// Propagates simulation errors ([`TrialError::Sim`]).
+pub fn run_trial(world: &World, design: &TrialDesign) -> Result<TrialData, TrialError> {
+    let mut population = world
+        .population
+        .with_prevalence(design.enriched_prevalence());
+    if !design.oversample().is_empty() {
+        population = population
+            .with_cancer_mix_reweighted(|spec, w| {
+                let factor = design
+                    .oversample()
+                    .iter()
+                    .filter(|(name, _)| name == spec.class.name())
+                    .map(|(_, f)| f)
+                    .product::<f64>();
+                w.value() * factor
+            })
+            .map_err(TrialError::from)?;
+    }
+    let enriched = World {
+        population,
+        team: world.team.clone(),
+    };
+    let report = Simulation::new(
+        enriched,
+        SimConfig {
+            cases: design.cases(),
+            seed: design.seed(),
+            threads: design.threads(),
+        },
+    )
+    .run()
+    .map_err(TrialError::from)?;
+    Ok(TrialData {
+        design: design.clone(),
+        report,
+    })
+}
+
+/// Runs the team on the *field* population directly (ground truth for
+/// validating extrapolation; infeasible in reality, cheap in simulation).
+///
+/// # Errors
+///
+/// Propagates simulation errors ([`TrialError::Sim`]).
+pub fn run_field_study(
+    world: &World,
+    cases: u64,
+    seed: u64,
+    threads: usize,
+) -> Result<SimulationReport, TrialError> {
+    Simulation::new(
+        world.clone(),
+        SimConfig {
+            cases,
+            seed,
+            threads,
+        },
+    )
+    .run()
+    .map_err(TrialError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmdiv_sim::scenario;
+
+    #[test]
+    fn trial_enriches_prevalence() {
+        let world = scenario::default_world().unwrap();
+        let design = TrialDesign::new("t", 6000, 0.5, 3).unwrap();
+        let data = run_trial(&world, &design).unwrap();
+        let frac = data.report.cancer_cases() as f64 / data.report.total_cases() as f64;
+        assert!((frac - 0.5).abs() < 0.03, "{frac}");
+        assert_eq!(data.design.name(), "t");
+    }
+
+    #[test]
+    fn field_study_keeps_field_prevalence() {
+        let world = scenario::default_world().unwrap();
+        let report = run_field_study(&world, 40_000, 4, 4).unwrap();
+        let frac = report.cancer_cases() as f64 / report.total_cases() as f64;
+        assert!(frac < 0.02, "{frac}");
+    }
+
+    #[test]
+    fn oversampling_distorts_the_class_mix() {
+        let world = scenario::default_world().unwrap();
+        let plain = TrialDesign::new("plain", 20_000, 0.5, 6).unwrap();
+        let skewed = TrialDesign::new("skewed", 20_000, 0.5, 6)
+            .unwrap()
+            .with_oversample("difficult", 4.0)
+            .unwrap();
+        let share = |data: &TrialData| {
+            let total = data.report.cancer_counts().pooled().total() as f64;
+            data.report
+                .cancer_counts()
+                .stratum(&hmdiv_core::ClassId::new("difficult"))
+                .map(|t| t.total() as f64 / total)
+                .unwrap_or(0.0)
+        };
+        let plain_share = share(&run_trial(&world, &plain).unwrap());
+        let skewed_share = share(&run_trial(&world, &skewed).unwrap());
+        assert!(
+            skewed_share > plain_share + 0.2,
+            "{plain_share} vs {skewed_share}"
+        );
+    }
+
+    #[test]
+    fn trials_are_reproducible() {
+        let world = scenario::default_world().unwrap();
+        let design = TrialDesign::new("r", 2000, 0.5, 9).unwrap();
+        let a = run_trial(&world, &design).unwrap();
+        let b = run_trial(&world, &design).unwrap();
+        assert_eq!(a.report, b.report);
+    }
+}

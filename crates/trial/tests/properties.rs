@@ -1,0 +1,96 @@
+//! Property-based tests of the trial harness over random ground truths:
+//! the estimate → predict loop must be consistent for ANY generating model,
+//! and the planner's guarantees must hold wherever they are claimed.
+
+use hmdiv_core::{ClassParams, DemandProfile, ModelParams, SequentialModel};
+use hmdiv_prob::estimate::CiMethod;
+use hmdiv_prob::Probability;
+use hmdiv_trial::estimate::estimate_stratified;
+use hmdiv_trial::power::sample_size_for_proportion;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn p(v: f64) -> Probability {
+    Probability::new(v).unwrap()
+}
+
+fn interior() -> impl Strategy<Value = f64> {
+    0.05..=0.95f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn estimation_recovers_any_generating_model(
+        mf_a in interior(), ms_a in interior(), mfc_a in interior(),
+        mf_b in interior(), ms_b in interior(), mfc_b in interior(),
+        w in 0.2..=0.8f64, seed in 0u64..500
+    ) {
+        let truth = SequentialModel::new(
+            ModelParams::builder()
+                .class("a", ClassParams::new(p(mf_a), p(ms_a), p(mfc_a)))
+                .class("b", ClassParams::new(p(mf_b), p(ms_b), p(mfc_b)))
+                .build()
+                .unwrap(),
+        );
+        let profile = DemandProfile::builder().class("a", w).class("b", 1.0 - w).build().unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts =
+            hmdiv_sim::table_driven::simulate(&truth, &profile, 40_000, &mut rng).unwrap();
+        let est = estimate_stratified(&counts, CiMethod::Wilson, 0.99, true).unwrap();
+        // At the 99% level, individual interval misses still happen at ~1%
+        // per interval — so assert coverage of the SET: at most one of the
+        // six intervals may miss, and every point estimate must be close.
+        let mut misses = 0;
+        for ce in &est.classes {
+            let t = truth.params().class(&ce.class).unwrap();
+            misses += i32::from(!ce.p_mf_ci.contains(t.p_mf()));
+            misses += i32::from(!ce.p_hf_given_ms_ci.contains(t.p_hf_given_ms()));
+            misses += i32::from(!ce.p_hf_given_mf_ci.contains(t.p_hf_given_mf()));
+            prop_assert!((ce.point.p_mf().value() - t.p_mf().value()).abs() < 0.05);
+            prop_assert!(
+                (ce.point.p_hf_given_ms().value() - t.p_hf_given_ms().value()).abs() < 0.07
+            );
+            prop_assert!(
+                (ce.point.p_hf_given_mf().value() - t.p_hf_given_mf().value()).abs() < 0.07
+            );
+        }
+        prop_assert!(misses <= 1, "{misses} of 6 intervals missed at the 99% level");
+        // The point model's prediction of the generating profile's failure
+        // rate lands near the truth's.
+        let fitted = est.point_model().unwrap();
+        let a = fitted.system_failure(&profile).unwrap().value();
+        let b = truth.system_failure(&profile).unwrap().value();
+        prop_assert!((a - b).abs() < 0.02, "{a} vs {b}");
+        // Interval bounds bracket both.
+        let (lo, hi) = est
+            .interval_model()
+            .unwrap()
+            .system_failure_bounds(&profile)
+            .unwrap();
+        prop_assert!(lo.value() <= a + 1e-12 && a <= hi.value() + 1e-12);
+    }
+
+    #[test]
+    fn sample_size_monotone_in_margin_and_level(
+        prop_p in 0.01..=0.5f64, margin in 0.01..=0.2f64
+    ) {
+        let n = sample_size_for_proportion(prop_p, margin, 0.95).unwrap();
+        let tighter = sample_size_for_proportion(prop_p, margin / 2.0, 0.95).unwrap();
+        prop_assert!(tighter >= n, "halving the margin cannot shrink the trial");
+        let surer = sample_size_for_proportion(prop_p, margin, 0.99).unwrap();
+        prop_assert!(surer >= n, "raising the level cannot shrink the trial");
+    }
+
+    #[test]
+    fn sample_size_delivers_wald_margin(prop_p in 0.05..=0.5f64, margin in 0.02..=0.1f64) {
+        // At the planned n, the Wald half-width at the anticipated p is
+        // within the margin.
+        let n = sample_size_for_proportion(prop_p, margin, 0.95).unwrap();
+        let half = 1.959_963_984_540_054
+            * (prop_p * (1.0 - prop_p) / n as f64).sqrt();
+        prop_assert!(half <= margin * (1.0 + 1e-9), "{half} > {margin}");
+    }
+}

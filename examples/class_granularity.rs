@@ -1,0 +1,108 @@
+//! The §6.2 class-granularity pitfall, demonstrated end to end.
+//!
+//! A high coherence index `t(x)` measured for a class may be genuine
+//! human–machine coupling — or an artefact of lumping together subclasses of
+//! different difficulty. This example builds a world where the reader is
+//! *completely indifferent* to the machine within each subclass, merges the
+//! subclasses the way a class-blind trial would, and shows:
+//!
+//! 1. the merged class reports a large, spurious `t`;
+//! 2. predictions under the *measured* profile are still exact (merging is
+//!    lossless for the environment it was measured in);
+//! 3. extrapolation to a new case mix goes wrong for the coarse model and
+//!    right for the fine one — the cost of the artefact;
+//! 4. the sensitivity toolkit shows where the prediction uncertainty lives.
+//!
+//! ```text
+//! cargo run --example class_granularity
+//! ```
+
+use hmdiv::core::aggregation::{coarsen, merge_classes};
+use hmdiv::core::sensitivity::{delta_method_variance, gradients};
+use hmdiv::core::{ClassId, ClassParams, DemandProfile, ModelParams, SequentialModel};
+use hmdiv::prob::Probability;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let p = |v: f64| Probability::new(v).expect("literal probability");
+
+    // Within each subclass the reader ignores the machine: t = 0 exactly.
+    let fine_model = SequentialModel::new(
+        ModelParams::builder()
+            .class(
+                "screening-easy",
+                ClassParams::new(p(0.05), p(0.10), p(0.10)),
+            )
+            .class(
+                "screening-hard",
+                ClassParams::new(p(0.60), p(0.80), p(0.80)),
+            )
+            .build()?,
+    );
+    let measured_profile = DemandProfile::builder()
+        .class("screening-easy", 0.7)
+        .class("screening-hard", 0.3)
+        .build()?;
+
+    println!("== fine-grained truth ==");
+    for (class, cp) in fine_model.params().iter() {
+        println!("  {class}: {cp}, t(x) = {:.3}", cp.coherence_index());
+    }
+
+    let members = [
+        ClassId::new("screening-easy"),
+        ClassId::new("screening-hard"),
+    ];
+    let merged = merge_classes(&fine_model, &measured_profile, &members)?;
+    println!("\n== what a class-blind trial measures ==");
+    println!(
+        "  merged: {}, t = {:.3}  <-- spurious coupling!",
+        merged.params,
+        merged.coherence_index()
+    );
+
+    let (coarse_model, coarse_profile) = coarsen(&fine_model, &measured_profile, &members)?;
+    println!("\n== predictions under the measured mix (both exact) ==");
+    println!(
+        "  fine:   {:.5}",
+        fine_model.system_failure(&measured_profile)?.value()
+    );
+    println!(
+        "  coarse: {:.5}",
+        coarse_model.system_failure(&coarse_profile)?.value()
+    );
+
+    // The environment changes: hard cases double in share.
+    let new_profile = DemandProfile::builder()
+        .class("screening-easy", 0.4)
+        .class("screening-hard", 0.6)
+        .build()?;
+    let truth = fine_model.system_failure(&new_profile)?.value();
+    // The coarse observer can't see the shift; their single class keeps its
+    // parameters.
+    let coarse_stuck = coarse_model.system_failure(&coarse_profile)?.value();
+    println!("\n== extrapolating to a harder case mix (easy 40% / hard 60%) ==");
+    println!("  fine model (correct):      {truth:.5}");
+    println!("  coarse model (stuck):      {coarse_stuck:.5}");
+    println!("  coarse bias:               {:+.5}", coarse_stuck - truth);
+
+    println!("\n== sensitivity: where does prediction uncertainty live? ==");
+    for g in gradients(&fine_model, &new_profile)? {
+        let (name, value) = g.dominant();
+        println!(
+            "  {}: dPHf/dPMf = {:+.3}, dominant parameter {} ({:+.3})",
+            g.class, g.d_p_mf, name, value
+        );
+    }
+    let (var, contributions) = delta_method_variance(&fine_model, &new_profile, |_, _| 0.02)?;
+    println!(
+        "  delta-method sd with ±0.02 parameter SEs: {:.4}",
+        var.sqrt()
+    );
+    for (class, share) in contributions {
+        println!(
+            "    {class}: {:.1}% of prediction variance",
+            100.0 * share / var
+        );
+    }
+    Ok(())
+}

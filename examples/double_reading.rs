@@ -1,0 +1,129 @@
+//! Double reading and team configurations (§7), analytically and by
+//! simulation.
+//!
+//! Compares the false-negative rate of single reading, UK-style double
+//! reading (unilateral recall), consensus, arbitration, and a pair of less
+//! qualified readers — first with the analytic team model over the paper's
+//! parameter table, then with the behavioural simulator to confirm the same
+//! ordering emerges from micro-level behaviour.
+//!
+//! ```text
+//! cargo run --release --example double_reading
+//! ```
+
+use hmdiv::core::multi_reader::{CombinationRule, ReaderSkill, TeamModel};
+use hmdiv::core::paper;
+use hmdiv::prob::Probability;
+use hmdiv::sim::engine::{SimConfig, Simulation, World};
+use hmdiv::sim::protocol::DecisionRule;
+use hmdiv::sim::scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    analytic()?;
+    simulated()?;
+    Ok(())
+}
+
+fn analytic() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== analytic team model (paper parameters, field profile) ==");
+    let p = |v: f64| Probability::new(v).expect("literal probability");
+    let expert = ReaderSkill::builder()
+        .class("easy", p(0.14), p(0.18))
+        .class("difficult", p(0.4), p(0.9))
+        .build()?;
+    let machine = |b: hmdiv::core::multi_reader::TeamModelBuilder| {
+        b.machine("easy", p(0.07)).machine("difficult", p(0.41))
+    };
+    let field = paper::field_profile()?;
+    let rows: Vec<(&str, TeamModel)> = vec![
+        (
+            "single reader + CADT",
+            machine(TeamModel::builder())
+                .reader(expert.clone())
+                .build()?,
+        ),
+        (
+            "double reading + CADT (either recalls)",
+            machine(TeamModel::builder())
+                .reader(expert.clone())
+                .reader(expert.clone())
+                .rule(CombinationRule::EitherRecalls)
+                .build()?,
+        ),
+        (
+            "double reading + CADT (arbitrated)",
+            machine(TeamModel::builder())
+                .reader(expert.clone())
+                .reader(expert.clone())
+                .rule(CombinationRule::Arbitrated {
+                    arbiter: expert.clone(),
+                })
+                .build()?,
+        ),
+        (
+            "double reading + CADT (consensus)",
+            machine(TeamModel::builder())
+                .reader(expert.clone())
+                .reader(expert)
+                .rule(CombinationRule::Consensus)
+                .build()?,
+        ),
+    ];
+    for (name, team) in &rows {
+        println!(
+            "{:<42} P(FN) = {:.5}",
+            name,
+            team.system_failure(&field)?.value()
+        );
+    }
+    println!();
+    Ok(())
+}
+
+fn simulated() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== behavioural simulation (enriched population, 200k cases) ==");
+    let run = |world: World, label: &str| -> Result<(), Box<dyn std::error::Error>> {
+        let report = Simulation::new(
+            world,
+            SimConfig {
+                cases: 200_000,
+                seed: 808,
+                threads: 4,
+            },
+        )
+        .run()?;
+        println!(
+            "{:<42} FN rate {:.4}, FP rate {:.4}",
+            label,
+            report.fn_rate().map(|p| p.value()).unwrap_or(f64::NAN),
+            report.fp_rate().map(|p| p.value()).unwrap_or(f64::NAN)
+        );
+        Ok(())
+    };
+
+    let enrich = |mut world: World| -> Result<World, Box<dyn std::error::Error>> {
+        world.population = scenario::trial_population()?;
+        Ok(world)
+    };
+
+    run(
+        enrich(scenario::unaided_world()?)?,
+        "single expert, unaided",
+    )?;
+    run(enrich(scenario::default_world()?)?, "single expert + CADT")?;
+    run(
+        enrich(scenario::double_reading_world()?)?,
+        "double experts + CADT (either recalls)",
+    )?;
+    run(
+        enrich(scenario::novice_pair_world()?)?,
+        "two novices + CADT (either recalls)",
+    )?;
+
+    // Consensus variant assembled by hand.
+    let mut consensus = scenario::double_reading_world()?;
+    consensus.population = scenario::trial_population()?;
+    consensus.team.rule = DecisionRule::Consensus;
+    run(consensus, "double experts + CADT (consensus)")?;
+    Ok(())
+}

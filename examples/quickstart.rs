@@ -1,0 +1,49 @@
+//! Quickstart: reproduce the paper's headline numbers in a few lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use hmdiv::core::decomposition::decompose;
+use hmdiv::core::extrapolate::Scenario;
+use hmdiv::core::{paper, ClassId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's §5 worked example: two classes of cases, a CADT, a reader.
+    let model = paper::example_model()?;
+    let trial = paper::trial_profile()?;
+    let field = paper::field_profile()?;
+
+    // Table 2: system failure probability under each demand profile.
+    println!(
+        "P(false negative), trial profile: {:.3}",
+        model.system_failure(&trial)?.value()
+    );
+    println!(
+        "P(false negative), field profile: {:.3}",
+        model.system_failure(&field)?.value()
+    );
+
+    // Table 3: which class should the CADT designers improve?
+    for class in ["easy", "difficult"] {
+        let prediction = Scenario::new()
+            .improve_machine(ClassId::new(class), 10.0)
+            .predict(&model, &field)?;
+        println!(
+            "improve CADT x10 on {class:<10} -> field failure {:.3} (gain {:.4})",
+            prediction.after.value(),
+            prediction.improvement()
+        );
+    }
+
+    // §6.2: the covariance term explains why the rare difficult cases win.
+    let d = decompose(&model, &field)?;
+    println!(
+        "eq. (10): E[PHf|Ms] {:.3} + E[PMf]E[t] {:.4} + cov {:.4} = {:.3}",
+        d.mean_hf_given_ms,
+        d.mean_field_term(),
+        d.covariance,
+        d.direct.value()
+    );
+    Ok(())
+}

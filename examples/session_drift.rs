@@ -1,0 +1,61 @@
+//! Reader drift over a long reading session (§5's "indirect effects").
+//!
+//! Simulates a screening session where the reader fatigues and adapts to
+//! the CADT's precision, printing the per-batch false-negative rate and the
+//! drifting behavioural parameters. This is the data that would tell an
+//! assessor whether the static per-class model needs per-period refitting.
+//!
+//! ```text
+//! cargo run --release --example session_drift
+//! ```
+
+use hmdiv::sim::cadt::Cadt;
+use hmdiv::sim::reader::Reader;
+use hmdiv::sim::scenario;
+use hmdiv::sim::session::{run_session, DriftConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let population = scenario::trial_population()?;
+    let cadt = Cadt::default_detector()?;
+    let reader = Reader::expert();
+
+    for (label, drift) in [
+        ("static reader (control)", DriftConfig::none()),
+        (
+            "fatiguing reader",
+            DriftConfig {
+                fatigue_per_1000: 0.10,
+                trust_learning_rate: 0.0,
+                complacency_coupling: 0.0,
+            },
+        ),
+        (
+            "adapting + complacent reader",
+            DriftConfig {
+                fatigue_per_1000: 0.02,
+                trust_learning_rate: 0.01,
+                complacency_coupling: 0.7,
+            },
+        ),
+    ] {
+        println!("== {label} ==");
+        println!(
+            "{:>5} {:>8} {:>9} {:>11} {:>12} {:>9}",
+            "batch", "FN rate", "lapse", "trust", "neglect", "cancers"
+        );
+        let series = run_session(&population, &cadt, &reader, &drift, 8, 2_000, 4242)?;
+        for b in &series {
+            println!(
+                "{:>5} {:>8.3} {:>9.3} {:>11.3} {:>12.3} {:>9}",
+                b.batch,
+                b.fn_rate().unwrap_or(f64::NAN),
+                b.lapse_rate,
+                b.prompt_trust,
+                b.unprompted_neglect,
+                b.cancers
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,122 @@
+//! Residual conditional-dependence validation.
+//!
+//! The paper's models assume that, *within a class and given the machine
+//! outcome*, failures of distinct readers are independent — and warns that
+//! this only holds if the classification is fine enough. The behavioural
+//! simulator's classes are deliberately coarse (difficulty varies within a
+//! class), so two readers' failures remain correlated inside each stratum.
+//! This test measures that residual correlation, shows the independent team
+//! model *underpredicts* the double-reading FN rate because of it, and
+//! shows the correlated evaluation with the measured phi closes most of the
+//! gap.
+
+use hmdiv::core::multi_reader::pair_failure_with_correlation;
+use hmdiv::core::ClassId;
+use hmdiv::sim::engine::{SimConfig, Simulation};
+use hmdiv::sim::scenario;
+
+#[test]
+fn residual_correlation_breaks_independence_and_phi_repairs_it() {
+    // Double reading, enriched population, plenty of cases.
+    let mut world = scenario::double_reading_world().unwrap();
+    world.population = scenario::trial_population().unwrap();
+    let report = Simulation::new(
+        world,
+        SimConfig {
+            cases: 250_000,
+            seed: 314,
+            threads: 4,
+        },
+    )
+    .run()
+    .unwrap();
+
+    // Measured team FN rate (ground truth for this world).
+    let simulated_fn = report.fn_rate().unwrap().value();
+
+    // Per-reader marginal tables.
+    let models = report.estimated_reader_models().unwrap();
+    assert_eq!(models.len(), 2);
+
+    // Build the independent and the phi-corrected predictions per
+    // (class, machine outcome) stratum, weighted by observed frequencies.
+    let mut independent = 0.0;
+    let mut corrected = 0.0;
+    let mut total_cases = 0.0;
+    let mut saw_positive_phi = false;
+    for (class, table) in report.cancer_counts().iter() {
+        let class: &ClassId = class;
+        let n_class = table.total() as f64;
+        total_cases += n_class;
+        let p_mf = table.machine_failures() as f64 / n_class;
+        for (machine_failed, weight) in [(true, p_mf), (false, 1.0 - p_mf)] {
+            let p1 = conditional(&models[0], class, machine_failed);
+            let p2 = conditional(&models[1], class, machine_failed);
+            let phi = report.reader_pair_phi(class, machine_failed).unwrap_or(0.0);
+            if phi > 0.05 {
+                saw_positive_phi = true;
+            }
+            independent += n_class * weight * (p1 * p2);
+            corrected += n_class
+                * weight
+                * pair_failure_with_correlation(
+                    hmdiv::prob::Probability::clamped(p1),
+                    hmdiv::prob::Probability::clamped(p2),
+                    phi,
+                )
+                .value();
+        }
+    }
+    independent /= total_cases;
+    corrected /= total_cases;
+
+    assert!(
+        saw_positive_phi,
+        "shared within-class difficulty must leave positive phi"
+    );
+    // Independence underpredicts the simulated double-reading FN rate…
+    assert!(
+        independent < simulated_fn,
+        "independent {independent} should underpredict simulated {simulated_fn}"
+    );
+    let independence_gap = simulated_fn - independent;
+    assert!(
+        independence_gap > 0.01,
+        "the violation is material: {independence_gap}"
+    );
+    // …and the phi-corrected prediction closes most of the gap.
+    let corrected_gap = (simulated_fn - corrected).abs();
+    assert!(
+        corrected_gap < independence_gap / 2.0,
+        "corrected gap {corrected_gap} vs independence gap {independence_gap}"
+    );
+}
+
+fn conditional(model: &hmdiv::core::SequentialModel, class: &ClassId, machine_failed: bool) -> f64 {
+    let cp = model.params().class(class).unwrap();
+    if machine_failed {
+        cp.p_hf_given_mf().value()
+    } else {
+        cp.p_hf_given_ms().value()
+    }
+}
+
+#[test]
+fn pair_counts_empty_for_single_reader() {
+    let world = scenario::default_world().unwrap();
+    let report = Simulation::new(
+        world,
+        SimConfig {
+            cases: 5_000,
+            seed: 315,
+            threads: 2,
+        },
+    )
+    .run()
+    .unwrap();
+    assert_eq!(report.reader_pair_counts(true).pooled().total(), 0);
+    assert_eq!(report.reader_pair_counts(false).pooled().total(), 0);
+    assert!(report
+        .reader_pair_phi(&ClassId::new("difficult"), true)
+        .is_none());
+}

@@ -1,0 +1,156 @@
+//! Integration tests of the extension modules through the facade crate:
+//! class aggregation, sensitivity, trial planning, coverage validation,
+//! calibration, session drift, and the system ROC.
+
+use hmdiv::core::aggregation::{coarsen, merge_classes};
+use hmdiv::core::importance::{system_lower_bound, system_machine_sweep};
+use hmdiv::core::sensitivity::gradients;
+use hmdiv::core::{paper, ClassId};
+use hmdiv::prob::compare::{fisher_exact, odds_ratio_interval, two_proportion_z_test};
+use hmdiv::prob::estimate::{BinomialEstimate, CiMethod};
+use hmdiv::sim::calibrate::calibrate_operating;
+use hmdiv::sim::scenario;
+use hmdiv::trial::coverage::coverage_experiment;
+use hmdiv::trial::power::plan_trial;
+use rand::SeedableRng;
+
+#[test]
+fn paper_example_would_survive_a_granularity_audit() {
+    // Merging the paper's easy+difficult classes under the trial profile
+    // must preserve the headline failure probability exactly — and show how
+    // much structure the merge hides (t jumps from the per-class values to a
+    // blended one).
+    let model = paper::example_model().unwrap();
+    let trial = paper::trial_profile().unwrap();
+    let members = [ClassId::new("easy"), ClassId::new("difficult")];
+    let merged = merge_classes(&model, &trial, &members).unwrap();
+    let (coarse, coarse_profile) = coarsen(&model, &trial, &members).unwrap();
+    assert!(
+        (coarse.system_failure(&coarse_profile).unwrap().value()
+            - model.system_failure(&trial).unwrap().value())
+        .abs()
+            < 1e-12
+    );
+    // The merged machine failure probability is the marginal PMf.
+    assert!((merged.params.p_mf().value() - (0.8 * 0.07 + 0.2 * 0.41)).abs() < 1e-12);
+    // The merged t is NOT between the class ts weighted naively: it blends
+    // the heterogeneity in.
+    assert!(merged.coherence_index() > 0.0);
+}
+
+#[test]
+fn statistical_comparison_of_paper_conditionals() {
+    // With counts consistent with the paper's difficult class (82 Mf of 200,
+    // 74/82 Hf|Mf, 47/118 Hf|Ms), the dependence of the reader on the
+    // machine is overwhelming by every test.
+    let hf_mf = BinomialEstimate::new(74, 82).unwrap();
+    let hf_ms = BinomialEstimate::new(47, 118).unwrap();
+    let z = two_proportion_z_test(hf_mf, hf_ms).unwrap();
+    let f = fisher_exact(hf_mf, hf_ms).unwrap();
+    assert!(z.significant_at(0.001));
+    assert!(f.p_value < 1e-6);
+    let (or, lo, _) = odds_ratio_interval(hf_mf, hf_ms, 0.95).unwrap();
+    assert!(or > 10.0 && lo > 5.0);
+}
+
+#[test]
+fn trial_plan_then_coverage_holds() {
+    // Plan a trial for ±0.05 intervals, then verify by replay that the
+    // planned size achieves nominal coverage.
+    let model = paper::example_model().unwrap();
+    let mix = paper::trial_profile().unwrap();
+    let plan = plan_trial(&model, &mix, 0.5, 0.05, 0.95).unwrap();
+    assert!(plan.cancer_cases >= 1_000, "{plan:?}");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31337);
+    let records = coverage_experiment(
+        &model,
+        &mix,
+        plan.cancer_cases,
+        120,
+        CiMethod::Wilson,
+        0.95,
+        &mut rng,
+    )
+    .unwrap();
+    for rec in records {
+        assert!(rec.rate().unwrap() > 0.88, "{rec:?}");
+    }
+}
+
+#[test]
+fn calibrated_cadt_hits_target_in_the_behavioural_world() {
+    let population = scenario::field_population().unwrap();
+    let base = hmdiv::sim::cadt::Cadt::default_detector().unwrap();
+    let target = hmdiv::prob::Probability::new(0.5).unwrap();
+    let cal = calibrate_operating(&base, &population, "difficult", target, 0.02, 8_000, 5).unwrap();
+    assert!(
+        (cal.achieved.value() - 0.5).abs() < 0.05,
+        "{:?}",
+        cal.achieved
+    );
+}
+
+#[test]
+fn sweep_and_floor_line_up_with_gradients() {
+    let model = paper::example_model().unwrap();
+    let field = paper::field_profile().unwrap();
+    let series = system_machine_sweep(&model, &field, 11).unwrap();
+    let floor = system_lower_bound(&model, &field).unwrap().value();
+    assert!((series[0].1 - floor).abs() < 1e-12);
+    // The sweep's total rise equals Σ p(x)·t(x)·PMf(x) — the summed leverage
+    // — which also equals the dot product of the PMf gradients with the
+    // current PMf values.
+    let rise = series[10].1 - series[0].1;
+    let grads = gradients(&model, &field).unwrap();
+    let dot: f64 = grads
+        .iter()
+        .map(|g| {
+            let cp = model.params().class(&g.class).unwrap();
+            g.d_p_mf * cp.p_mf().value()
+        })
+        .sum();
+    assert!((rise - dot).abs() < 1e-12, "{rise} vs {dot}");
+}
+
+#[test]
+fn session_drift_changes_what_a_static_model_would_predict() {
+    use hmdiv::sim::session::{run_session, DriftConfig};
+    let population = scenario::trial_population().unwrap();
+    let cadt = hmdiv::sim::cadt::Cadt::default_detector().unwrap();
+    let reader = hmdiv::sim::reader::Reader::expert();
+    let stable = run_session(
+        &population,
+        &cadt,
+        &reader,
+        &DriftConfig::none(),
+        6,
+        2_000,
+        8,
+    )
+    .unwrap();
+    let drifting = run_session(
+        &population,
+        &cadt,
+        &reader,
+        &DriftConfig {
+            fatigue_per_1000: 0.10,
+            trust_learning_rate: 0.0,
+            complacency_coupling: 0.0,
+        },
+        6,
+        2_000,
+        8,
+    )
+    .unwrap();
+    let late_rate = |series: &[hmdiv::sim::session::BatchSummary]| {
+        let fns: u64 = series[4..].iter().map(|b| b.false_negatives).sum();
+        let cancers: u64 = series[4..].iter().map(|b| b.cancers).sum();
+        fns as f64 / cancers as f64
+    };
+    assert!(
+        late_rate(&drifting) > late_rate(&stable),
+        "fatigue must show up in late-session FN rates: {} vs {}",
+        late_rate(&drifting),
+        late_rate(&stable)
+    );
+}

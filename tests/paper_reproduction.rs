@@ -1,0 +1,240 @@
+//! Integration tests reproducing every numeric artefact of the paper,
+//! analytically and by Monte-Carlo, through the public facade crate.
+
+use hmdiv::core::decomposition::decompose;
+use hmdiv::core::extrapolate::Scenario;
+use hmdiv::core::importance::{
+    machine_response_line, system_failure_with_machine_scaled, system_lower_bound,
+};
+use hmdiv::core::{paper, ClassId};
+use hmdiv::sim::table_driven;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn table1_parameters_as_published() {
+    let model = paper::example_model().unwrap();
+    let easy = model.params().class_by_name("easy").unwrap();
+    assert_eq!(easy.p_mf().value(), 0.07);
+    assert_eq!(easy.p_hf_given_ms().value(), 0.14);
+    assert_eq!(easy.p_hf_given_mf().value(), 0.18);
+    assert!((easy.p_ms().value() - 0.93).abs() < 1e-12);
+    let difficult = model.params().class_by_name("difficult").unwrap();
+    assert_eq!(difficult.p_mf().value(), 0.41);
+    assert_eq!(difficult.p_hf_given_ms().value(), 0.40);
+    assert_eq!(difficult.p_hf_given_mf().value(), 0.90);
+    assert!((difficult.p_ms().value() - 0.59).abs() < 1e-12);
+    let trial = paper::trial_profile().unwrap();
+    assert_eq!(trial.weight("easy").unwrap().value(), 0.8);
+    assert_eq!(trial.weight("difficult").unwrap().value(), 0.2);
+    let field = paper::field_profile().unwrap();
+    assert_eq!(field.weight("easy").unwrap().value(), 0.9);
+    assert_eq!(field.weight("difficult").unwrap().value(), 0.1);
+}
+
+#[test]
+fn table2_all_four_cells() {
+    let model = paper::example_model().unwrap();
+    let check = |got: f64, printed: f64| {
+        assert_eq!(
+            (got * 1000.0).round() / 1000.0,
+            printed,
+            "{got} !~ {printed}"
+        );
+    };
+    check(
+        model.class_failure(&ClassId::new("easy")).unwrap().value(),
+        0.143,
+    );
+    check(
+        model
+            .class_failure(&ClassId::new("difficult"))
+            .unwrap()
+            .value(),
+        0.605,
+    );
+    check(
+        model
+            .system_failure(&paper::trial_profile().unwrap())
+            .unwrap()
+            .value(),
+        0.235,
+    );
+    check(
+        model
+            .system_failure(&paper::field_profile().unwrap())
+            .unwrap()
+            .value(),
+        0.189,
+    );
+}
+
+#[test]
+fn table3_all_eight_cells() {
+    let check = |got: f64, printed: f64| {
+        assert_eq!(
+            (got * 1000.0).round() / 1000.0,
+            printed,
+            "{got} !~ {printed}"
+        );
+    };
+    let trial = paper::trial_profile().unwrap();
+    let field = paper::field_profile().unwrap();
+    let easy_improved = paper::model_improved_on_easy().unwrap();
+    check(
+        easy_improved
+            .class_failure(&ClassId::new("easy"))
+            .unwrap()
+            .value(),
+        0.140,
+    );
+    check(
+        easy_improved
+            .class_failure(&ClassId::new("difficult"))
+            .unwrap()
+            .value(),
+        0.605,
+    );
+    check(easy_improved.system_failure(&trial).unwrap().value(), 0.233);
+    check(easy_improved.system_failure(&field).unwrap().value(), 0.187);
+    let difficult_improved = paper::model_improved_on_difficult().unwrap();
+    check(
+        difficult_improved
+            .class_failure(&ClassId::new("easy"))
+            .unwrap()
+            .value(),
+        0.143,
+    );
+    check(
+        difficult_improved
+            .class_failure(&ClassId::new("difficult"))
+            .unwrap()
+            .value(),
+        0.421,
+    );
+    check(
+        difficult_improved.system_failure(&trial).unwrap().value(),
+        0.198,
+    );
+    check(
+        difficult_improved.system_failure(&field).unwrap().value(),
+        0.171,
+    );
+}
+
+#[test]
+fn tables_2_and_3_cross_checked_by_monte_carlo() {
+    let mut rng = StdRng::seed_from_u64(20_030_625);
+    let models = [
+        paper::example_model().unwrap(),
+        paper::model_improved_on_easy().unwrap(),
+        paper::model_improved_on_difficult().unwrap(),
+    ];
+    for model in &models {
+        for profile in [
+            paper::trial_profile().unwrap(),
+            paper::field_profile().unwrap(),
+        ] {
+            let (empirical, analytic) =
+                table_driven::cross_check(model, &profile, 300_000, &mut rng).unwrap();
+            assert!(
+                (empirical.value() - analytic.value()).abs() < 0.004,
+                "empirical {} vs analytic {}",
+                empirical.value(),
+                analytic.value()
+            );
+        }
+    }
+}
+
+#[test]
+fn fig4_line_properties() {
+    let model = paper::example_model().unwrap();
+    let line = machine_response_line(&model, &ClassId::new("difficult")).unwrap();
+    // Intercept and slope as published.
+    assert!((line.lower_bound().value() - 0.4).abs() < 1e-12);
+    assert!((line.coherence_index() - 0.5).abs() < 1e-12);
+    // The line passes through the current operating point.
+    let at_current = line.failure_at(line.current_p_mf());
+    assert!(
+        (at_current.value()
+            - model
+                .class_failure(&ClassId::new("difficult"))
+                .unwrap()
+                .value())
+        .abs()
+            < 1e-12
+    );
+    // Monotone sweep with the documented endpoints.
+    let series = line.sweep(101);
+    assert!((series[0].1 - 0.4).abs() < 1e-12);
+    assert!((series[100].1 - 0.9).abs() < 1e-12);
+    for w in series.windows(2) {
+        assert!(w[1].1 >= w[0].1);
+    }
+}
+
+#[test]
+fn fig4_system_floor_unreachable_by_machine_improvement() {
+    let model = paper::example_model().unwrap();
+    let trial = paper::trial_profile().unwrap();
+    let floor = system_lower_bound(&model, &trial).unwrap();
+    // Scan machine-failure scales upward: never below the floor, and
+    // failure grows as the machine gets worse.
+    let mut last = f64::NEG_INFINITY;
+    for step in 0..=10 {
+        let scale = step as f64 / 10.0;
+        let p = system_failure_with_machine_scaled(&model, &trial, scale).unwrap();
+        assert!(p >= floor);
+        assert!(p.value() >= last - 1e-12);
+        last = p.value();
+    }
+    let perfect = system_failure_with_machine_scaled(&model, &trial, 0.0).unwrap();
+    assert_eq!(perfect, floor);
+}
+
+#[test]
+fn eq10_decomposition_reconciles_and_is_positive_here() {
+    let model = paper::example_model().unwrap();
+    for profile in [
+        paper::trial_profile().unwrap(),
+        paper::field_profile().unwrap(),
+    ] {
+        let d = decompose(&model, &profile).unwrap();
+        assert!(d.reconciles(1e-12));
+        assert!(d.covariance > 0.0, "paper example difficulty is aligned");
+        assert!((d.misjudgement_from_means() - d.covariance).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn section5_punchline_difficult_beats_easy() {
+    // "reducing the CADT's failure probability for these [difficult] cases
+    // yields greater improvement in overall probability of failure".
+    let base = paper::example_model().unwrap();
+    for profile in [
+        paper::trial_profile().unwrap(),
+        paper::field_profile().unwrap(),
+    ] {
+        let improve = |class: &str| {
+            Scenario::new()
+                .improve_machine(ClassId::new(class), 10.0)
+                .predict(&base, &profile)
+                .unwrap()
+                .improvement()
+        };
+        assert!(improve("difficult") > 5.0 * improve("easy"));
+    }
+}
+
+#[test]
+fn equation4_identity_under_both_profiles() {
+    let model = paper::example_model().unwrap();
+    for profile in [
+        paper::trial_profile().unwrap(),
+        paper::field_profile().unwrap(),
+    ] {
+        let (lhs, rhs) = model.equation4_sides(&profile).unwrap();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,203 @@
+//! Integration tests of the full measurement pipeline: behavioural
+//! simulation → stratified counting → estimation → clear-box modelling →
+//! extrapolation — the workflow the paper prescribes, closed end to end.
+
+use hmdiv::core::decomposition::decompose;
+use hmdiv::core::extrapolate::Scenario;
+use hmdiv::core::ClassId;
+use hmdiv::prob::estimate::CiMethod;
+use hmdiv::sim::engine::{SimConfig, Simulation};
+use hmdiv::sim::scenario;
+use hmdiv::trial::design::TrialDesign;
+use hmdiv::trial::estimate::{estimate_trial, posterior_from_trial};
+use hmdiv::trial::extrapolate::validate_extrapolation;
+use hmdiv::trial::run::{run_field_study, run_trial};
+
+#[test]
+fn estimated_model_predicts_the_world_that_generated_it() {
+    // Simulate a big enriched trial, estimate the model, and check the
+    // model's prediction of the trial's own FN rate matches the observation.
+    let world = scenario::default_world().unwrap();
+    let design = TrialDesign::new("self", 80_000, 0.5, 101).unwrap();
+    let data = run_trial(&world, &design).unwrap();
+    let est = estimate_trial(&data, CiMethod::Wilson, 0.95, true).unwrap();
+    let model = est.point_model().unwrap();
+    let profile = est.trial_profile().unwrap();
+    let predicted = model.system_failure(&profile).unwrap().value();
+    let observed = data.report.fn_rate().unwrap().value();
+    assert!(
+        (predicted - observed).abs() < 0.005,
+        "{predicted} vs {observed}"
+    );
+}
+
+#[test]
+fn extrapolation_beats_naive_under_distorted_trial_mix() {
+    let world = scenario::default_world().unwrap();
+    let design = TrialDesign::new("distorted", 50_000, 0.5, 102)
+        .unwrap()
+        .with_oversample("difficult", 5.0)
+        .unwrap();
+    let report = validate_extrapolation(&world, &design, 2_000_000, 103).unwrap();
+    assert!(
+        report.model_beats_naive(),
+        "model {} naive {}",
+        report.model_error(),
+        report.naive_error()
+    );
+    assert!(report.model_error() < 0.02);
+}
+
+#[test]
+fn simulated_covariance_structure_matches_theory() {
+    // The behavioural world couples machine and reader difficulty through
+    // the latent case difficulty, so the estimated model must show (a)
+    // higher PMf on the difficult class, (b) positive cov(PMf, t) over the
+    // enriched profile.
+    let world = scenario::trial_world().unwrap();
+    let report = Simulation::new(
+        world,
+        SimConfig {
+            cases: 120_000,
+            seed: 104,
+            threads: 4,
+        },
+    )
+    .run()
+    .unwrap();
+    let model = report.estimated_model().unwrap();
+    let easy = model.params().class_by_name("easy").unwrap();
+    let difficult = model.params().class_by_name("difficult").unwrap();
+    assert!(difficult.p_mf() > easy.p_mf());
+    assert!(difficult.p_hf_given_ms() > easy.p_hf_given_ms());
+    // Build the empirical profile and decompose.
+    let pairs: Vec<(ClassId, f64)> = report
+        .cancer_counts()
+        .iter()
+        .map(|(c, t)| (c.clone(), t.total() as f64))
+        .collect();
+    let profile = hmdiv::core::DemandProfile::from_weights(pairs).unwrap();
+    let d = decompose(&model, &profile).unwrap();
+    assert!(d.reconciles(1e-9));
+    assert!(
+        d.covariance > 0.0,
+        "shared difficulty must align PMf and t: {d:?}"
+    );
+}
+
+#[test]
+fn posterior_interval_covers_field_truth() {
+    let world = scenario::default_world().unwrap();
+    let design = TrialDesign::new("cover", 60_000, 0.5, 105).unwrap();
+    let data = run_trial(&world, &design).unwrap();
+    let posterior = posterior_from_trial(&data).unwrap();
+    let field = run_field_study(&world, 2_000_000, 106, 4).unwrap();
+    let pairs: Vec<(ClassId, f64)> = field
+        .cancer_counts()
+        .iter()
+        .map(|(c, t)| (c.clone(), t.total() as f64))
+        .collect();
+    let profile = hmdiv::core::DemandProfile::from_weights(pairs).unwrap();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(107);
+    let pred = hmdiv::core::uncertainty::propagate(&posterior, &profile, 3000, &mut rng).unwrap();
+    let (lo, hi) = pred.credible_interval(0.99).unwrap();
+    let truth = field.fn_rate().unwrap();
+    // Allow slack for the slight profile mismatch between trial and field
+    // (class mixes within cancers are equal here, so this should be tight).
+    assert!(
+        truth.value() > lo.value() - 0.02 && truth.value() < hi.value() + 0.02,
+        "truth {} outside [{}, {}]",
+        truth.value(),
+        lo.value(),
+        hi.value()
+    );
+}
+
+#[test]
+fn improving_the_simulated_cadt_improves_the_estimated_system() {
+    // Turn the simulated CADT's operating point up (more sensitive), re-run,
+    // and verify both the raw FN rate and the estimated PMf improve.
+    let base_world = scenario::trial_world().unwrap();
+    let mut better_world = base_world.clone();
+    better_world.team.cadt = Some(better_world.team.cadt.unwrap().with_operating(0.8).unwrap());
+    let run = |w| {
+        Simulation::new(
+            w,
+            SimConfig {
+                cases: 120_000,
+                seed: 108,
+                threads: 4,
+            },
+        )
+        .run()
+        .unwrap()
+    };
+    let base = run(base_world);
+    let better = run(better_world);
+    assert!(better.fn_rate().unwrap() < base.fn_rate().unwrap());
+    let base_pmf = base
+        .estimated_model()
+        .unwrap()
+        .params()
+        .class_by_name("difficult")
+        .unwrap()
+        .p_mf();
+    let better_pmf = better
+        .estimated_model()
+        .unwrap()
+        .params()
+        .class_by_name("difficult")
+        .unwrap()
+        .p_mf();
+    assert!(better_pmf < base_pmf);
+    // But false positives get worse: the trade-off is real.
+    assert!(better.fp_rate().unwrap() > base.fp_rate().unwrap());
+}
+
+#[test]
+fn leverage_ranking_agrees_with_exact_scenario_benefits() {
+    // Estimate a model from simulation, then ask the §6.2 question: which
+    // class should the machine improve? Whatever the answer for this world,
+    // the closed-form leverage ranking must order the classes exactly as
+    // the exact scenario evaluation does.
+    let world = scenario::trial_world().unwrap();
+    let report = Simulation::new(
+        world,
+        SimConfig {
+            cases: 120_000,
+            seed: 109,
+            threads: 4,
+        },
+    )
+    .run()
+    .unwrap();
+    let model = report.estimated_model().unwrap();
+    let field = hmdiv::core::DemandProfile::builder()
+        .class("easy", 0.9)
+        .class("difficult", 0.1)
+        .build()
+        .unwrap();
+    let ranked = hmdiv::core::design::rank_improvement_targets(&model, &field).unwrap();
+    let improve = |class: &ClassId| {
+        Scenario::new()
+            .improve_machine(class.clone(), 10.0)
+            .predict(&model, &field)
+            .unwrap()
+            .improvement()
+    };
+    let benefits: Vec<f64> = ranked.iter().map(|l| improve(&l.class)).collect();
+    for pair in benefits.windows(2) {
+        assert!(
+            pair[0] >= pair[1] - 1e-12,
+            "leverage order disagrees: {benefits:?}"
+        );
+    }
+    // And each exact benefit is 90% of the closed-form max (factor 10).
+    for (lever, benefit) in ranked.iter().zip(&benefits) {
+        assert!(
+            (benefit - 0.9 * lever.max_benefit).abs() < 1e-9,
+            "{}",
+            lever.class
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based integration tests over randomly generated models and
+//! profiles: the paper's identities must hold for *every* parameterisation,
+//! not just the worked example.
+
+use hmdiv::core::decomposition::decompose;
+use hmdiv::core::extrapolate::Scenario;
+use hmdiv::core::importance::{system_failure_with_machine_scaled, system_lower_bound};
+use hmdiv::core::{ClassId, ClassParams, DemandProfile, ModelParams, SequentialModel};
+use hmdiv::prob::Probability;
+use proptest::prelude::*;
+
+const MAX_CLASSES: usize = 6;
+
+#[derive(Debug, Clone)]
+struct RandomSystem {
+    model: SequentialModel,
+    profile: DemandProfile,
+}
+
+fn prob() -> impl Strategy<Value = f64> {
+    0.0..=1.0f64
+}
+
+fn build_system(rows: Vec<(f64, f64, f64, f64)>, force_nonneg_t: bool) -> RandomSystem {
+    let mut params = ModelParams::builder();
+    let mut profile = DemandProfile::builder();
+    for (i, (p_mf, hf_ms, hf_mf, weight)) in rows.into_iter().enumerate() {
+        let name = format!("c{i}");
+        // When requested, reinterpret hf_mf as "hf_ms plus a non-negative
+        // increment", guaranteeing t(x) >= 0 without rejection sampling.
+        let hf_mf = if force_nonneg_t {
+            (hf_ms + hf_mf * (1.0 - hf_ms)).clamp(0.0, 1.0)
+        } else {
+            hf_mf
+        };
+        params = params.class(
+            name.as_str(),
+            ClassParams::new(
+                Probability::new(p_mf).unwrap(),
+                Probability::new(hf_ms).unwrap(),
+                Probability::new(hf_mf).unwrap(),
+            ),
+        );
+        profile = profile.class(name.as_str(), weight);
+    }
+    RandomSystem {
+        model: SequentialModel::new(params.build().unwrap()),
+        profile: profile.build().unwrap(),
+    }
+}
+
+fn random_system() -> impl Strategy<Value = RandomSystem> {
+    let class = (prob(), prob(), prob(), 0.01..10.0f64);
+    proptest::collection::vec(class, 1..=MAX_CLASSES).prop_map(|rows| build_system(rows, false))
+}
+
+fn random_nonneg_t_system() -> impl Strategy<Value = RandomSystem> {
+    let class = (prob(), prob(), prob(), 0.01..10.0f64);
+    proptest::collection::vec(class, 1..=MAX_CLASSES).prop_map(|rows| build_system(rows, true))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn eq8_is_a_probability_and_a_profile_mixture(sys in random_system()) {
+        let total = sys.model.system_failure(&sys.profile).unwrap();
+        prop_assert!((0.0..=1.0).contains(&total.value()));
+        // System failure is a convex combination of class failures.
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (class, _) in sys.profile.iter() {
+            let f = sys.model.class_failure(class).unwrap().value();
+            lo = lo.min(f);
+            hi = hi.max(f);
+        }
+        prop_assert!(total.value() >= lo - 1e-12);
+        prop_assert!(total.value() <= hi + 1e-12);
+    }
+
+    #[test]
+    fn eq10_always_reconciles(sys in random_system()) {
+        let d = decompose(&sys.model, &sys.profile).unwrap();
+        prop_assert!(d.reconciles(1e-9), "{:?}", d);
+    }
+
+    #[test]
+    fn eq4_identity_when_defined(sys in random_system()) {
+        // Undefined conditionals (machine never fails / never succeeds)
+        // are legitimate; check the identity only when defined.
+        if let Ok((lhs, rhs)) = sys.model.equation4_sides(&sys.profile) {
+            prop_assert!((lhs - rhs).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn machine_improvement_never_hurts_when_t_nonnegative(sys in random_nonneg_t_system()) {
+        // If every class has t(x) >= 0, dividing any class's PMf can only
+        // reduce system failure.
+        let before = sys.model.system_failure(&sys.profile).unwrap().value();
+        for (class, _) in sys.profile.iter() {
+            let pred = Scenario::new()
+                .improve_machine(class.clone(), 10.0)
+                .predict(&sys.model, &sys.profile)
+                .unwrap();
+            prop_assert!(pred.after.value() <= before + 1e-12);
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_a_true_floor(sys in random_nonneg_t_system()) {
+        let floor = system_lower_bound(&sys.model, &sys.profile).unwrap();
+        for step in 0..=4 {
+            let scale = step as f64 / 4.0;
+            let v = system_failure_with_machine_scaled(&sys.model, &sys.profile, scale).unwrap();
+            prop_assert!(v >= floor);
+        }
+    }
+
+    #[test]
+    fn profile_reweighting_brackets_extremes(sys in random_system()) {
+        // Any reweighting of the same classes keeps the system failure
+        // between the min and max class failures.
+        let reweighted = sys
+            .profile
+            .reweighted(|c, _| if c.name().ends_with('0') { 5.0 } else { 0.5 })
+            .unwrap();
+        let v = sys.model.system_failure(&reweighted).unwrap().value();
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (class, _) in sys.profile.iter() {
+            let f = sys.model.class_failure(class).unwrap().value();
+            lo = lo.min(f);
+            hi = hi.max(f);
+        }
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn class_failure_between_conditionals(p_mf in prob(), hf_ms in prob(), hf_mf in prob()) {
+        let cp = ClassParams::new(
+            Probability::new(p_mf).unwrap(),
+            Probability::new(hf_ms).unwrap(),
+            Probability::new(hf_mf).unwrap(),
+        );
+        let f = cp.class_failure().value();
+        prop_assert!(f >= hf_ms.min(hf_mf) - 1e-12);
+        prop_assert!(f <= hf_ms.max(hf_mf) + 1e-12);
+        // Coherence index bounds.
+        prop_assert!((-1.0..=1.0).contains(&cp.coherence_index()));
+    }
+
+    #[test]
+    fn table_driven_simulation_tracks_analytic(sys in random_system(), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (empirical, analytic) =
+            hmdiv::sim::table_driven::cross_check(&sys.model, &sys.profile, 20_000, &mut rng)
+                .unwrap();
+        // 20k cases: 5 sigma of a Bernoulli is ~0.018 at worst.
+        prop_assert!(
+            (empirical.value() - analytic.value()).abs() < 0.025,
+            "{} vs {}",
+            empirical.value(),
+            analytic.value()
+        );
+    }
+
+    #[test]
+    fn scenario_composition_is_order_independent_for_disjoint_classes(sys in random_system()) {
+        prop_assume!(sys.model.params().len() >= 2);
+        let classes: Vec<ClassId> = sys.model.params().classes().cloned().collect();
+        let a = Scenario::new()
+            .improve_machine(classes[0].clone(), 2.0)
+            .improve_machine(classes[1].clone(), 3.0)
+            .apply(&sys.model)
+            .unwrap();
+        let b = Scenario::new()
+            .improve_machine(classes[1].clone(), 3.0)
+            .improve_machine(classes[0].clone(), 2.0)
+            .apply(&sys.model)
+            .unwrap();
+        let fa = a.system_failure(&sys.profile).unwrap().value();
+        let fb = b.system_failure(&sys.profile).unwrap().value();
+        prop_assert!((fa - fb).abs() < 1e-12);
+    }
+}
