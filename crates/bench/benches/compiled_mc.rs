@@ -1,0 +1,139 @@
+//! Benchmarks of the compiled structure-function pipeline against the
+//! interpreted per-sample baseline it replaced, plus thread sweeps of the
+//! deterministic parallel entry points.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use hmdiv_prob::bootstrap::Bootstrap;
+use hmdiv_prob::Probability;
+use hmdiv_rbd::compiled::CompiledBlock;
+use hmdiv_rbd::monte_carlo::{monte_carlo_failure, monte_carlo_failure_par};
+use hmdiv_rbd::structure::works;
+use hmdiv_rbd::{Block, RbdError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 2-of-3 voting layer feeding the paper's Fig. 2 shape: 9 components,
+/// representative of the diagrams the Monte-Carlo path exists for.
+fn test_system() -> Block {
+    let stage = |i: usize| {
+        Block::parallel(vec![
+            Block::component(format!("h{i}")),
+            Block::component(format!("m{i}")),
+        ])
+    };
+    Block::series(vec![
+        Block::k_of_n(2, vec![stage(0), stage(1), stage(2)]),
+        Block::component("classify"),
+        Block::parallel(vec![Block::component("h0"), Block::component("arbiter")]),
+    ])
+}
+
+fn failure_of(name: &str) -> Result<Probability, RbdError> {
+    let h: u32 = name
+        .bytes()
+        .fold(17u32, |acc, b| acc.wrapping_mul(31).wrapping_add(b.into()));
+    Ok(Probability::clamped(0.05 + f64::from(h % 90) / 200.0))
+}
+
+/// The pre-compilation sampler: per-sample `BTreeMap` state and the
+/// recursive structure function. Kept inline as the regression baseline.
+fn interpreted_failure_count(
+    block: &Block,
+    probs: &BTreeMap<String, f64>,
+    samples: u64,
+    rng: &mut StdRng,
+) -> u64 {
+    let names = block.component_names();
+    let mut failures = 0u64;
+    for _ in 0..samples {
+        let mut state: BTreeMap<&str, bool> = BTreeMap::new();
+        for &name in &names {
+            state.insert(name, rng.gen::<f64>() >= probs[name]);
+        }
+        if !works(block, &state).expect("valid state") {
+            failures += 1;
+        }
+    }
+    failures
+}
+
+fn bench_compiled_vs_interpreted(c: &mut Criterion) {
+    let sys = test_system();
+    let probs: BTreeMap<String, f64> = sys
+        .component_names()
+        .iter()
+        .map(|&n| (n.to_string(), failure_of(n).unwrap().value()))
+        .collect();
+    let samples = 100_000u64;
+    let mut group = c.benchmark_group("mc_sampler");
+    group.throughput(Throughput::Elements(samples));
+    group.bench_function("interpreted_btreemap", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| interpreted_failure_count(&sys, &probs, samples, &mut rng));
+    });
+    group.bench_function("compiled_postfix", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| monte_carlo_failure(&sys, failure_of, samples, &mut rng).expect("valid"));
+    });
+    group.finish();
+}
+
+fn bench_compile_once(c: &mut Criterion) {
+    let sys = test_system();
+    c.bench_function("compile_block", |b| {
+        b.iter(|| CompiledBlock::compile(&sys).expect("valid"));
+    });
+}
+
+fn bench_parallel_thread_sweep(c: &mut Criterion) {
+    let sys = test_system();
+    let samples = 1_000_000u64;
+    let mut group = c.benchmark_group("mc_parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(samples));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    monte_carlo_failure_par(&sys, failure_of, samples, 42, threads).expect("valid")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bootstrap_parallel(c: &mut Criterion) {
+    let data: Vec<f64> = (0..2_000).map(|i| f64::from(i % 13)).collect();
+    let stat = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let mut group = c.benchmark_group("bootstrap");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| Bootstrap::run(&data, 2_000, &mut rng, stat).expect("valid"));
+    });
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| Bootstrap::run_par(&data, 2_000, 3, threads, stat).expect("valid"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compiled_vs_interpreted,
+    bench_compile_once,
+    bench_parallel_thread_sweep,
+    bench_bootstrap_parallel
+);
+criterion_main!(benches);

@@ -284,6 +284,89 @@ pub fn propagate<R: Rng + ?Sized>(
     Ok(UncertainPrediction { samples })
 }
 
+/// Parallel [`propagate`]: deterministic for `(seed, draws)` and identical
+/// at any `threads` value.
+///
+/// Each draw samples from its own `(seed, draw id)` RNG stream (see
+/// [`hmdiv_prob::par::stream_rng`]), so the thread count only decides which
+/// worker evaluates which draw. The sample set differs numerically from a
+/// sequential [`propagate`] with a single caller-provided stream, but has
+/// the same distribution.
+///
+/// # Errors
+///
+/// As [`propagate`]. Per-draw evaluation errors are propagated from the
+/// earliest failing draw id.
+pub fn propagate_par(
+    posterior: &ModelPosterior,
+    profile: &DemandProfile,
+    draws: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<UncertainPrediction, ModelError> {
+    if draws == 0 {
+        return Err(ModelError::Empty {
+            context: "monte-carlo draw count",
+        });
+    }
+    if posterior.is_empty() {
+        return Err(ModelError::Empty {
+            context: "model posterior",
+        });
+    }
+    // Fail fast on coverage.
+    for (class, _) in profile.iter() {
+        if !posterior.table.contains_key(class) {
+            return Err(ModelError::MissingClass {
+                class: class.clone(),
+            });
+        }
+    }
+    // Accumulator: per-draw failure probabilities (in-order concatenation)
+    // plus the first error in draw order, if any. Draws after an error in
+    // the same worker block are skipped; merging keeps the earliest error,
+    // so the outcome is thread-count invariant.
+    struct Acc {
+        values: Vec<f64>,
+        err: Option<ModelError>,
+    }
+    impl hmdiv_prob::par::Merge for Acc {
+        fn merge(&mut self, later: Self) {
+            if self.err.is_none() {
+                hmdiv_prob::par::Merge::merge(&mut self.values, later.values);
+                self.err = later.err;
+            }
+        }
+    }
+    let acc = hmdiv_prob::par::run_tasks(
+        seed,
+        draws as u64,
+        threads,
+        || Acc {
+            values: Vec::new(),
+            err: None,
+        },
+        |_id, rng, acc: &mut Acc| {
+            if acc.err.is_some() {
+                return;
+            }
+            let value = posterior
+                .sample_model(rng)
+                .and_then(|model| model.system_failure(profile));
+            match value {
+                Ok(p) => acc.values.push(p.value()),
+                Err(e) => acc.err = Some(e),
+            }
+        },
+    );
+    if let Some(err) = acc.err {
+        return Err(err);
+    }
+    let mut samples = acc.values;
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("failure probabilities are finite"));
+    Ok(UncertainPrediction { samples })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,5 +466,46 @@ mod tests {
         let pred = propagate(&post, &field(), 100, &mut rng).unwrap();
         assert!(pred.credible_interval(0.0).is_err());
         assert!(pred.credible_interval(1.0).is_err());
+    }
+
+    #[test]
+    fn propagate_par_is_thread_count_invariant() {
+        let post = paper_like_posterior(1);
+        let reference = propagate_par(&post, &field(), 600, 13, 1).unwrap();
+        for threads in [2usize, 3, 7, 16] {
+            let pred = propagate_par(&post, &field(), 600, 13, threads).unwrap();
+            assert_eq!(pred, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn propagate_par_interval_brackets_point_prediction() {
+        let post = paper_like_posterior(1);
+        let pred = propagate_par(&post, &field(), 3000, 7, 4).unwrap();
+        let point = post.mean_model().unwrap().system_failure(&field()).unwrap();
+        let (lo, hi) = pred.credible_interval(0.95).unwrap();
+        assert!(
+            lo <= point && point <= hi,
+            "[{}, {}] vs {}",
+            lo.value(),
+            hi.value(),
+            point.value()
+        );
+        assert_eq!(pred.draws(), 3000);
+    }
+
+    #[test]
+    fn propagate_par_validation_errors() {
+        let post = paper_like_posterior(1);
+        assert!(propagate_par(&post, &field(), 0, 1, 4).is_err());
+        assert!(propagate_par(&ModelPosterior::new(), &field(), 10, 1, 4).is_err());
+        let missing = DemandProfile::builder()
+            .class("ghost", 1.0)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            propagate_par(&post, &missing, 10, 1, 4),
+            Err(ModelError::MissingClass { .. })
+        ));
     }
 }

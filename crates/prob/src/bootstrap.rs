@@ -71,6 +71,74 @@ impl Bootstrap {
         Ok(Bootstrap { replicates: values })
     }
 
+    /// Parallel [`Bootstrap::run`]: deterministic for `(seed, replicates)`
+    /// and identical at any `threads` value.
+    ///
+    /// Each replicate draws from its own `(seed, replicate id)` RNG stream
+    /// (see [`crate::par::stream_rng`]), so the thread count only decides
+    /// which worker computes which replicate. The replicate set differs
+    /// numerically from a sequential [`Bootstrap::run`] with a single
+    /// caller-provided stream, but has the same distribution. `statistic`
+    /// must be `Fn + Sync` (it is called concurrently).
+    ///
+    /// # Errors
+    ///
+    /// As [`Bootstrap::run`].
+    pub fn run_par<T, F>(
+        data: &[T],
+        replicates: usize,
+        seed: u64,
+        threads: usize,
+        statistic: F,
+    ) -> Result<Self, ProbError>
+    where
+        T: Clone + Send + Sync,
+        F: Fn(&[T]) -> f64 + Sync,
+    {
+        if data.is_empty() {
+            return Err(ProbError::Empty {
+                context: "bootstrap sample",
+            });
+        }
+        if replicates == 0 {
+            return Err(ProbError::Empty {
+                context: "bootstrap replicate count",
+            });
+        }
+        let n = data.len();
+        // Accumulator: per-worker reusable resample buffer + the replicate
+        // values. Only the values participate in merging (in-order
+        // concatenation), so results are thread-count invariant.
+        struct Acc<T> {
+            resample: Vec<T>,
+            values: Vec<f64>,
+        }
+        impl<T> crate::par::Merge for Acc<T> {
+            fn merge(&mut self, later: Self) {
+                crate::par::Merge::merge(&mut self.values, later.values);
+            }
+        }
+        let acc = crate::par::run_tasks(
+            seed,
+            replicates as u64,
+            threads,
+            || Acc {
+                resample: Vec::with_capacity(n),
+                values: Vec::new(),
+            },
+            |_id, rng, acc: &mut Acc<T>| {
+                acc.resample.clear();
+                for _ in 0..n {
+                    acc.resample.push(data[rng.gen_range(0..n)].clone());
+                }
+                acc.values.push(statistic(&acc.resample));
+            },
+        );
+        let mut values = acc.values;
+        values.sort_by(|a, b| a.partial_cmp(b).expect("bootstrap statistic produced NaN"));
+        Ok(Bootstrap { replicates: values })
+    }
+
     /// The sorted replicate values.
     #[must_use]
     pub fn replicates(&self) -> &[f64] {
@@ -167,6 +235,31 @@ mod tests {
 
     fn mean_stat(xs: &[f64]) -> f64 {
         xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn run_par_is_thread_count_invariant() {
+        let data: Vec<f64> = (0..200).map(|i| f64::from(i % 7)).collect();
+        let reference = Bootstrap::run_par(&data, 500, 11, 1, mean_stat).unwrap();
+        for threads in [2usize, 3, 8] {
+            let boot = Bootstrap::run_par(&data, 500, 11, threads, mean_stat).unwrap();
+            assert_eq!(boot, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_par_interval_brackets_true_mean() {
+        let data: Vec<f64> = (0..300).map(|i| f64::from(i % 10 == 0)).collect();
+        let boot = Bootstrap::run_par(&data, 2000, 3, 4, mean_stat).unwrap();
+        let (lo, hi) = boot.percentile_interval(0.95).unwrap();
+        assert!(lo <= 0.1 && 0.1 <= hi, "[{lo}, {hi}]");
+    }
+
+    #[test]
+    fn run_par_rejects_empty_inputs() {
+        let empty: [f64; 0] = [];
+        assert!(Bootstrap::run_par(&empty, 10, 1, 2, mean_stat).is_err());
+        assert!(Bootstrap::run_par(&[1.0], 0, 1, 2, mean_stat).is_err());
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`counts`] — success/failure tallies and stratified 2×2 contingency
 //!   tables, the raw material produced by trials and consumed by estimators.
 //! * [`seq`] — streaming (Welford) moment accumulators for Monte-Carlo runs.
+//! * [`par`] — deterministic parallel execution of seeded Monte-Carlo work:
+//!   per-task `(seed, id)` RNG streams and in-order partial merging make
+//!   results identical at any thread count.
 //!
 //! # Example
 //!
@@ -50,6 +53,7 @@ mod error;
 pub mod estimate;
 pub mod moments;
 pub mod odds;
+pub mod par;
 mod probability;
 pub mod seq;
 pub mod special;

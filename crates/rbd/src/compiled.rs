@@ -1,0 +1,513 @@
+//! Compiled structure functions: flat, allocation-free evaluation of
+//! reliability block diagrams.
+//!
+//! [`crate::structure::works`] interprets the [`Block`] tree recursively
+//! against a `BTreeMap<&str, bool>` state — convenient, but on the
+//! Monte-Carlo sampling path it pays a string-keyed map lookup per leaf per
+//! sample plus the recursion overhead. [`CompiledBlock`] removes both:
+//! component names are interned to dense `u32` indices once, the tree is
+//! flattened to a postfix program, and evaluation is an iterative loop over
+//! a reusable scratch stack with `Vec<bool>` state indexed by component id.
+//!
+//! The same program also drives *exact* reliability evaluation (with the
+//! factoring over repeated components that
+//! [`crate::reliability::system_reliability`] performs) and the importance
+//! measures, so every evaluation mode shares one interning and one
+//! flattening of the diagram. The arithmetic mirrors the recursive
+//! evaluator operation-for-operation, so compiled results are bit-identical
+//! to the tree walk.
+//!
+//! # Example
+//!
+//! ```
+//! use hmdiv_rbd::{Block, compiled::CompiledBlock};
+//!
+//! # fn main() -> Result<(), hmdiv_rbd::RbdError> {
+//! let sys = Block::series(vec![
+//!     Block::parallel(vec![Block::component("Hd"), Block::component("Md")]),
+//!     Block::component("Hc"),
+//! ]);
+//! let compiled = CompiledBlock::compile(&sys)?;
+//! // Components are interned in sorted-name order: Hc, Hd, Md.
+//! let state = [true, false, true]; // Hc works, Hd failed, Md works
+//! assert!(compiled.eval(&state));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+
+use hmdiv_prob::Probability;
+
+use crate::reliability::MAX_REPEATED;
+use crate::{Block, RbdError};
+
+/// One postfix instruction. Children of a group are evaluated (pushed)
+/// before the group instruction consumes them, so a single left-to-right
+/// pass over the program evaluates the diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// Push the state of the component with this interned index.
+    Comp(u32),
+    /// Pop this many values; push their conjunction.
+    Series(u32),
+    /// Pop this many values; push their disjunction.
+    Parallel(u32),
+    /// Pop `n` values; push "at least `k` of them work".
+    KOfN {
+        /// Minimum number of working children.
+        k: u32,
+        /// Number of children.
+        n: u32,
+    },
+}
+
+/// A [`Block`] compiled to interned component indices and a flat postfix
+/// program.
+///
+/// Construction validates the diagram once; evaluation then never fails and
+/// never allocates (with [`CompiledBlock::eval_with`] and a reused scratch
+/// stack).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledBlock {
+    /// Distinct component names, sorted; position = interned index.
+    names: Vec<String>,
+    /// The postfix program.
+    ops: Vec<Op>,
+    /// Interned indices of components occurring more than once, in sorted
+    /// name order (the factoring order of the exact evaluator).
+    repeated: Vec<u32>,
+    /// Deepest stack the program ever needs.
+    max_stack: usize,
+}
+
+impl CompiledBlock {
+    /// Validates and compiles a diagram.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from [`Block::validate`].
+    pub fn compile(block: &Block) -> Result<Self, RbdError> {
+        block.validate()?;
+        let names: Vec<String> = block
+            .component_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        assert!(
+            u32::try_from(names.len()).is_ok(),
+            "more than u32::MAX distinct components"
+        );
+        let index: BTreeMap<&str, u32> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i as u32))
+            .collect();
+        let mut ops = Vec::with_capacity(block.leaf_count() * 2);
+        emit(block, &index, &mut ops);
+        let mut depth = 0usize;
+        let mut max_stack = 0usize;
+        for op in &ops {
+            match op {
+                Op::Comp(_) => depth += 1,
+                Op::Series(n) | Op::Parallel(n) | Op::KOfN { n, .. } => {
+                    depth -= *n as usize - 1;
+                }
+            }
+            max_stack = max_stack.max(depth);
+        }
+        debug_assert_eq!(depth, 1, "program must leave exactly one result");
+        let repeated: Vec<u32> = block
+            .repeated_names()
+            .into_iter()
+            .map(|n| index[n])
+            .collect();
+        Ok(CompiledBlock {
+            names,
+            ops,
+            repeated,
+            max_stack,
+        })
+    }
+
+    /// The distinct component names in interned order (sorted).
+    #[must_use]
+    pub fn component_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of distinct components (the required state length).
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The interned index of `name`, if it occurs in the diagram.
+    #[must_use]
+    pub fn index_of(&self, name: &str) -> Option<u32> {
+        self.names
+            .binary_search_by(|n| n.as_str().cmp(name))
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    /// Interned indices of components appearing more than once, sorted.
+    #[must_use]
+    pub fn repeated_indices(&self) -> &[u32] {
+        &self.repeated
+    }
+
+    /// The deepest evaluation stack the program needs; pre-size scratch
+    /// buffers with this to make [`CompiledBlock::eval_with`] allocation-free.
+    #[must_use]
+    pub fn max_stack(&self) -> usize {
+        self.max_stack
+    }
+
+    /// Evaluates the structure function over `state` (`true` = working),
+    /// indexed by interned component id.
+    ///
+    /// Allocates a fresh scratch stack; use [`CompiledBlock::eval_with`] on
+    /// hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != self.component_count()`.
+    #[must_use]
+    pub fn eval(&self, state: &[bool]) -> bool {
+        let mut stack = Vec::with_capacity(self.max_stack);
+        self.eval_with(state, &mut stack)
+    }
+
+    /// Evaluates the structure function using a caller-provided scratch
+    /// stack. After the first call with a stack of capacity
+    /// [`CompiledBlock::max_stack`], evaluation performs no heap allocation
+    /// and no string-keyed lookups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != self.component_count()`.
+    pub fn eval_with(&self, state: &[bool], stack: &mut Vec<bool>) -> bool {
+        assert_eq!(
+            state.len(),
+            self.names.len(),
+            "state length must equal component count"
+        );
+        stack.clear();
+        for op in &self.ops {
+            match *op {
+                Op::Comp(i) => stack.push(state[i as usize]),
+                Op::Series(n) => {
+                    let base = stack.len() - n as usize;
+                    let v = stack[base..].iter().all(|&b| b);
+                    stack.truncate(base);
+                    stack.push(v);
+                }
+                Op::Parallel(n) => {
+                    let base = stack.len() - n as usize;
+                    let v = stack[base..].iter().any(|&b| b);
+                    stack.truncate(base);
+                    stack.push(v);
+                }
+                Op::KOfN { k, n } => {
+                    let base = stack.len() - n as usize;
+                    let working = stack[base..].iter().filter(|&&b| b).count();
+                    stack.truncate(base);
+                    stack.push(working >= k as usize);
+                }
+            }
+        }
+        stack.pop().expect("non-empty program")
+    }
+
+    /// Hoists per-component failure probabilities into a dense vector
+    /// aligned with the interned indices, calling `failure_of` exactly once
+    /// per distinct component in sorted-name order.
+    ///
+    /// # Errors
+    ///
+    /// Any error from `failure_of`.
+    pub fn failure_probabilities<F>(&self, mut failure_of: F) -> Result<Vec<Probability>, RbdError>
+    where
+        F: FnMut(&str) -> Result<Probability, RbdError>,
+    {
+        self.names.iter().map(|n| failure_of(n)).collect()
+    }
+
+    /// Exact system reliability given dense per-component failure
+    /// probabilities (indexed by interned id), factoring over repeated
+    /// components exactly as [`crate::reliability::system_reliability`].
+    ///
+    /// # Errors
+    ///
+    /// [`RbdError::TooLarge`] if more than
+    /// [`crate::reliability::MAX_REPEATED`] distinct components repeat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len() != self.component_count()`.
+    pub fn reliability(&self, q: &[Probability]) -> Result<Probability, RbdError> {
+        assert_eq!(
+            q.len(),
+            self.names.len(),
+            "probability vector length must equal component count"
+        );
+        if self.repeated.len() > MAX_REPEATED {
+            return Err(RbdError::TooLarge {
+                repeated: self.repeated.len(),
+                max: MAX_REPEATED,
+            });
+        }
+        let rel: Vec<Probability> = q.iter().map(|p| p.complement()).collect();
+        let mut fixed: Vec<Option<bool>> = vec![None; self.names.len()];
+        let mut stack: Vec<Probability> = Vec::with_capacity(self.max_stack);
+        Ok(self.factored(&rel, q, &self.repeated, &mut fixed, &mut stack))
+    }
+
+    /// Exact system *failure* probability; see [`CompiledBlock::reliability`].
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledBlock::reliability`].
+    pub fn failure(&self, q: &[Probability]) -> Result<Probability, RbdError> {
+        Ok(self.reliability(q)?.complement())
+    }
+
+    /// Conditions on each repeated component in turn (law of total
+    /// probability), then composes the conditionally-independent remainder.
+    fn factored(
+        &self,
+        rel: &[Probability],
+        q: &[Probability],
+        remaining: &[u32],
+        fixed: &mut [Option<bool>],
+        stack: &mut Vec<Probability>,
+    ) -> Probability {
+        match remaining.split_first() {
+            None => self.independent(rel, fixed, stack),
+            Some((&idx, rest)) => {
+                let p_fail = q[idx as usize];
+                fixed[idx as usize] = Some(true);
+                let r_works = self.factored(rel, q, rest, fixed, stack);
+                fixed[idx as usize] = Some(false);
+                let r_fails = self.factored(rel, q, rest, fixed, stack);
+                fixed[idx as usize] = None;
+                r_works.mix(r_fails, p_fail.complement())
+            }
+        }
+    }
+
+    /// Series/parallel/k-of-n composition over the program, with conditioned
+    /// components pinned to certainty. Arithmetic matches the recursive
+    /// evaluator operation-for-operation (same order, same operations) so
+    /// results are bit-identical.
+    fn independent(
+        &self,
+        rel: &[Probability],
+        fixed: &[Option<bool>],
+        stack: &mut Vec<Probability>,
+    ) -> Probability {
+        stack.clear();
+        for op in &self.ops {
+            match *op {
+                Op::Comp(i) => stack.push(match fixed[i as usize] {
+                    Some(true) => Probability::ONE,
+                    Some(false) => Probability::ZERO,
+                    None => rel[i as usize],
+                }),
+                Op::Series(n) => {
+                    let base = stack.len() - n as usize;
+                    let mut r = Probability::ONE;
+                    for &child in &stack[base..] {
+                        r = r * child;
+                    }
+                    stack.truncate(base);
+                    stack.push(r);
+                }
+                Op::Parallel(n) => {
+                    let base = stack.len() - n as usize;
+                    let mut p_all_fail = Probability::ONE;
+                    for &child in &stack[base..] {
+                        p_all_fail = p_all_fail * child.complement();
+                    }
+                    stack.truncate(base);
+                    stack.push(p_all_fail.complement());
+                }
+                Op::KOfN { k, n } => {
+                    let base = stack.len() - n as usize;
+                    // Dynamic programme over "probability that exactly j of
+                    // the first i children work" — identical to the
+                    // recursive evaluator's.
+                    let mut dist = vec![1.0f64];
+                    for child in &stack[base..] {
+                        let r = child.value();
+                        let mut next = vec![0.0f64; dist.len() + 1];
+                        for (m, &pm) in dist.iter().enumerate() {
+                            next[m] += pm * (1.0 - r);
+                            next[m + 1] += pm * r;
+                        }
+                        dist = next;
+                    }
+                    let p: f64 = dist.iter().skip(k as usize).sum();
+                    stack.truncate(base);
+                    stack.push(Probability::clamped(p));
+                }
+            }
+        }
+        stack.pop().expect("non-empty program")
+    }
+}
+
+/// Emits the postfix program for `block`, children before their group.
+fn emit(block: &Block, index: &BTreeMap<&str, u32>, ops: &mut Vec<Op>) {
+    match block {
+        Block::Component(name) => ops.push(Op::Comp(index[name.as_str()])),
+        Block::Series(blocks) => {
+            for b in blocks {
+                emit(b, index, ops);
+            }
+            ops.push(Op::Series(blocks.len() as u32));
+        }
+        Block::Parallel(blocks) => {
+            for b in blocks {
+                emit(b, index, ops);
+            }
+            ops.push(Op::Parallel(blocks.len() as u32));
+        }
+        Block::KOfN { k, blocks } => {
+            for b in blocks {
+                emit(b, index, ops);
+            }
+            ops.push(Op::KOfN {
+                k: *k as u32,
+                n: blocks.len() as u32,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::{works, State};
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    fn fig2() -> Block {
+        Block::series(vec![
+            Block::parallel(vec![Block::component("Hd"), Block::component("Md")]),
+            Block::component("Hc"),
+        ])
+    }
+
+    fn shared() -> Block {
+        Block::parallel(vec![
+            Block::series(vec![Block::component("a"), Block::component("b")]),
+            Block::series(vec![Block::component("a"), Block::component("c")]),
+        ])
+    }
+
+    #[test]
+    fn interning_is_sorted_and_searchable() {
+        let compiled = CompiledBlock::compile(&fig2()).unwrap();
+        assert_eq!(compiled.component_names(), ["Hc", "Hd", "Md"]);
+        assert_eq!(compiled.index_of("Hd"), Some(1));
+        assert_eq!(compiled.index_of("ghost"), None);
+        assert!(compiled.repeated_indices().is_empty());
+    }
+
+    #[test]
+    fn repeated_components_are_tracked() {
+        let compiled = CompiledBlock::compile(&shared()).unwrap();
+        assert_eq!(compiled.component_names(), ["a", "b", "c"]);
+        assert_eq!(compiled.repeated_indices(), [0]);
+    }
+
+    #[test]
+    fn eval_matches_works_exhaustively() {
+        for block in [
+            fig2(),
+            shared(),
+            Block::k_of_n(
+                2,
+                vec![
+                    Block::component("x"),
+                    Block::component("y"),
+                    Block::component("z"),
+                ],
+            ),
+            Block::component("solo"),
+        ] {
+            let compiled = CompiledBlock::compile(&block).unwrap();
+            let names = block.component_names();
+            let n = names.len();
+            let mut state = vec![false; n];
+            let mut stack = Vec::with_capacity(compiled.max_stack());
+            for bits in 0u32..(1 << n) {
+                let mut map = State::new();
+                for (i, &name) in names.iter().enumerate() {
+                    state[i] = bits & (1 << i) != 0;
+                    map.insert(name, state[i]);
+                }
+                assert_eq!(
+                    compiled.eval_with(&state, &mut stack),
+                    works(&block, &map).unwrap(),
+                    "{block} bits={bits:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_stack_never_exceeds_max_stack() {
+        let block = shared();
+        let compiled = CompiledBlock::compile(&block).unwrap();
+        let mut stack = Vec::with_capacity(compiled.max_stack());
+        let state = vec![true; compiled.component_count()];
+        compiled.eval_with(&state, &mut stack);
+        assert!(stack.capacity() <= compiled.max_stack().max(1) * 2);
+    }
+
+    #[test]
+    fn reliability_matches_hand_computation() {
+        let compiled = CompiledBlock::compile(&fig2()).unwrap();
+        // Interned order Hc, Hd, Md.
+        let q = vec![p(0.1), p(0.2), p(0.07)];
+        let fail = compiled.failure(&q).unwrap().value();
+        let expected = 1.0 - (1.0 - 0.2 * 0.07) * (1.0 - 0.1);
+        assert!((fail - expected).abs() < 1e-15, "{fail} vs {expected}");
+    }
+
+    #[test]
+    fn reliability_factors_shared_components() {
+        let compiled = CompiledBlock::compile(&shared()).unwrap();
+        // a repeated: R = ra·(1 − (1 − rb)(1 − rc)) by conditioning on a.
+        let (qa, qb, qc) = (0.3, 0.25, 0.4);
+        let q = vec![p(qa), p(qb), p(qc)];
+        let r = compiled.reliability(&q).unwrap().value();
+        let expected = (1.0 - qa) * (1.0 - qb * qc);
+        assert!((r - expected).abs() < 1e-15, "{r} vs {expected}");
+    }
+
+    #[test]
+    fn failure_probabilities_hoist_in_interned_order() {
+        let compiled = CompiledBlock::compile(&fig2()).unwrap();
+        let mut seen = Vec::new();
+        let q = compiled
+            .failure_probabilities(|name| {
+                seen.push(name.to_owned());
+                Ok(p(0.5))
+            })
+            .unwrap();
+        assert_eq!(seen, ["Hc", "Hd", "Md"]);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn invalid_diagrams_are_rejected_at_compile_time() {
+        let invalid = Block::series(vec![]);
+        assert!(CompiledBlock::compile(&invalid).is_err());
+    }
+}

@@ -11,7 +11,7 @@
 
 use hmdiv_prob::Probability;
 
-use crate::reliability::system_failure;
+use crate::compiled::CompiledBlock;
 use crate::{Block, RbdError};
 
 /// The suite of importance measures for one component.
@@ -70,20 +70,36 @@ pub struct ImportanceMeasures {
 pub fn importance<F>(
     block: &Block,
     component: &str,
-    mut failure_of: F,
+    failure_of: F,
 ) -> Result<ImportanceMeasures, RbdError>
 where
     F: FnMut(&str) -> Result<Probability, RbdError>,
 {
-    if !block.component_names().contains(&component) {
+    let compiled = CompiledBlock::compile(block)?;
+    let Some(idx) = compiled.index_of(component) else {
         return Err(RbdError::UnknownComponent {
             name: component.to_owned(),
         });
-    }
-    let q_i = failure_of(component)?;
-    let f_current = system_failure(block, &mut failure_of)?.value();
-    let f_when_works = conditional_failure(block, component, Probability::ZERO, &mut failure_of)?;
-    let f_when_fails = conditional_failure(block, component, Probability::ONE, &mut failure_of)?;
+    };
+    let q = compiled.failure_probabilities(failure_of)?;
+    measures_for(&compiled, &q, idx)
+}
+
+/// Computes the importance suite for one interned component from a compiled
+/// diagram and a hoisted probability vector (three exact evaluations with
+/// the component's failure probability as given, forced to 0, forced to 1).
+fn measures_for(
+    compiled: &CompiledBlock,
+    q: &[Probability],
+    idx: u32,
+) -> Result<ImportanceMeasures, RbdError> {
+    let q_i = q[idx as usize];
+    let f_current = compiled.failure(q)?.value();
+    let mut forced = q.to_vec();
+    forced[idx as usize] = Probability::ZERO;
+    let f_when_works = compiled.failure(&forced)?.value();
+    forced[idx as usize] = Probability::ONE;
+    let f_when_fails = compiled.failure(&forced)?.value();
     let birnbaum = f_when_fails - f_when_works; // = R(works) − R(fails)
     let improvement_potential = f_current - f_when_works;
     let criticality =
@@ -108,15 +124,18 @@ where
 /// As [`importance`].
 pub fn rank_by_birnbaum<F>(
     block: &Block,
-    mut failure_of: F,
+    failure_of: F,
 ) -> Result<Vec<(String, ImportanceMeasures)>, RbdError>
 where
     F: FnMut(&str) -> Result<Probability, RbdError>,
 {
-    let mut out = Vec::new();
-    for name in block.component_names() {
-        let m = importance(block, name, &mut failure_of)?;
-        out.push((name.to_owned(), m));
+    // One compilation and one probability hoist serve every component.
+    let compiled = CompiledBlock::compile(block)?;
+    let q = compiled.failure_probabilities(failure_of)?;
+    let mut out = Vec::with_capacity(compiled.component_count());
+    for (idx, name) in compiled.component_names().iter().enumerate() {
+        let m = measures_for(&compiled, &q, idx as u32)?;
+        out.push((name.clone(), m));
     }
     out.sort_by(|(na, a), (nb, b)| {
         b.birnbaum
@@ -125,25 +144,6 @@ where
             .then_with(|| na.cmp(nb))
     });
     Ok(out)
-}
-
-fn conditional_failure<F>(
-    block: &Block,
-    component: &str,
-    forced: Probability,
-    failure_of: &mut F,
-) -> Result<f64, RbdError>
-where
-    F: FnMut(&str) -> Result<Probability, RbdError>,
-{
-    let f = system_failure(block, |name| {
-        if name == component {
-            Ok(forced)
-        } else {
-            failure_of(name)
-        }
-    })?;
-    Ok(f.value())
 }
 
 #[cfg(test)]

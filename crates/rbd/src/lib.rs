@@ -10,6 +10,9 @@
 //!   and k-out-of-n groups.
 //! * [`structure`] — the Boolean structure function, coherence
 //!   (monotonicity) checks.
+//! * [`compiled`] — structure functions compiled to interned component
+//!   indices and a flat postfix program: the allocation-free fast path
+//!   behind Monte-Carlo sampling, exact reliability and importance.
 //! * [`paths`] — minimal path sets and minimal cut sets.
 //! * [`reliability`] — exact system reliability under independent component
 //!   failures (by conditioning on repeated components), and Esary–Proschan
@@ -56,6 +59,7 @@
 #![deny(missing_debug_implementations)]
 
 mod block;
+pub mod compiled;
 pub mod difficulty;
 pub mod dual;
 mod error;

@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 
 use hmdiv_prob::Probability;
 
+use crate::compiled::CompiledBlock;
 use crate::paths::{minimal_cut_sets, minimal_path_sets};
 use crate::{Block, RbdError};
 
@@ -43,6 +44,10 @@ where
 
 /// The probability that the system *works*. See [`system_failure`].
 ///
+/// The diagram is compiled once ([`CompiledBlock`]) and evaluated over a
+/// dense probability vector; `failure_of` is called exactly once per
+/// distinct component, in sorted-name order.
+///
 /// # Errors
 ///
 /// As [`system_failure`].
@@ -50,100 +55,9 @@ pub fn system_reliability<F>(block: &Block, failure_of: &mut F) -> Result<Probab
 where
     F: FnMut(&str) -> Result<Probability, RbdError>,
 {
-    block.validate()?;
-    let repeated: Vec<String> = block
-        .repeated_names()
-        .into_iter()
-        .map(str::to_owned)
-        .collect();
-    if repeated.len() > MAX_REPEATED {
-        return Err(RbdError::TooLarge {
-            repeated: repeated.len(),
-            max: MAX_REPEATED,
-        });
-    }
-    // Gather failure probabilities for the repeated components once.
-    let mut shared: BTreeMap<String, Probability> = BTreeMap::new();
-    for name in &repeated {
-        shared.insert(name.clone(), failure_of(name)?);
-    }
-    factored_reliability(block, failure_of, &repeated, &mut BTreeMap::new(), &shared)
-}
-
-/// Conditions on each repeated component in turn, then evaluates the
-/// series/parallel rules on the conditionally-independent remainder.
-fn factored_reliability<F>(
-    block: &Block,
-    failure_of: &mut F,
-    remaining: &[String],
-    fixed: &mut BTreeMap<String, bool>,
-    shared: &BTreeMap<String, Probability>,
-) -> Result<Probability, RbdError>
-where
-    F: FnMut(&str) -> Result<Probability, RbdError>,
-{
-    match remaining.split_first() {
-        None => independent_reliability(block, failure_of, fixed),
-        Some((name, rest)) => {
-            let p_fail = shared[name];
-            fixed.insert(name.clone(), true);
-            let r_works = factored_reliability(block, failure_of, rest, fixed, shared)?;
-            fixed.insert(name.clone(), false);
-            let r_fails = factored_reliability(block, failure_of, rest, fixed, shared)?;
-            fixed.remove(name);
-            // Law of total probability over the conditioned component.
-            Ok(r_works.mix(r_fails, p_fail.complement()))
-        }
-    }
-}
-
-/// Exact composition for diagrams whose unfixed components are all distinct.
-fn independent_reliability<F>(
-    block: &Block,
-    failure_of: &mut F,
-    fixed: &BTreeMap<String, bool>,
-) -> Result<Probability, RbdError>
-where
-    F: FnMut(&str) -> Result<Probability, RbdError>,
-{
-    match block {
-        Block::Component(name) => match fixed.get(name) {
-            Some(true) => Ok(Probability::ONE),
-            Some(false) => Ok(Probability::ZERO),
-            None => Ok(failure_of(name)?.complement()),
-        },
-        Block::Series(blocks) => {
-            let mut r = Probability::ONE;
-            for b in blocks {
-                r = r * independent_reliability(b, failure_of, fixed)?;
-            }
-            Ok(r)
-        }
-        Block::Parallel(blocks) => {
-            let mut p_all_fail = Probability::ONE;
-            for b in blocks {
-                p_all_fail =
-                    p_all_fail * independent_reliability(b, failure_of, fixed)?.complement();
-            }
-            Ok(p_all_fail.complement())
-        }
-        Block::KOfN { k, blocks } => {
-            // Dynamic programme over "probability that exactly j of the
-            // first i children work".
-            let mut dist = vec![1.0f64];
-            for b in blocks {
-                let r = independent_reliability(b, failure_of, fixed)?.value();
-                let mut next = vec![0.0f64; dist.len() + 1];
-                for (j, &pj) in dist.iter().enumerate() {
-                    next[j] += pj * (1.0 - r);
-                    next[j + 1] += pj * r;
-                }
-                dist = next;
-            }
-            let p: f64 = dist.iter().skip(*k).sum();
-            Ok(Probability::clamped(p))
-        }
-    }
+    let compiled = CompiledBlock::compile(block)?;
+    let q = compiled.failure_probabilities(failure_of)?;
+    compiled.reliability(&q)
 }
 
 /// Esary–Proschan bounds on system *reliability* for a coherent system with

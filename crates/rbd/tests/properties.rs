@@ -4,13 +4,17 @@
 use std::collections::BTreeMap;
 
 use hmdiv_prob::Probability;
+use hmdiv_rbd::compiled::CompiledBlock;
 use hmdiv_rbd::dual::{check_duality, dual};
 use hmdiv_rbd::importance::importance;
+use hmdiv_rbd::monte_carlo::monte_carlo_failure;
 use hmdiv_rbd::paths::{minimal_cut_sets, minimal_path_sets};
 use hmdiv_rbd::reliability::{esary_proschan_bounds, system_failure, system_reliability};
 use hmdiv_rbd::structure::works;
 use hmdiv_rbd::{Block, RbdError};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Random diagram over a small component alphabet (repeats allowed), with
 /// bounded depth and width.
@@ -137,5 +141,95 @@ proptest! {
             let worse = system_failure(&block, lookup(&bumped)).unwrap().value();
             prop_assert!(worse >= base - 1e-9, "{name}: {worse} < {base}");
         }
+    }
+
+    #[test]
+    fn compiled_eval_matches_interpreted_works(block in arb_block(2), bits in 0u32..64u32) {
+        // The postfix program must agree with the recursive structure
+        // function on every diagram and state vector.
+        let compiled = CompiledBlock::compile(&block).unwrap();
+        let names = block.component_names();
+        prop_assume!(names.len() <= 6);
+        let state_vec: Vec<bool> = (0..compiled.component_count())
+            .map(|i| bits & (1 << i) != 0)
+            .collect();
+        let state_map: BTreeMap<&str, bool> = compiled
+            .component_names()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), state_vec[i]))
+            .collect();
+        prop_assert_eq!(
+            compiled.eval(&state_vec),
+            works(&block, &state_map).unwrap(),
+            "{}", block
+        );
+    }
+}
+
+/// A sequential interpreted Monte-Carlo sampler: the pre-compilation
+/// implementation, kept as a reference — per-sample `BTreeMap` state,
+/// recursive [`works`], draws in sorted-name order.
+fn interpreted_failure_count(
+    block: &Block,
+    probs: &BTreeMap<String, f64>,
+    samples: u64,
+    rng: &mut StdRng,
+) -> u64 {
+    let names = block.component_names();
+    let mut failures = 0u64;
+    for _ in 0..samples {
+        let mut state: BTreeMap<&str, bool> = BTreeMap::new();
+        for &name in &names {
+            state.insert(name, rng.gen::<f64>() >= probs[name]);
+        }
+        if !works(block, &state).unwrap() {
+            failures += 1;
+        }
+    }
+    failures
+}
+
+#[test]
+fn monte_carlo_rng_stream_is_byte_identical_to_interpreted_reference() {
+    // Compilation is a pure speed-up: for the same seed the compiled
+    // sampler must consume the RNG stream exactly as the interpreted
+    // version did and land on the same failure count, so published
+    // estimates survive the optimisation unchanged.
+    let sys = Block::series(vec![
+        Block::parallel(vec![Block::component("Hd"), Block::component("Md")]),
+        Block::component("Hc"),
+        Block::k_of_n(
+            2,
+            vec![
+                Block::component("a"),
+                Block::component("b"),
+                Block::component("Hd"),
+            ],
+        ),
+    ]);
+    let probs: BTreeMap<String, f64> = [
+        ("Hc", 0.1),
+        ("Hd", 0.2),
+        ("Md", 0.07),
+        ("a", 0.15),
+        ("b", 0.3),
+    ]
+    .into_iter()
+    .map(|(n, p)| (n.to_string(), p))
+    .collect();
+    for seed in [0u64, 1, 42, 2024] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let expected = interpreted_failure_count(&sys, &probs, 10_000, &mut rng);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let est = monte_carlo_failure(
+            &sys,
+            |name| Ok(Probability::clamped(probs[name])),
+            10_000,
+            &mut rng,
+        )
+        .unwrap();
+        let failures = (est.failure.value() * 10_000.0).round() as u64;
+        assert_eq!(failures, expected, "seed={seed}");
     }
 }

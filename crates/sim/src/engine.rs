@@ -8,11 +8,11 @@
 //! worker handles which id.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use hmdiv_core::{ClassId, ClassParams, ModelError, ModelParams, SequentialModel};
 use hmdiv_prob::counts::StratifiedCounts;
+use hmdiv_prob::par::{self, Merge};
 use hmdiv_prob::Probability;
 
 use crate::case::CaseKind;
@@ -73,55 +73,30 @@ impl Simulation {
             });
         }
         self.world.team.validate()?;
-        let threads = self.config.threads.min(self.config.cases as usize).max(1);
-        let per_thread = self.config.cases / threads as u64;
-        let remainder = self.config.cases % threads as u64;
         let world = &self.world;
-        let seed = self.config.seed;
-        let partials = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            let mut start = 0u64;
-            for worker in 0..threads {
-                let quota = per_thread + u64::from((worker as u64) < remainder);
-                handles.push(scope.spawn(move |_| worker_run(world, seed, start, quota)));
-                start += quota;
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("simulation worker panicked"))
-                .collect::<Vec<_>>()
-        })
-        .expect("simulation scope panicked");
-        let mut report = SimulationReport::empty();
-        for partial in partials {
-            report.merge(partial);
-        }
-        Ok(report)
+        Ok(par::run_tasks(
+            self.config.seed,
+            self.config.cases,
+            self.config.threads,
+            SimulationReport::empty,
+            |id, rng, report| screen_case(world, id, rng, report),
+        ))
     }
 }
 
-/// Screens cases `start..start + quota`. Each case gets its own RNG stream
-/// derived from `(seed, case id)`, so results are identical for any thread
-/// count — only the partition of ids across workers changes.
-fn worker_run(world: &World, seed: u64, start: u64, quota: u64) -> SimulationReport {
-    let mut report = SimulationReport::empty();
-    for id in start..start + quota {
-        // SplitMix64-style mixing of (seed, id) into a per-case stream seed.
-        let mut z = seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        let mut rng = StdRng::seed_from_u64(z ^ (z >> 31));
-        let case = world.population.sample_case(id, &mut rng);
-        let record = world.team.screen(&case, &mut rng);
-        report.record(
-            &case.kind,
-            record.class.clone(),
-            record.machine_failed,
-            record.system_failed,
-            &record.reader_recalls,
-        );
-    }
-    report
+/// Screens one case into `report`. The case's RNG comes from the
+/// `(seed, case id)` stream ([`par::stream_rng`]), so results are identical
+/// for any thread count — only the partition of ids across workers changes.
+fn screen_case(world: &World, id: u64, rng: &mut StdRng, report: &mut SimulationReport) {
+    let case = world.population.sample_case(id, rng);
+    let record = world.team.screen(&case, rng);
+    report.record(
+        &case.kind,
+        record.class.clone(),
+        record.machine_failed,
+        record.system_failed,
+        &record.reader_recalls,
+    );
 }
 
 /// Aggregated outcome tables from a run.
@@ -198,28 +173,6 @@ impl SimulationReport {
                 self.unaided_normal_failures += u64::from(system_failed);
             }
         }
-    }
-
-    fn merge(&mut self, other: SimulationReport) {
-        if self.per_reader_cancer.len() < other.per_reader_cancer.len() {
-            self.per_reader_cancer
-                .resize_with(other.per_reader_cancer.len(), StratifiedCounts::new);
-        }
-        for (mine, theirs) in self
-            .per_reader_cancer
-            .iter_mut()
-            .zip(other.per_reader_cancer)
-        {
-            mine.merge(theirs);
-        }
-        self.pair_given_ms.merge(other.pair_given_ms);
-        self.pair_given_mf.merge(other.pair_given_mf);
-        self.cancer.merge(other.cancer);
-        self.normal.merge(other.normal);
-        self.unaided_cancer_failures += other.unaided_cancer_failures;
-        self.unaided_cancer_total += other.unaided_cancer_total;
-        self.unaided_normal_failures += other.unaided_normal_failures;
-        self.unaided_normal_total += other.unaided_normal_total;
     }
 
     /// The stratified cancer-side (false-negative) tables.
@@ -388,6 +341,33 @@ impl SimulationReport {
     }
 }
 
+/// Partial reports from worker blocks fold in task order; every tally is an
+/// exact integer count, so the fold is associative and the merged report is
+/// identical at any thread count (the [`Merge`] contract).
+impl Merge for SimulationReport {
+    fn merge(&mut self, other: SimulationReport) {
+        if self.per_reader_cancer.len() < other.per_reader_cancer.len() {
+            self.per_reader_cancer
+                .resize_with(other.per_reader_cancer.len(), StratifiedCounts::new);
+        }
+        for (mine, theirs) in self
+            .per_reader_cancer
+            .iter_mut()
+            .zip(other.per_reader_cancer)
+        {
+            mine.merge(theirs);
+        }
+        self.pair_given_ms.merge(other.pair_given_ms);
+        self.pair_given_mf.merge(other.pair_given_mf);
+        self.cancer.merge(other.cancer);
+        self.normal.merge(other.normal);
+        self.unaided_cancer_failures += other.unaided_cancer_failures;
+        self.unaided_cancer_total += other.unaided_cancer_total;
+        self.unaided_normal_failures += other.unaided_normal_failures;
+        self.unaided_normal_total += other.unaided_normal_total;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -450,6 +430,18 @@ mod tests {
         let wide = small_run(3000, 42, 7);
         assert_eq!(a, serial);
         assert_eq!(a, wide);
+    }
+
+    #[test]
+    fn report_identical_across_thread_counts_including_overclamp() {
+        // Thread counts above the case count clamp without changing output;
+        // the host's actual parallelism is included to exercise a realistic
+        // worker split alongside the fixed counts.
+        let host = std::thread::available_parallelism().map_or(2, std::num::NonZero::get);
+        let reference = small_run(101, 7, 1);
+        for threads in [3usize, 7, host, 500] {
+            assert_eq!(small_run(101, 7, threads), reference, "threads={threads}");
+        }
     }
 
     #[test]

@@ -41,8 +41,11 @@ proptest! {
             hmdiv_sim::table_driven::simulate(&truth, &profile, 40_000, &mut rng).unwrap();
         let est = estimate_stratified(&counts, CiMethod::Wilson, 0.99, true).unwrap();
         // At the 99% level, individual interval misses still happen at ~1%
-        // per interval — so assert coverage of the SET: at most one of the
-        // six intervals may miss, and every point estimate must be close.
+        // per interval — so assert coverage of the SET, not of each
+        // interval. Allowing up to two of six misses keeps the per-case
+        // false-alarm rate near C(6,3)·0.01³ ≈ 2e-5 (vs ~1.5e-3 for the
+        // ≤1 bound, which flakes at ~3% over 24 cases), while still
+        // catching any systematic under-coverage.
         let mut misses = 0;
         for ce in &est.classes {
             let t = truth.params().class(&ce.class).unwrap();
@@ -57,7 +60,7 @@ proptest! {
                 (ce.point.p_hf_given_mf().value() - t.p_hf_given_mf().value()).abs() < 0.07
             );
         }
-        prop_assert!(misses <= 1, "{misses} of 6 intervals missed at the 99% level");
+        prop_assert!(misses <= 2, "{misses} of 6 intervals missed at the 99% level");
         // The point model's prediction of the generating profile's failure
         // rate lands near the truth's.
         let fitted = est.point_model().unwrap();

@@ -1,0 +1,353 @@
+//! Offline-compatible mini benchmark harness exposing the subset of the
+//! `criterion` API used by the `hmdiv` workspace.
+//!
+//! The build environment has no crates.io access, so the real `criterion`
+//! cannot be fetched. This harness keeps the same bench-authoring surface —
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], `criterion_group!` /
+//! `criterion_main!` — with simplified measurement: each benchmark is
+//! auto-calibrated to a fixed measurement window and reports mean
+//! time/iteration (plus throughput when configured), without statistical
+//! outlier analysis or HTML reports.
+//!
+//! `cargo bench -- --test` runs every benchmark body exactly once, making
+//! the bench suite usable as a smoke test in CI.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target measurement window per benchmark (overridable with the
+/// `CRITERION_MEASUREMENT_MS` environment variable).
+fn measurement_window() -> Duration {
+    let ms = std::env::var("CRITERION_MEASUREMENT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(500);
+    Duration::from_millis(ms.max(1))
+}
+
+/// The benchmark manager: collects and runs benchmarks, printing results.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a manager from the process arguments, honouring `--test`
+    /// (smoke mode: run every body once) and a positional name filter.
+    /// Harness flags passed by cargo (`--bench`, etc.) are ignored.
+    pub fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_owned()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+
+    fn should_run(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Benchmarks a single function under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn run_one<F>(&mut self, name: &str, throughput: Option<&Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.should_run(name) {
+            return;
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("{name}: test passed");
+            return;
+        }
+        if bencher.iters == 0 {
+            println!("{name}: no measurement (Bencher::iter never called)");
+            return;
+        }
+        let per_iter = bencher.total.as_secs_f64() / bencher.iters as f64;
+        let mut line = format!(
+            "{name}: time/iter {} ({} iters)",
+            format_seconds(per_iter),
+            bencher.iters
+        );
+        if let Some(Throughput::Elements(n)) = throughput {
+            let rate = *n as f64 / per_iter;
+            line.push_str(&format!(", thrpt {rate:.3e} elem/s"));
+        }
+        if let Some(Throughput::Bytes(n)) = throughput {
+            let rate = *n as f64 / per_iter;
+            line.push_str(&format!(", thrpt {rate:.3e} B/s"));
+        }
+        println!("{line}");
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&self) {
+        if self.test_mode {
+            println!("all benchmarks ran in test mode");
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used for rate reporting on subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness auto-calibrates the
+    /// iteration count from the measurement window instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion.run_one(&name, self.throughput.as_ref(), f);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion
+            .run_one(&name, self.throughput.as_ref(), |b| f(b, input));
+        self
+    }
+
+    /// Closes the group (a no-op here; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    ///
+    /// In `--test` mode the routine runs exactly once. Otherwise one warmup
+    /// call calibrates an iteration count that fills the measurement
+    /// window, and the whole batch is timed.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.iters = 1;
+            return;
+        }
+        let warmup_start = Instant::now();
+        std::hint::black_box(routine());
+        let warmup = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let window = measurement_window();
+        let n = (window.as_secs_f64() / warmup.as_secs_f64()).clamp(1.0, 10_000_000.0) as u64;
+        let start = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = n;
+    }
+}
+
+/// Throughput hint for rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier within a group: a function name, a bare
+/// parameter, or both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], accepted anywhere a bench is named.
+pub trait IntoBenchmarkId {
+    /// Converts self into the id string.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Prevents the optimiser from eliding a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+fn format_seconds(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("keep".into()),
+        };
+        let mut ran = false;
+        c.bench_function("skipped", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.benchmark_group("keep_group")
+            .bench_function("inner", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn format_seconds_picks_sensible_units() {
+        assert!(format_seconds(2.0).ends_with(" s"));
+        assert!(format_seconds(2e-3).ends_with(" ms"));
+        assert!(format_seconds(2e-6).ends_with(" us"));
+        assert!(format_seconds(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Offline-compatible stub of the `crossbeam` API surface used by the
+//! `hmdiv` workspace: scoped threads.
+//!
+//! Since Rust 1.63 the standard library provides [`std::thread::scope`],
+//! which covers everything this workspace needs from
+//! `crossbeam::thread::scope`; this crate adapts the std API to the
+//! crossbeam signatures so the calling code is source-compatible with the
+//! real crate.
+
+#![deny(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads (see [`scope`]).
+
+    use std::any::Any;
+
+    /// Result of joining a scoped thread: `Err` holds the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope for spawning borrowing threads; see [`scope`].
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so it can
+        /// spawn nested threads, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Handle to a scoped thread; join it to collect the result.
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope in which threads may borrow from the enclosing stack
+    /// frame. All spawned threads are joined before `scope` returns.
+    ///
+    /// Unlike crossbeam, a panic in an unjoined child propagates out of
+    /// `scope` (std semantics) instead of being collected into the `Err`
+    /// variant; the workspace joins every handle explicitly, so the
+    /// difference is unobservable here.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` in this implementation; the `Result` shape is
+    /// kept for signature compatibility with crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panic"))
+                    .sum::<u64>()
+            })
+            .expect("scope succeeds");
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn nested_spawn_via_scope_argument() {
+            let got = super::scope(|s| {
+                s.spawn(|inner| inner.spawn(|_| 7).join().expect("inner"))
+                    .join()
+                    .expect("outer")
+            })
+            .expect("scope succeeds");
+            assert_eq!(got, 7);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Sampling helpers: a length-agnostic collection index.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::arbitrary::Arbitrary;
+use crate::strategy::Strategy;
+
+/// An index into a collection of not-yet-known length.
+///
+/// Generate one with `any::<Index>()` and resolve it against a concrete
+/// collection with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Index(usize);
+
+impl Index {
+    /// Maps this abstract index onto a collection of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        self.0 % len
+    }
+}
+
+/// Strategy generating uniformly random [`Index`] values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexStrategy;
+
+impl Strategy for IndexStrategy {
+    type Value = Index;
+
+    fn generate(&self, rng: &mut StdRng) -> Index {
+        Index(rng.gen::<u64>() as usize)
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = IndexStrategy;
+
+    fn arbitrary() -> IndexStrategy {
+        IndexStrategy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+    use rand::SeedableRng;
+
+    #[test]
+    fn index_stays_in_bounds_for_every_len() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let idx = any::<Index>().generate(&mut rng);
+            for len in 1..10usize {
+                assert!(idx.index(len) < len);
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Runs properties over many generated cases with deterministic seeding.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and is not counted.
+    Reject(String),
+    /// The case failed an assertion; the whole property fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a rejection (see `prop_assume!`).
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// Builds a failure (see `prop_assert!` and friends).
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// FNV-1a on the test name: a stable, platform-independent seed so each
+/// property explores a distinct but reproducible stream of cases.
+fn seed_from_name(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Drives one property until `config.cases` cases pass.
+///
+/// # Panics
+///
+/// Panics when a case fails, or when rejections exceed `cases * 20 + 1000`
+/// (an over-strict `prop_assume!`/`prop_filter`).
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let seed = seed_from_name(name);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let reject_cap = u64::from(config.cases) * 20 + 1000;
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_cap,
+                    "property '{name}': {rejected} cases rejected before {} passed \
+                     (seed {seed:#018x}); loosen prop_assume!/prop_filter",
+                    config.cases
+                );
+            }
+            Err(TestCaseError::Fail(message)) => panic!(
+                "property '{name}' failed after {passed} passing cases \
+                 (seed {seed:#018x}): {message}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_exactly_the_configured_number_of_cases() {
+        let mut calls = 0u32;
+        run_cases(ProptestConfig::with_cases(40), "counting", |_rng| {
+            calls += 1;
+            Ok(())
+        });
+        assert_eq!(calls, 40);
+    }
+
+    #[test]
+    fn rejections_do_not_count_towards_cases() {
+        let mut calls = 0u32;
+        run_cases(ProptestConfig::with_cases(10), "rejecting", |_rng| {
+            calls += 1;
+            if calls.is_multiple_of(2) {
+                Err(TestCaseError::reject("every other"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls >= 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic_with_the_message() {
+        run_cases(ProptestConfig::with_cases(10), "failing", |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn seeds_are_stable_across_runs() {
+        assert_eq!(seed_from_name("abc"), seed_from_name("abc"));
+        assert_ne!(seed_from_name("abc"), seed_from_name("abd"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Offline-compatible stub of the `serde` API surface used by the `hmdiv`
+//! workspace.
+//!
+//! The build environment has no crates.io access, so the real `serde` cannot
+//! be fetched. The workspace only *derives* `Serialize`/`Deserialize` (no
+//! serializer backend such as `serde_json` is present), so the traits here
+//! are markers: deriving them type-checks and records the intent, and the
+//! real implementations can be restored by swapping this stub for upstream
+//! serde when a registry is available.
+
+#![deny(missing_docs)]
+
+/// Marker for types that can be serialized.
+///
+/// Stub: carries no methods because no serializer backend exists in this
+/// build environment.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+///
+/// Stub: carries no methods because no deserializer backend exists in this
+/// build environment.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_marker {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_marker!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeSet<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}

@@ -1,0 +1,218 @@
+//! Dependency-free `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde stub.
+//!
+//! The stub traits are markers, so the derives only need to emit an empty
+//! impl with the right generics. The input item is parsed with a small
+//! hand-written scanner (no `syn`): skip attributes and visibility, read the
+//! `struct`/`enum` keyword, the type name, and the generic parameter list.
+//! `#[serde(...)]` helper attributes are accepted and ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stub `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let impl_generics = item.params_with_bounds("");
+    format!(
+        "impl{ig} ::serde::Serialize for {name}{ty} {{}}",
+        ig = impl_generics,
+        name = item.name,
+        ty = item.args()
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the stub `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let impl_generics = item.params_with_bounds("'de");
+    format!(
+        "impl{ig} ::serde::Deserialize<'de> for {name}{ty} {{}}",
+        ig = impl_generics,
+        name = item.name,
+        ty = item.args()
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    /// Generic parameters with their bounds, defaults stripped, e.g.
+    /// `["K: Ord", "T"]`.
+    params: Vec<String>,
+    /// Bare parameter names/lifetimes for use as type arguments, e.g.
+    /// `["K", "T"]`.
+    args: Vec<String>,
+}
+
+impl Item {
+    /// `<extra, P1: B1, P2>` or `""`/`<extra>` when the item is not generic.
+    fn params_with_bounds(&self, extra: &str) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if !extra.is_empty() {
+            parts.push(extra.to_owned());
+        }
+        parts.extend(self.params.iter().cloned());
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", parts.join(", "))
+        }
+    }
+
+    /// `<P1, P2>` or `""` when the item is not generic.
+    fn args(&self) -> String {
+        if self.args.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.args.join(", "))
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match tokens.next() {
+        Some(TokenTree::Ident(kw))
+            if matches!(kw.to_string().as_str(), "struct" | "enum" | "union") => {}
+        other => panic!("expected struct/enum/union, found {other:?}"),
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    // Collect the generic parameter tokens, if any.
+    let mut generics: Vec<TokenTree> = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            for tok in tokens.by_ref() {
+                if let TokenTree::Punct(p) = &tok {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                generics.push(tok);
+            }
+        }
+    }
+    let (params, args) = split_generics(&generics);
+    Item { name, params, args }
+}
+
+/// Splits the token list between `<` and `>` into per-parameter strings,
+/// stripping default values (`= T`) and extracting the bare name of each
+/// parameter for the type-argument position.
+fn split_generics(tokens: &[TokenTree]) -> (Vec<String>, Vec<String>) {
+    let mut params = Vec::new();
+    let mut args = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut depth = 0usize;
+    let mut flush = |current: &mut Vec<TokenTree>| {
+        if current.is_empty() {
+            return;
+        }
+        let (param, arg) = render_param(current);
+        params.push(param);
+        args.push(arg);
+        current.clear();
+    };
+    for tok in tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                current.push(tok.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                current.push(tok.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => flush(&mut current),
+            _ => current.push(tok.clone()),
+        }
+    }
+    flush(&mut current);
+    (params, args)
+}
+
+/// Renders one generic parameter as (declaration without default, bare name).
+fn render_param(tokens: &[TokenTree]) -> (String, String) {
+    // Truncate at a top-level `=` (default value).
+    let mut decl_end = tokens.len();
+    let mut depth = 0usize;
+    for (i, tok) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                '=' if depth == 0 => {
+                    decl_end = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    let decl_tokens = &tokens[..decl_end];
+    let decl = render_tokens(decl_tokens);
+    // The bare name: `'a` for lifetimes, `N` for `const N: usize`, the
+    // leading ident otherwise.
+    let arg = match decl_tokens.first() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '\'' => match decl_tokens.get(1) {
+            Some(TokenTree::Ident(id)) => format!("'{id}"),
+            _ => panic!("malformed lifetime parameter"),
+        },
+        Some(TokenTree::Ident(id)) if id.to_string() == "const" => match decl_tokens.get(1) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => panic!("malformed const parameter"),
+        },
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("malformed generic parameter {other:?}"),
+    };
+    (decl, arg)
+}
+
+fn render_tokens(tokens: &[TokenTree]) -> String {
+    // Spaces between tokens are harmless (`K : Ord` parses fine) except
+    // after a lifetime quote, which must stay glued to its identifier.
+    let mut out = String::new();
+    let mut glue = false;
+    for tok in tokens {
+        if !out.is_empty() && !glue {
+            out.push(' ');
+        }
+        out.push_str(&tok.to_string());
+        glue = matches!(tok, TokenTree::Punct(p) if p.as_char() == '\'');
+    }
+    out
+}
