@@ -1,0 +1,115 @@
+//! Guard bench for the `hmdiv-obs` overhead budget: with observability
+//! disabled, the instrumented hot paths must stay within 2% of their cost —
+//! the disabled path is one relaxed atomic load and a branch per *run*,
+//! never per sample. The enabled cost is also measured for the record
+//! (`BENCH_pr2.json`); it is allowed to be visible but must stay small,
+//! since recording happens per run, not per case.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use hmdiv_prob::Probability;
+use hmdiv_rbd::compiled::CompiledBlock;
+use hmdiv_rbd::monte_carlo::monte_carlo_failure;
+use hmdiv_rbd::{Block, RbdError};
+use hmdiv_sim::engine::{SimConfig, Simulation};
+use hmdiv_sim::scenario;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MC_SAMPLES: u64 = 200_000;
+const SIM_CASES: u64 = 20_000;
+
+fn fig2() -> Block {
+    Block::series(vec![
+        Block::parallel(vec![
+            Block::component("Hdetect"),
+            Block::component("Mdetect"),
+        ]),
+        Block::component("Hclassify"),
+    ])
+}
+
+fn failure_of(name: &str) -> Result<Probability, RbdError> {
+    Ok(Probability::clamped(match name {
+        "Hdetect" => 0.2,
+        "Mdetect" => 0.07,
+        _ => 0.1,
+    }))
+}
+
+fn mc_run() -> f64 {
+    let mut rng = StdRng::seed_from_u64(42);
+    monte_carlo_failure(&fig2(), failure_of, MC_SAMPLES, &mut rng)
+        .expect("estimate succeeds")
+        .failure
+        .value()
+}
+
+/// The same sampling work as [`mc_run`], hand-rolled over the public
+/// `CompiledBlock` API with no observability gate anywhere on the path —
+/// the true uninstrumented baseline the <2% disabled budget is judged
+/// against.
+fn mc_run_direct() -> f64 {
+    let block = fig2();
+    let compiled = CompiledBlock::compile(&block).expect("compiles");
+    let probs: Vec<f64> = compiled
+        .failure_probabilities(failure_of)
+        .expect("probabilities resolve")
+        .iter()
+        .map(|p| p.value())
+        .collect();
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut state = vec![false; compiled.component_count()];
+    let mut stack = Vec::with_capacity(compiled.max_stack());
+    let mut failures = 0u64;
+    for _ in 0..MC_SAMPLES {
+        for (slot, &q) in state.iter_mut().zip(&probs) {
+            *slot = rng.gen::<f64>() >= q;
+        }
+        if !compiled.eval_with(&state, &mut stack) {
+            failures += 1;
+        }
+    }
+    failures as f64 / MC_SAMPLES as f64
+}
+
+fn sim_run() -> u64 {
+    let world = scenario::trial_world().expect("scenario builds");
+    Simulation::new(
+        world,
+        SimConfig {
+            cases: SIM_CASES,
+            seed: 7,
+            threads: 4,
+        },
+    )
+    .run()
+    .expect("run succeeds")
+    .total_cases()
+}
+
+fn bench_mc_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead/compiled_mc");
+    group.throughput(Throughput::Elements(MC_SAMPLES));
+    group.bench_function("direct", |b| b.iter(|| black_box(mc_run_direct())));
+    hmdiv_obs::set_enabled(false);
+    group.bench_function("disabled", |b| b.iter(|| black_box(mc_run())));
+    hmdiv_obs::set_enabled(true);
+    group.bench_function("enabled", |b| b.iter(|| black_box(mc_run())));
+    hmdiv_obs::set_enabled(false);
+    group.finish();
+}
+
+fn bench_sim_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead/sim_engine");
+    group.throughput(Throughput::Elements(SIM_CASES));
+    hmdiv_obs::set_enabled(false);
+    group.bench_function("disabled", |b| b.iter(|| black_box(sim_run())));
+    hmdiv_obs::set_enabled(true);
+    group.bench_function("enabled", |b| b.iter(|| black_box(sim_run())));
+    hmdiv_obs::set_enabled(false);
+    group.finish();
+}
+
+criterion_group!(benches, bench_mc_overhead, bench_sim_overhead);
+criterion_main!(benches);

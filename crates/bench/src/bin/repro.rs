@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [EXPERIMENT...] [--monte-carlo] [--cases N] [--seed N]
+//! repro [EXPERIMENT...] [--monte-carlo] [--cases N] [--seed N] [--threads N] [--metrics[=PATH]]
 //! ```
 //!
 //! Experiments: `table1`, `table2`, `table3`, `fig4`, `eq10`, `tradeoff`,
@@ -11,7 +11,11 @@
 //! `procedures`, `rounds`, `residual`, `all` (default: `all`).
 //!
 //! `--monte-carlo` adds a table-driven simulation cross-check to the
-//! analytic values; `--cases` / `--seed` control it.
+//! analytic values; `--cases` / `--seed` control it and `--threads` sets the
+//! simulation worker count. `--metrics` enables the `hmdiv-obs` layer and
+//! prints a JSON metrics snapshot to stdout when the run finishes;
+//! `--metrics=PATH` instead rewrites the cumulative snapshot at `PATH` after
+//! each experiment.
 
 use std::process::ExitCode;
 
@@ -30,11 +34,39 @@ use hmdiv_sim::engine::{SimConfig, Simulation};
 use hmdiv_sim::{scenario, table_driven};
 use hmdiv_trial::report::{render_failure_table, render_table1};
 
+/// Known experiment names, in execution order (`all` runs every one).
+const EXPERIMENT_NAMES: [&str; 14] = [
+    "table1",
+    "table2",
+    "table3",
+    "fig4",
+    "eq10",
+    "tradeoff",
+    "multireader",
+    "behavioural",
+    "granularity",
+    "coverage",
+    "session",
+    "procedures",
+    "rounds",
+    "residual",
+];
+
 struct Options {
     experiments: Vec<String>,
     monte_carlo: bool,
     cases: u64,
     seed: u64,
+    threads: usize,
+    metrics: bool,
+    metrics_path: Option<String>,
+}
+
+fn usage() -> String {
+    format!(
+        "usage: repro [{}|all] [--monte-carlo] [--cases N] [--seed N] [--threads N] [--metrics[=PATH]]",
+        EXPERIMENT_NAMES.join("|")
+    )
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -42,6 +74,9 @@ fn parse_args() -> Result<Options, String> {
     let mut monte_carlo = false;
     let mut cases = 1_000_000u64;
     let mut seed = 2003u64;
+    let mut threads = 4usize;
+    let mut metrics = false;
+    let mut metrics_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -60,11 +95,35 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
-            "--help" | "-h" => {
-                return Err("usage: repro [table1|table2|table3|fig4|eq10|tradeoff|multireader|behavioural|granularity|coverage|session|procedures|rounds|residual|all] [--monte-carlo] [--cases N] [--seed N]".into());
+            "--threads" => {
+                threads = args
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
             }
-            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
-            other => experiments.push(other.to_owned()),
+            "--metrics" => metrics = true,
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with("--metrics=") => {
+                let path = &other["--metrics=".len()..];
+                if path.is_empty() {
+                    return Err("--metrics= needs a path (or plain --metrics for stdout)".into());
+                }
+                metrics = true;
+                metrics_path = Some(path.to_owned());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{}", usage()));
+            }
+            other if other == "all" || EXPERIMENT_NAMES.contains(&other) => {
+                experiments.push(other.to_owned());
+            }
+            other => {
+                return Err(format!("unknown experiment {other}\n{}", usage()));
+            }
         }
     }
     if experiments.is_empty() {
@@ -75,6 +134,9 @@ fn parse_args() -> Result<Options, String> {
         monte_carlo,
         cases,
         seed,
+        threads,
+        metrics,
+        metrics_path,
     })
 }
 
@@ -86,6 +148,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.metrics {
+        hmdiv_obs::set_enabled(true);
+    }
     match run(&opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -95,50 +160,43 @@ fn main() -> ExitCode {
     }
 }
 
+/// Rewrites the cumulative metrics snapshot at `path`.
+fn write_metrics(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let json = hmdiv_obs::export::to_json(&hmdiv_obs::snapshot());
+    std::fs::write(path, json).map_err(|e| format!("writing metrics to {path}: {e}"))?;
+    Ok(())
+}
+
 fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let all = opts.experiments.iter().any(|e| e == "all");
     let want = |name: &str| all || opts.experiments.iter().any(|e| e == name);
-    if want("table1") {
-        table1()?;
+    type Experiment = fn(&Options) -> Result<(), Box<dyn std::error::Error>>;
+    let experiments: [(&str, Experiment); 14] = [
+        ("table1", |_| table1()),
+        ("table2", table2),
+        ("table3", table3),
+        ("fig4", fig4),
+        ("eq10", |_| eq10()),
+        ("tradeoff", |_| tradeoff()),
+        ("multireader", |_| multireader()),
+        ("behavioural", behavioural),
+        ("granularity", |_| granularity()),
+        ("coverage", coverage),
+        ("session", |_| session()),
+        ("procedures", procedures),
+        ("rounds", |_| rounds()),
+        ("residual", residual),
+    ];
+    for (name, exec) in experiments {
+        if want(name) {
+            exec(opts)?;
+            if let Some(path) = &opts.metrics_path {
+                write_metrics(path)?;
+            }
+        }
     }
-    if want("table2") {
-        table2(opts)?;
-    }
-    if want("table3") {
-        table3(opts)?;
-    }
-    if want("fig4") {
-        fig4(opts)?;
-    }
-    if want("eq10") {
-        eq10()?;
-    }
-    if want("tradeoff") {
-        tradeoff()?;
-    }
-    if want("multireader") {
-        multireader()?;
-    }
-    if want("behavioural") {
-        behavioural(opts)?;
-    }
-    if want("granularity") {
-        granularity()?;
-    }
-    if want("coverage") {
-        coverage(opts)?;
-    }
-    if want("session") {
-        session()?;
-    }
-    if want("procedures") {
-        procedures(opts)?;
-    }
-    if want("rounds") {
-        rounds()?;
-    }
-    if want("residual") {
-        residual(opts)?;
+    if opts.metrics && opts.metrics_path.is_none() {
+        print!("{}", hmdiv_obs::export::to_json(&hmdiv_obs::snapshot()));
     }
     Ok(())
 }
@@ -280,7 +338,7 @@ fn fig4_monte_carlo(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         let cadt = world
             .team
             .cadt
-            .expect("trial world is assisted")
+            .ok_or("trial world has no CADT configured")?
             .with_operating(operating)?;
         world.team.cadt = Some(cadt);
         let report = Simulation::new(
@@ -288,7 +346,7 @@ fn fig4_monte_carlo(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             SimConfig {
                 cases: opts.cases.min(400_000),
                 seed: opts.seed,
-                threads: 4,
+                threads: opts.threads,
             },
         )
         .run()?;
@@ -572,11 +630,11 @@ fn residual(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         SimConfig {
             cases: opts.cases.min(250_000),
             seed: opts.seed,
-            threads: 4,
+            threads: opts.threads,
         },
     )
     .run()?;
-    let simulated = report.fn_rate().expect("cancers present").value();
+    let simulated = report.fn_rate().ok_or("no cancer cases simulated")?.value();
     let models = report.estimated_reader_models()?;
     let mut independent = 0.0;
     let mut corrected = 0.0;
@@ -590,15 +648,15 @@ fn residual(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         total += n;
         let p_mf = table.machine_failures() as f64 / n;
         for (mf, weight, label) in [(true, p_mf, "Mf"), (false, 1.0 - p_mf, "Ms")] {
-            let cond = |m: &SequentialModel| {
-                let cp = m.params().class(class).expect("estimated");
-                if mf {
+            let cond = |m: &SequentialModel| -> Result<f64, hmdiv_core::ModelError> {
+                let cp = m.params().class(class)?;
+                Ok(if mf {
                     cp.p_hf_given_mf().value()
                 } else {
                     cp.p_hf_given_ms().value()
-                }
+                })
             };
-            let (p1, p2) = (cond(&models[0]), cond(&models[1]));
+            let (p1, p2) = (cond(&models[0])?, cond(&models[1])?);
             let phi = report.reader_pair_phi(class, mf).unwrap_or(0.0);
             println!(
                 "{:<12} {:>10} {:>14.3} {:>14.0}",
@@ -677,13 +735,13 @@ fn procedures(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             SimConfig {
                 cases: opts.cases.min(300_000),
                 seed: opts.seed,
-                threads: 4,
+                threads: opts.threads,
             },
         )
         .run()?;
         let model = report.estimated_model()?;
         let cp = *model.params().class_by_name("difficult")?;
-        Ok((report.fn_rate().expect("cancers present"), cp))
+        Ok((report.fn_rate().ok_or("no cancer cases simulated")?, cp))
     };
     println!(
         "{:<26} {:>8} {:>10} {:>10} {:>8}",
@@ -717,7 +775,7 @@ fn behavioural(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         SimConfig {
             cases: opts.cases.min(400_000),
             seed: opts.seed,
-            threads: 4,
+            threads: opts.threads,
         },
     )
     .run()?;

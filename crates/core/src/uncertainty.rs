@@ -275,6 +275,7 @@ pub fn propagate<R: Rng + ?Sized>(
             });
         }
     }
+    let _span = hmdiv_obs::span("core.uncertainty.propagate");
     let mut samples = Vec::with_capacity(draws);
     for _ in 0..draws {
         let model = posterior.sample_model(rng)?;
@@ -338,7 +339,10 @@ pub fn propagate_par(
             }
         }
     }
-    let acc = hmdiv_prob::par::run_tasks(
+    // The "core.uncertainty" scope reports replicate (draw) throughput as
+    // `core.uncertainty.tasks_per_sec` (one task = one posterior draw).
+    let acc = hmdiv_prob::par::run_tasks_scoped(
+        "core.uncertainty",
         seed,
         draws as u64,
         threads,

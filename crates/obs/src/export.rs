@@ -1,0 +1,202 @@
+//! Exporters: Prometheus text exposition and a JSON snapshot.
+//!
+//! Both render an immutable [`Snapshot`], whose `BTreeMap`s make the output
+//! deterministic — golden tests pin the exact bytes. Neither pulls in a
+//! serialisation dependency: the JSON writer escapes strings itself and the
+//! Prometheus writer follows the text exposition format (counters and
+//! gauges verbatim, histograms with cumulative `le` buckets in seconds).
+
+use std::fmt::Write as _;
+
+use crate::registry::Snapshot;
+
+/// Renders a snapshot as a JSON object:
+///
+/// ```json
+/// {
+///   "counters": {"name": 1},
+///   "gauges": {"name": 1.5},
+///   "histograms": {"name": {"bounds_ns": [...], "counts": [...], "sum_ns": 0, "count": 0}}
+/// }
+/// ```
+///
+/// Non-finite gauge values serialise as `null` (JSON has no NaN/Inf).
+#[must_use]
+pub fn to_json(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"counters\": {");
+    for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    {}: {value}", json_string(name));
+    }
+    if !snapshot.counters.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n  \"gauges\": {");
+    for (i, (name, value)) in snapshot.gauges.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {}: {}",
+            json_string(name),
+            json_number(*value)
+        );
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n  \"histograms\": {");
+    for (i, (name, h)) in snapshot.histograms.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {}: {{\"bounds_ns\": {}, \"counts\": {}, \"sum_ns\": {}, \"count\": {}}}",
+            json_string(name),
+            json_u64_array(&h.bounds_ns),
+            json_u64_array(&h.counts),
+            h.sum_ns,
+            h.count
+        );
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format. Metric
+/// names are prefixed `hmdiv_` and sanitised to `[a-zA-Z0-9_]`; histograms
+/// are exported in seconds with cumulative `le` buckets, per convention.
+#[must_use]
+pub fn to_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", prom_number(*value));
+    }
+    for (name, h) in &snapshot.histograms {
+        let name = format!("{}_seconds", metric_name(name));
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, count) in h.counts.iter().enumerate() {
+            cumulative += count;
+            let le = match h.bounds_ns.get(i) {
+                Some(&bound) => prom_number(bound as f64 / 1e9),
+                None => "+Inf".to_owned(),
+            };
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_sum {}", prom_number(h.sum_ns as f64 / 1e9));
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out
+}
+
+/// Quotes and escapes a JSON string.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number, or `null` when non-finite.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Formats an `f64` for Prometheus (which accepts `NaN`/`+Inf`/`-Inf`).
+fn prom_number(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// `[1, 2, 3]`
+fn json_u64_array(values: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
+}
+
+/// Sanitises a dotted metric name into a Prometheus identifier.
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("hmdiv_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_numbers_avoid_non_finite_literals() {
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitised() {
+        assert_eq!(metric_name("sim.engine.cases"), "hmdiv_sim_engine_cases");
+        assert_eq!(metric_name("a-b c"), "hmdiv_a_b_c");
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json_shape() {
+        let json = to_json(&Snapshot::empty());
+        assert_eq!(
+            json,
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n"
+        );
+        assert_eq!(to_prometheus(&Snapshot::empty()), "");
+    }
+}

@@ -1,0 +1,303 @@
+//! The thread-safe metric registry.
+//!
+//! Three metric families, all named by dotted strings (`sim.engine.cases`):
+//!
+//! * **counters** — monotonic `u64` sums ([`Registry::counter_add`]);
+//! * **gauges** — last-written `f64` values ([`Registry::gauge_set`]);
+//! * **histograms** — fixed-bucket duration histograms over nanoseconds
+//!   ([`Registry::observe_ns`]), with exponential decade buckets from 1 µs
+//!   to 10 s plus an implicit overflow bucket.
+//!
+//! The registration maps are guarded by an [`RwLock`] taken only to *find or
+//! create* a metric cell; the cells themselves are atomics, so concurrent
+//! recording to existing metrics takes the read lock and never blocks other
+//! recorders. Reading a [`Snapshot`] is the only consumer-side operation and
+//! tolerates being concurrent with writers (relaxed atomic reads — counts
+//! may trail in-flight increments by a few, which is fine for telemetry).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Upper bucket bounds in nanoseconds for duration histograms: decades from
+/// 1 µs to 10 s. Observations above the last bound land in the implicit
+/// overflow bucket.
+pub const DURATION_BOUNDS_NS: [u64; 8] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// A fixed-bucket histogram cell.
+struct Histogram {
+    /// `DURATION_BOUNDS_NS.len() + 1` buckets; the last is the overflow.
+    buckets: Vec<AtomicU64>,
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: (0..=DURATION_BOUNDS_NS.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            sum_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, nanos: u64) {
+        let idx = DURATION_BOUNDS_NS
+            .iter()
+            .position(|&b| nanos <= b)
+            .unwrap_or(DURATION_BOUNDS_NS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(nanos, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A thread-safe collection of named counters, gauges and histograms.
+///
+/// [`crate::global`] holds the process-wide instance; tests and embedders
+/// can construct private ones.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Finds or creates the cell for `name` in `map`.
+    fn cell<T>(
+        map: &RwLock<BTreeMap<String, Arc<T>>>,
+        name: &str,
+        make: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        if let Some(cell) = map.read().expect("metric map poisoned").get(name) {
+            return Arc::clone(cell);
+        }
+        let mut map = map.write().expect("metric map poisoned");
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(make())),
+        )
+    }
+
+    /// Adds `by` to the counter `name`, creating it at zero first.
+    pub fn counter_add(&self, name: &str, by: u64) {
+        Self::cell(&self.counters, name, || AtomicU64::new(0)).fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        Self::cell(&self.gauges, name, || AtomicU64::new(0))
+            .store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Records one duration observation into the histogram `name`.
+    pub fn observe_ns(&self, name: &str, nanos: u64) {
+        Self::cell(&self.histograms, name, Histogram::new).observe(nanos);
+    }
+
+    /// An immutable, ordered snapshot of every metric.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("metric map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("metric map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("metric map poisoned")
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        bounds_ns: DURATION_BOUNDS_NS.to_vec(),
+                        counts: h
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect(),
+                        sum_ns: h.sum_ns.load(Ordering::Relaxed),
+                        count: h.count.load(Ordering::Relaxed),
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Removes every metric.
+    pub fn reset(&self) {
+        self.counters.write().expect("metric map poisoned").clear();
+        self.gauges.write().expect("metric map poisoned").clear();
+        self.histograms
+            .write()
+            .expect("metric map poisoned")
+            .clear();
+    }
+
+    /// Whether no metric has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters
+            .read()
+            .expect("metric map poisoned")
+            .is_empty()
+            && self.gauges.read().expect("metric map poisoned").is_empty()
+            && self
+                .histograms
+                .read()
+                .expect("metric map poisoned")
+                .is_empty()
+    }
+}
+
+/// A point-in-time copy of a [`Registry`]'s contents, with deterministic
+/// (sorted) iteration order — the input to the exporters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn empty() -> Self {
+        Snapshot {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+}
+
+/// One histogram's state inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds in nanoseconds (`counts` has one extra overflow
+    /// entry).
+    pub bounds_ns: Vec<u64>,
+    /// Per-bucket observation counts, overflow last.
+    pub counts: Vec<u64>,
+    /// Sum of all observations in nanoseconds.
+    pub sum_ns: u64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorted() {
+        let reg = Registry::new();
+        reg.counter_add("b.second", 2);
+        reg.counter_add("a.first", 1);
+        reg.counter_add("b.second", 3);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.keys().map(String::as_str).collect();
+        assert_eq!(names, ["a.first", "b.second"]);
+        assert_eq!(snap.counters["b.second"], 5);
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let reg = Registry::new();
+        reg.gauge_set("g", 1.5);
+        reg.gauge_set("g", -2.25);
+        assert_eq!(reg.snapshot().gauges["g"], -2.25);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_observations() {
+        let reg = Registry::new();
+        reg.observe_ns("h", 500); // <= 1µs bucket
+        reg.observe_ns("h", 5_000_000); // <= 10ms bucket
+        reg.observe_ns("h", 100_000_000_000); // overflow
+        let snap = reg.snapshot();
+        let h = &snap.histograms["h"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum_ns, 500 + 5_000_000 + 100_000_000_000);
+        assert_eq!(h.counts.len(), DURATION_BOUNDS_NS.len() + 1);
+        assert_eq!(h.counts.iter().sum::<u64>(), 3);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[4], 1);
+        assert_eq!(*h.counts.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn boundary_observation_lands_in_lower_bucket() {
+        let reg = Registry::new();
+        reg.observe_ns("h", 1_000);
+        assert_eq!(reg.snapshot().histograms["h"].counts[0], 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let reg = Registry::new();
+        reg.counter_add("c", 1);
+        reg.gauge_set("g", 1.0);
+        reg.observe_ns("h", 1);
+        assert!(!reg.is_empty());
+        reg.reset();
+        assert!(reg.is_empty());
+        assert_eq!(reg.snapshot(), Snapshot::empty());
+    }
+
+    #[test]
+    fn concurrent_counting_loses_nothing() {
+        let reg = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        reg.counter_add("shared", 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.snapshot().counters["shared"], 4000);
+    }
+}

@@ -1,0 +1,194 @@
+//! Per-worker metric accumulators for deterministic parallel folds.
+//!
+//! The workspace's parallel engine (`hmdiv_prob::par::run_tasks`) gets its
+//! thread-count invariance from accumulators whose merge is associative
+//! with an identity. [`MetricSink`] is an accumulator built to those rules
+//! so *instrumentation itself* can ride the fold: each worker tallies into
+//! a private sink (no shared mutable state, no extra RNG draws), and the
+//! in-order merge sums named counters and concatenates per-worker stats —
+//! worker `i`'s entry ends up at position `i` because partials merge in
+//! task order.
+//!
+//! `hmdiv-prob` provides `impl Merge for MetricSink` (the trait lives
+//! there; this crate sits below it), delegating to [`MetricSink::absorb`].
+//! The `Merge` laws are pinned by property tests in `hmdiv-prob`:
+//! [`MetricSink::new`] is the identity and `absorb` is associative, both by
+//! construction — `u64` addition and `Vec` concatenation are associative,
+//! and absorbing an empty sink changes nothing.
+
+use std::collections::BTreeMap;
+
+use crate::registry::Registry;
+
+/// What one worker did during a parallel run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// Tasks the worker executed.
+    pub tasks: u64,
+    /// Wall-clock time the worker spent executing its block, in
+    /// nanoseconds.
+    pub busy_ns: u64,
+}
+
+/// A plain-data accumulator of named counters plus per-worker stats; see
+/// the module docs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricSink {
+    counters: BTreeMap<String, u64>,
+    workers: Vec<WorkerStat>,
+}
+
+impl MetricSink {
+    /// The empty sink — the identity for [`MetricSink::absorb`].
+    #[must_use]
+    pub fn new() -> Self {
+        MetricSink::default()
+    }
+
+    /// Adds `by` to the named counter.
+    pub fn inc(&mut self, name: impl Into<String>, by: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += by;
+    }
+
+    /// Appends one worker's stats.
+    pub fn push_worker(&mut self, stat: WorkerStat) {
+        self.workers.push(stat);
+    }
+
+    /// Folds `later` into `self`: counters add, worker stats append after
+    /// this sink's (preserving worker order under in-order merging).
+    /// Associative, with [`MetricSink::new`] as identity — the `Merge`
+    /// contract `hmdiv_prob::par` requires.
+    pub fn absorb(&mut self, later: MetricSink) {
+        for (name, by) in later.counters {
+            *self.counters.entry(name).or_insert(0) += by;
+        }
+        self.workers.extend(later.workers);
+    }
+
+    /// The named counters.
+    #[must_use]
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// Per-worker stats in worker (task-block) order.
+    #[must_use]
+    pub fn workers(&self) -> &[WorkerStat] {
+        &self.workers
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.workers.is_empty()
+    }
+
+    /// Total busy time across workers, in nanoseconds.
+    #[must_use]
+    pub fn total_busy_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_ns).sum()
+    }
+
+    /// Load-balance quality: the busiest worker's time divided by the mean
+    /// worker time (1.0 = perfectly even). `None` without worker stats or
+    /// with all-zero times.
+    #[must_use]
+    pub fn imbalance_ratio(&self) -> Option<f64> {
+        let total = self.total_busy_ns();
+        if self.workers.is_empty() || total == 0 {
+            return None;
+        }
+        let max = self.workers.iter().map(|w| w.busy_ns).max().unwrap_or(0);
+        let mean = total as f64 / self.workers.len() as f64;
+        Some(max as f64 / mean)
+    }
+
+    /// Publishes the sink into `registry` under the dotted `scope` prefix:
+    /// each counter as `{scope}.{name}`, per-worker gauges
+    /// `{scope}.worker{i}.busy_ns` / `.tasks`, the total as
+    /// `{scope}.busy_ns`, and the imbalance ratio as `{scope}.imbalance`.
+    pub fn flush(&self, scope: &str, registry: &Registry) {
+        for (name, by) in &self.counters {
+            registry.counter_add(&format!("{scope}.{name}"), *by);
+        }
+        for (i, w) in self.workers.iter().enumerate() {
+            registry.gauge_set(&format!("{scope}.worker{i}.busy_ns"), w.busy_ns as f64);
+            registry.gauge_set(&format!("{scope}.worker{i}.tasks"), w.tasks as f64);
+        }
+        if !self.workers.is_empty() {
+            registry.counter_add(&format!("{scope}.busy_ns"), self.total_busy_ns());
+            if let Some(ratio) = self.imbalance_ratio() {
+                registry.gauge_set(&format!("{scope}.imbalance"), ratio);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink(counter: (&str, u64), workers: &[(u64, u64)]) -> MetricSink {
+        let mut s = MetricSink::new();
+        s.inc(counter.0, counter.1);
+        for &(tasks, busy_ns) in workers {
+            s.push_worker(WorkerStat { tasks, busy_ns });
+        }
+        s
+    }
+
+    #[test]
+    fn new_is_identity_for_absorb() {
+        let reference = sink(("cases", 7), &[(3, 100), (4, 140)]);
+        let mut left = MetricSink::new();
+        left.absorb(reference.clone());
+        assert_eq!(left, reference);
+        let mut right = reference.clone();
+        right.absorb(MetricSink::new());
+        assert_eq!(right, reference);
+    }
+
+    #[test]
+    fn absorb_is_associative_and_order_preserving() {
+        let a = sink(("n", 1), &[(1, 10)]);
+        let b = sink(("n", 2), &[(2, 20)]);
+        let c = sink(("m", 4), &[(3, 30)]);
+        let mut ab_c = a.clone();
+        ab_c.absorb(b.clone());
+        ab_c.absorb(c.clone());
+        let mut bc = b;
+        bc.absorb(c);
+        let mut a_bc = a;
+        a_bc.absorb(bc);
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c.counters()["n"], 3);
+        assert_eq!(ab_c.counters()["m"], 4);
+        let tasks: Vec<u64> = ab_c.workers().iter().map(|w| w.tasks).collect();
+        assert_eq!(tasks, [1, 2, 3]);
+    }
+
+    #[test]
+    fn imbalance_ratio_reflects_skew() {
+        let even = sink(("n", 0), &[(1, 100), (1, 100)]);
+        assert!((even.imbalance_ratio().unwrap() - 1.0).abs() < 1e-12);
+        let skewed = sink(("n", 0), &[(1, 300), (1, 100)]);
+        assert!((skewed.imbalance_ratio().unwrap() - 1.5).abs() < 1e-12);
+        assert!(MetricSink::new().imbalance_ratio().is_none());
+        let idle = sink(("n", 0), &[(1, 0)]);
+        assert!(idle.imbalance_ratio().is_none());
+    }
+
+    #[test]
+    fn flush_publishes_under_scope() {
+        let reg = Registry::new();
+        let s = sink(("cases", 9), &[(5, 200), (4, 100)]);
+        s.flush("test.scope", &reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["test.scope.cases"], 9);
+        assert_eq!(snap.counters["test.scope.busy_ns"], 300);
+        assert_eq!(snap.gauges["test.scope.worker0.busy_ns"], 200.0);
+        assert_eq!(snap.gauges["test.scope.worker1.tasks"], 4.0);
+        assert!((snap.gauges["test.scope.imbalance"] - 200.0 / 150.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,116 @@
+//! RAII span timers over the monotonic clock.
+//!
+//! A [`Span`] notes [`std::time::Instant::now`] when created and records the
+//! elapsed nanoseconds into a duration histogram when dropped, so timing a
+//! region is one line:
+//!
+//! ```
+//! hmdiv_obs::set_enabled(true);
+//! {
+//!     let _span = hmdiv_obs::span("doc.region");
+//!     // ... timed work ...
+//! }
+//! assert_eq!(hmdiv_obs::snapshot().histograms["doc.region"].count, 1);
+//! ```
+//!
+//! While observability is disabled (or the name is filtered out by
+//! `HMDIV_OBS`), [`span`] returns an inert guard without ever reading the
+//! clock.
+
+use std::borrow::Cow;
+use std::time::Instant;
+
+use crate::registry::Registry;
+
+/// An RAII timer; see the module docs. Created by [`span`] (global registry)
+/// or [`Span::enter`] (explicit registry).
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    armed: Option<SpanInner>,
+}
+
+struct SpanInner {
+    name: Cow<'static, str>,
+    start: Instant,
+    registry: &'static Registry,
+}
+
+/// Starts a span recording into the global registry under `name`, or an
+/// inert guard while observability is disabled for `name`.
+pub fn span(name: impl Into<Cow<'static, str>>) -> Span {
+    let name = name.into();
+    if crate::enabled_for(&name) {
+        Span::enter(name, crate::global())
+    } else {
+        Span::disabled()
+    }
+}
+
+impl Span {
+    /// Starts a span against an explicit registry, unconditionally.
+    pub fn enter(name: impl Into<Cow<'static, str>>, registry: &'static Registry) -> Span {
+        Span {
+            armed: Some(SpanInner {
+                name: name.into(),
+                start: Instant::now(),
+                registry,
+            }),
+        }
+    }
+
+    /// An inert guard that records nothing.
+    pub fn disabled() -> Span {
+        Span { armed: None }
+    }
+
+    /// Whether this span will record on drop.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.armed.is_some()
+    }
+
+    /// Elapsed nanoseconds so far, saturating at `u64::MAX`; `None` for an
+    /// inert guard.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.armed
+            .as_ref()
+            .map(|s| u64::try_from(s.start.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.armed.take() {
+            let nanos = u64::try_from(inner.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            inner.registry.observe_ns(&inner.name, nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let s = Span::disabled();
+        assert!(!s.is_armed());
+        assert_eq!(s.elapsed_ns(), None);
+    }
+
+    #[test]
+    fn armed_span_records_one_observation_on_drop() {
+        // A leaked registry gives the 'static lifetime Span::enter needs
+        // without touching process-global state from a unit test.
+        let registry: &'static Registry = Box::leak(Box::new(Registry::new()));
+        {
+            let s = Span::enter("test.span", registry);
+            assert!(s.is_armed());
+            assert!(s.elapsed_ns().is_some());
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.histograms["test.span"].count, 1);
+        assert_eq!(snap.histograms["test.span"].counts.iter().sum::<u64>(), 1);
+    }
+}

@@ -57,6 +57,7 @@ impl Bootstrap {
                 context: "bootstrap replicate count",
             });
         }
+        let _span = hmdiv_obs::span("prob.bootstrap.run");
         let n = data.len();
         let mut resample: Vec<T> = Vec::with_capacity(n);
         let mut values = Vec::with_capacity(replicates);
@@ -118,7 +119,10 @@ impl Bootstrap {
                 crate::par::Merge::merge(&mut self.values, later.values);
             }
         }
-        let acc = crate::par::run_tasks(
+        // The "prob.bootstrap" scope reports replicate throughput as
+        // `prob.bootstrap.tasks_per_sec` (one task = one replicate).
+        let acc = crate::par::run_tasks_scoped(
+            "prob.bootstrap",
             seed,
             replicates as u64,
             threads,

@@ -47,7 +47,9 @@
 //! ```
 
 use std::ops::Range;
+use std::time::Instant;
 
+use hmdiv_obs::{MetricSink, WorkerStat};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -95,6 +97,17 @@ impl<A: Merge, B: Merge> Merge for (A, B) {
     }
 }
 
+/// Observability sinks satisfy the contract by construction: counters add
+/// (associative with identity 0) and per-worker stats concatenate in task
+/// order — the same shapes as the `u64` and `Vec` impls above. This lets
+/// instrumentation ride the deterministic fold instead of introducing
+/// shared mutable state.
+impl Merge for MetricSink {
+    fn merge(&mut self, later: Self) {
+        self.absorb(later);
+    }
+}
+
 /// Splits `0..total` into `workers` contiguous ranges, the first
 /// `total % workers` of them one longer — the canonical partition used by
 /// [`run_tasks`] (and by the simulation engine before it).
@@ -124,7 +137,44 @@ pub fn split_evenly(total: u64, workers: usize) -> Vec<Range<u64>> {
 /// `threads` is clamped to `[1, tasks]`; the single-threaded case runs
 /// inline without spawning. Results are identical for every `threads`
 /// value provided the accumulator meets the [`Merge`] contract.
+///
+/// Equivalent to [`run_tasks_scoped`] under the generic `"par"` metric
+/// scope; hot layers with names of their own pass them via
+/// [`run_tasks_scoped`] instead.
 pub fn run_tasks<A, I, F>(seed: u64, tasks: u64, threads: usize, init: I, task: F) -> A
+where
+    A: Merge + Send,
+    I: Fn() -> A + Sync,
+    F: Fn(u64, &mut StdRng, &mut A) + Sync,
+{
+    run_tasks_scoped("par", seed, tasks, threads, init, task)
+}
+
+/// [`run_tasks`] with an explicit observability scope.
+///
+/// When observability is enabled for `scope` (see
+/// [`hmdiv_obs::enabled_for`]), the run also records — *without touching
+/// the task RNG streams or the fold order, so results stay bit-identical
+/// to an uninstrumented run*:
+///
+/// * `{scope}.runs`, `{scope}.tasks`, `{scope}.wall_ns` counters and a
+///   `{scope}.tasks_per_sec` gauge for the run as a whole;
+/// * per-worker `{scope}.worker{i}.busy_ns` / `.tasks` gauges, a pooled
+///   `{scope}.busy_ns` counter and a `{scope}.imbalance` gauge (busiest
+///   worker over mean), carried by [`MetricSink`] accumulators that ride
+///   the same in-order merge as the caller's accumulator.
+///
+/// While disabled, the only cost over the raw loop is one atomic load and
+/// branch per *run* (never per task), keeping the disabled-path overhead
+/// well under the workspace's 2% budget.
+pub fn run_tasks_scoped<A, I, F>(
+    scope: &str,
+    seed: u64,
+    tasks: u64,
+    threads: usize,
+    init: I,
+    task: F,
+) -> A
 where
     A: Merge + Send,
     I: Fn() -> A + Sync,
@@ -136,31 +186,74 @@ where
     let threads = threads
         .min(usize::try_from(tasks).unwrap_or(usize::MAX))
         .max(1);
-    if threads == 1 {
+    let observing = hmdiv_obs::enabled_for(scope);
+    let wall = observing.then(Instant::now);
+    let (acc, sink) = if threads == 1 {
+        let worker_start = observing.then(Instant::now);
         let mut acc = init();
         run_range(0..tasks, seed, &task, &mut acc);
-        return acc;
-    }
-    let init = &init;
-    let task = &task;
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = split_evenly(tasks, threads)
-            .into_iter()
-            .map(|range| {
-                scope.spawn(move |_| {
-                    let mut acc = init();
-                    run_range(range, seed, task, &mut acc);
-                    acc
-                })
-            })
-            .collect();
-        let mut acc = init();
-        for handle in handles {
-            acc.merge(handle.join().expect("parallel worker panicked"));
+        let mut sink = MetricSink::new();
+        if let Some(start) = worker_start {
+            sink.push_worker(WorkerStat {
+                tasks,
+                busy_ns: elapsed_ns(start),
+            });
         }
-        acc
-    })
-    .expect("parallel scope panicked")
+        (acc, sink)
+    } else {
+        let init = &init;
+        let task = &task;
+        crossbeam::thread::scope(|thread_scope| {
+            let handles: Vec<_> = split_evenly(tasks, threads)
+                .into_iter()
+                .map(|range| {
+                    thread_scope.spawn(move |_| {
+                        let worker_start = observing.then(Instant::now);
+                        let quota = range.end - range.start;
+                        let mut acc = init();
+                        run_range(range, seed, task, &mut acc);
+                        let mut sink = MetricSink::new();
+                        if let Some(start) = worker_start {
+                            sink.push_worker(WorkerStat {
+                                tasks: quota,
+                                busy_ns: elapsed_ns(start),
+                            });
+                        }
+                        (acc, sink)
+                    })
+                })
+                .collect();
+            let mut acc = init();
+            let mut sink = MetricSink::new();
+            for handle in handles {
+                let (worker_acc, worker_sink) = handle.join().expect("parallel worker panicked");
+                acc.merge(worker_acc);
+                sink.merge(worker_sink);
+            }
+            (acc, sink)
+        })
+        .expect("parallel scope panicked")
+    };
+    if let Some(start) = wall {
+        let wall_ns = elapsed_ns(start);
+        let registry = hmdiv_obs::global();
+        registry.counter_add(&format!("{scope}.runs"), 1);
+        registry.counter_add(&format!("{scope}.tasks"), tasks);
+        registry.counter_add(&format!("{scope}.wall_ns"), wall_ns);
+        if wall_ns > 0 {
+            registry.gauge_set(
+                &format!("{scope}.tasks_per_sec"),
+                tasks as f64 * 1e9 / wall_ns as f64,
+            );
+        }
+        sink.flush(scope, registry);
+    }
+    acc
+}
+
+/// Saturating elapsed nanoseconds since `start`.
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Executes a contiguous block of task ids against one accumulator.
@@ -266,6 +359,51 @@ mod tests {
     fn zero_tasks_returns_identity() {
         let acc: Vec<u64> = run_tasks(1, 0, 4, Vec::new, |_, _, _| unreachable!());
         assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn metric_sinks_ride_the_fold_in_worker_order() {
+        // A MetricSink used AS the caller accumulator: counters sum and
+        // worker stats concatenate in block order at any thread count.
+        let collect = |threads: usize| -> MetricSink {
+            run_tasks(3, 120, threads, MetricSink::new, |_id, _rng, sink| {
+                sink.inc("seen", 1);
+            })
+        };
+        for threads in [1usize, 2, 5] {
+            let sink = collect(threads);
+            assert_eq!(sink.counters()["seen"], 120, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scoped_run_records_metrics_without_changing_results() {
+        let scope = "par.test.scoped";
+        let run = || {
+            run_tasks_scoped(
+                scope,
+                11,
+                500,
+                3,
+                || 0u64,
+                |_id, rng, acc| {
+                    *acc += u64::from(rng.gen::<f64>() < 0.4);
+                },
+            )
+        };
+        hmdiv_obs::set_enabled(false);
+        let plain = run();
+        hmdiv_obs::set_enabled(true);
+        let observed = run();
+        hmdiv_obs::set_enabled(false);
+        assert_eq!(plain, observed, "instrumentation must not perturb results");
+        let snap = hmdiv_obs::snapshot();
+        assert!(snap.counters[&format!("{scope}.runs")] >= 1);
+        assert_eq!(snap.counters[&format!("{scope}.tasks")], 500);
+        assert!(snap.gauges.contains_key(&format!("{scope}.worker0.tasks")));
+        assert!(snap
+            .gauges
+            .contains_key(&format!("{scope}.worker2.busy_ns")));
     }
 
     #[test]

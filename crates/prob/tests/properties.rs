@@ -195,3 +195,56 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&v));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Merge laws for observability sinks (the contract `par::run_tasks` relies
+// on for thread-count-invariant instrumentation).
+// ---------------------------------------------------------------------------
+
+use hmdiv_obs::{MetricSink, WorkerStat};
+use hmdiv_prob::par::Merge;
+
+fn arb_sink() -> impl Strategy<Value = MetricSink> {
+    (
+        proptest::collection::vec((0u8..4, 0u64..1000), 0..6),
+        proptest::collection::vec((0u64..100, 0u64..1_000_000), 0..4),
+    )
+        .prop_map(|(counters, workers)| {
+            let mut sink = MetricSink::new();
+            for (key, by) in counters {
+                sink.inc(format!("c{key}"), by);
+            }
+            for (tasks, busy_ns) in workers {
+                sink.push_worker(WorkerStat { tasks, busy_ns });
+            }
+            sink
+        })
+}
+
+proptest! {
+    #[test]
+    fn metric_sink_merge_has_identity(sink in arb_sink()) {
+        let mut from_empty = MetricSink::new();
+        from_empty.merge(sink.clone());
+        prop_assert_eq!(&from_empty, &sink);
+        let mut into_empty = sink.clone();
+        into_empty.merge(MetricSink::new());
+        prop_assert_eq!(&into_empty, &sink);
+    }
+
+    #[test]
+    fn metric_sink_merge_is_associative(
+        a in arb_sink(),
+        b in arb_sink(),
+        c in arb_sink(),
+    ) {
+        let mut left_first = a.clone();
+        left_first.merge(b.clone());
+        left_first.merge(c.clone());
+        let mut right_first_tail = b;
+        right_first_tail.merge(c);
+        let mut right_first = a;
+        right_first.merge(right_first_tail);
+        prop_assert_eq!(left_first, right_first);
+    }
+}

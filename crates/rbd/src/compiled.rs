@@ -88,6 +88,7 @@ impl CompiledBlock {
     ///
     /// Propagates validation errors from [`Block::validate`].
     pub fn compile(block: &Block) -> Result<Self, RbdError> {
+        let _span = hmdiv_obs::span("rbd.compile");
         block.validate()?;
         let names: Vec<String> = block
             .component_names()

@@ -61,7 +61,10 @@ where
         .iter()
         .map(|p| p.value())
         .collect();
+    let span = hmdiv_obs::span("rbd.mc.sample");
     let failures = sample_failures(&compiled, &probs, samples, rng);
+    record_sampling_metrics(samples, span.elapsed_ns());
+    drop(span);
     let est = BinomialEstimate::new(failures, samples).map_err(RbdError::from)?;
     let interval = est
         .interval(CiMethod::Wilson, 0.95)
@@ -115,7 +118,11 @@ where
         .map(|p| p.value())
         .collect();
     let blocks = samples.div_ceil(PAR_BLOCK);
-    let failures = hmdiv_prob::par::run_tasks(
+    // Scope "rbd.mc": the par layer records per-worker busy time and block
+    // (task) counts; sample totals are recorded here since tasks != samples.
+    let span = hmdiv_obs::span("rbd.mc.sample");
+    let failures = hmdiv_prob::par::run_tasks_scoped(
+        "rbd.mc",
         seed,
         blocks,
         threads,
@@ -126,6 +133,8 @@ where
             *acc += sample_failures(&compiled, &probs, len, rng);
         },
     );
+    record_sampling_metrics(samples, span.elapsed_ns());
+    drop(span);
     let est = BinomialEstimate::new(failures, samples).map_err(RbdError::from)?;
     let interval = est
         .interval(CiMethod::Wilson, 0.95)
@@ -135,6 +144,20 @@ where
         interval,
         samples,
     })
+}
+
+/// Records sample throughput under the `rbd.mc` scope. `elapsed_ns` is the
+/// live reading of the enclosing sampling span (`None` while observability
+/// is disabled, which makes the whole call a no-op).
+fn record_sampling_metrics(samples: u64, elapsed_ns: Option<u64>) {
+    let Some(elapsed_ns) = elapsed_ns else {
+        return;
+    };
+    hmdiv_obs::counter_add("rbd.mc.samples", samples);
+    if elapsed_ns > 0 {
+        let per_sec = samples as f64 / (elapsed_ns as f64 / 1e9);
+        hmdiv_obs::gauge_set("rbd.mc.samples_per_sec", per_sec);
+    }
 }
 
 /// The allocation-free inner sampling loop: draws `samples` state vectors

@@ -64,7 +64,7 @@ impl Case {
         self.lesions
             .iter()
             .map(|l| l.subtlety)
-            .min_by(|a, b| a.partial_cmp(b).expect("subtlety is finite"))
+            .min_by(f64::total_cmp)
     }
 
     /// Whether this is a cancer case.

@@ -60,7 +60,7 @@ impl Simulation {
     /// # Errors
     ///
     /// * [`SimError::EmptyRun`] if `cases == 0` or `threads == 0`.
-    /// * Team validation errors.
+    /// * Team and population validation errors.
     pub fn run(&self) -> Result<SimulationReport, SimError> {
         if self.config.cases == 0 {
             return Err(SimError::EmptyRun {
@@ -73,15 +73,68 @@ impl Simulation {
             });
         }
         self.world.team.validate()?;
+        self.world.population.validate()?;
         let world = &self.world;
-        Ok(par::run_tasks(
+        let span = hmdiv_obs::span("sim.engine.run");
+        let report = par::run_tasks_scoped(
+            "sim.engine",
             self.config.seed,
             self.config.cases,
             self.config.threads,
             SimulationReport::empty,
             |id, rng, report| screen_case(world, id, rng, report),
-        ))
+        );
+        if let Some(elapsed_ns) = span.elapsed_ns() {
+            record_run_metrics(&report, elapsed_ns);
+        }
+        drop(span);
+        Ok(report)
     }
+}
+
+/// Publishes stratified outcome counters for a finished run under the
+/// `sim.engine` scope. Only called while observability is enabled for
+/// `sim.engine` — the report itself is never altered, so instrumented and
+/// uninstrumented runs stay bit-identical.
+fn record_run_metrics(report: &SimulationReport, elapsed_ns: u64) {
+    hmdiv_obs::counter_add("sim.engine.cases", report.total_cases());
+    if elapsed_ns > 0 {
+        let per_sec = report.total_cases() as f64 / (elapsed_ns as f64 / 1e9);
+        hmdiv_obs::gauge_set("sim.engine.cases_per_sec", per_sec);
+    }
+    for (side, counts) in [
+        ("cancer", report.cancer_counts()),
+        ("normal", report.normal_counts()),
+    ] {
+        for (class, table) in counts.iter() {
+            let class = class.name();
+            hmdiv_obs::counter_add(&format!("sim.engine.{side}.{class}.cases"), table.total());
+            hmdiv_obs::counter_add(
+                &format!("sim.engine.{side}.{class}.machine_failures"),
+                table.machine_failures(),
+            );
+            hmdiv_obs::counter_add(
+                &format!("sim.engine.{side}.{class}.system_failures"),
+                table.human_failures(),
+            );
+        }
+    }
+    hmdiv_obs::counter_add(
+        "sim.engine.unaided.cancer.cases",
+        report.unaided_cancer_total,
+    );
+    hmdiv_obs::counter_add(
+        "sim.engine.unaided.cancer.failures",
+        report.unaided_cancer_failures,
+    );
+    hmdiv_obs::counter_add(
+        "sim.engine.unaided.normal.cases",
+        report.unaided_normal_total,
+    );
+    hmdiv_obs::counter_add(
+        "sim.engine.unaided.normal.failures",
+        report.unaided_normal_failures,
+    );
 }
 
 /// Screens one case into `report`. The case's RNG comes from the

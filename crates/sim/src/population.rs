@@ -45,30 +45,45 @@ impl ClassSpec {
         difficulty_beta: f64,
         mean_lesions: f64,
     ) -> Result<Self, SimError> {
-        if difficulty_alpha.is_nan() || difficulty_alpha <= 0.0 {
-            return Err(SimError::InvalidConfig {
-                value: difficulty_alpha,
-                context: "difficulty alpha",
-            });
-        }
-        if difficulty_beta.is_nan() || difficulty_beta <= 0.0 {
-            return Err(SimError::InvalidConfig {
-                value: difficulty_beta,
-                context: "difficulty beta",
-            });
-        }
-        if mean_lesions.is_nan() || mean_lesions < 1.0 {
-            return Err(SimError::InvalidConfig {
-                value: mean_lesions,
-                context: "mean lesions",
-            });
-        }
-        Ok(ClassSpec {
+        let spec = ClassSpec {
             class: class.into(),
             difficulty_alpha,
             difficulty_beta,
             mean_lesions,
-        })
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks the invariants [`ClassSpec::new`] enforces. The fields are
+    /// public, so a hand-assembled spec can violate them; callers that
+    /// accept arbitrary specs (e.g. [`crate::engine::Simulation::run`])
+    /// re-validate here instead of panicking mid-sample.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] if the Beta shapes are not strictly
+    /// positive or `mean_lesions < 1`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.difficulty_alpha.is_nan() || self.difficulty_alpha <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                value: self.difficulty_alpha,
+                context: "difficulty alpha",
+            });
+        }
+        if self.difficulty_beta.is_nan() || self.difficulty_beta <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                value: self.difficulty_beta,
+                context: "difficulty beta",
+            });
+        }
+        if self.mean_lesions.is_nan() || self.mean_lesions < 1.0 {
+            return Err(SimError::InvalidConfig {
+                value: self.mean_lesions,
+                context: "mean lesions",
+            });
+        }
+        Ok(())
     }
 
     /// The mean of the latent difficulty distribution.
@@ -161,6 +176,19 @@ impl PopulationSpec {
     #[must_use]
     pub fn normal_mix(&self) -> &Categorical<ClassSpec> {
         &self.normal_mix
+    }
+
+    /// Validates every class spec in both mixes (see
+    /// [`ClassSpec::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// The first [`SimError::InvalidConfig`] found.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for (spec, _) in self.cancer_mix.iter().chain(self.normal_mix.iter()) {
+            spec.validate()?;
+        }
+        Ok(())
     }
 
     /// Samples one case.

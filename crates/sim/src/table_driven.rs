@@ -38,6 +38,7 @@ pub fn simulate<R: Rng + ?Sized>(
     for (class, _) in profile.iter() {
         model.params().class(class).map_err(SimError::from)?;
     }
+    let span = hmdiv_obs::span("sim.table_driven.simulate");
     let mut counts = StratifiedCounts::new();
     for _ in 0..cases {
         let class = profile.sample(rng).clone();
@@ -51,6 +52,16 @@ pub fn simulate<R: Rng + ?Sized>(
         let human_failed = rng.gen::<f64>() < p_hf.value();
         counts.record(class, machine_failed, human_failed);
     }
+    if let Some(elapsed_ns) = span.elapsed_ns() {
+        hmdiv_obs::counter_add("sim.table_driven.cases", cases);
+        if elapsed_ns > 0 {
+            hmdiv_obs::gauge_set(
+                "sim.table_driven.cases_per_sec",
+                cases as f64 / (elapsed_ns as f64 / 1e9),
+            );
+        }
+    }
+    drop(span);
     Ok(counts)
 }
 

@@ -22,6 +22,7 @@ pub struct TrialData {
 ///
 /// Propagates simulation errors ([`TrialError::Sim`]).
 pub fn run_trial(world: &World, design: &TrialDesign) -> Result<TrialData, TrialError> {
+    let _span = hmdiv_obs::span("trial.run");
     let mut population = world
         .population
         .with_prevalence(design.enriched_prevalence());
@@ -52,6 +53,8 @@ pub fn run_trial(world: &World, design: &TrialDesign) -> Result<TrialData, Trial
     )
     .run()
     .map_err(TrialError::from)?;
+    hmdiv_obs::counter_add("trial.run.trials", 1);
+    hmdiv_obs::counter_add("trial.run.cases", report.total_cases());
     Ok(TrialData {
         design: design.clone(),
         report,
@@ -70,7 +73,8 @@ pub fn run_field_study(
     seed: u64,
     threads: usize,
 ) -> Result<SimulationReport, TrialError> {
-    Simulation::new(
+    let _span = hmdiv_obs::span("trial.field_study");
+    let report = Simulation::new(
         world.clone(),
         SimConfig {
             cases,
@@ -79,7 +83,9 @@ pub fn run_field_study(
         },
     )
     .run()
-    .map_err(TrialError::from)
+    .map_err(TrialError::from)?;
+    hmdiv_obs::counter_add("trial.field_study.cases", report.total_cases());
+    Ok(report)
 }
 
 #[cfg(test)]

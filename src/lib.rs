@@ -19,6 +19,8 @@
 //!   reader, protocols, Monte-Carlo engine).
 //! * [`trial`] — trial designs, stratified estimation, extrapolation
 //!   validation.
+//! * [`obs`] — zero-dependency metrics and span tracing (off by default;
+//!   enable with `HMDIV_OBS=1` or [`obs::set_enabled`]).
 //!
 //! ## Quickstart
 //!
@@ -41,6 +43,7 @@
 //! ```
 
 pub use hmdiv_core as core;
+pub use hmdiv_obs as obs;
 pub use hmdiv_prob as prob;
 pub use hmdiv_rbd as rbd;
 pub use hmdiv_sim as sim;
