@@ -1,0 +1,104 @@
+//! Map-based vs compiled model evaluation.
+//!
+//! Measures what the PR-3 compiled layer buys: a single eq. (8) evaluation
+//! (map walk vs dense indexed sum) and a 1000-scenario design sweep
+//! (clone-a-`BTreeMap`-model per scenario vs batch patch/restore over one
+//! scratch buffer). The sweep ratio is the acceptance gate recorded in
+//! `BENCH_pr3.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hmdiv_core::extrapolate::Scenario;
+use hmdiv_core::{ClassId, ClassParams, DemandProfile, ModelParams, SequentialModel};
+use hmdiv_prob::Probability;
+
+/// A synthetic model with `n` classes of varied parameters (same shape as
+/// `model_eval.rs`, kept local so the two benches stay independent).
+fn synthetic_model(n: usize) -> (SequentialModel, DemandProfile) {
+    let p = |v: f64| Probability::new(v).expect("valid");
+    let mut params = ModelParams::builder();
+    let mut profile = DemandProfile::builder();
+    for i in 0..n {
+        let f = i as f64 / n as f64;
+        let name = format!("class{i}");
+        params = params.class(
+            name.as_str(),
+            ClassParams::new(p(0.05 + 0.4 * f), p(0.1 + 0.3 * f), p(0.2 + 0.7 * f)),
+        );
+        profile = profile.class(name.as_str(), 1.0 + f);
+    }
+    (
+        SequentialModel::new(params.build().expect("non-empty")),
+        profile.build().expect("non-empty"),
+    )
+}
+
+/// The pre-PR-3 eq. (8): walk the profile, look each class up in the
+/// `BTreeMap` parameter table.
+fn map_system_failure(model: &SequentialModel, profile: &DemandProfile) -> Probability {
+    let mut total = 0.0;
+    for (class, weight) in profile.iter() {
+        let cp = model.params().class(class).expect("covered");
+        total += weight.value() * cp.class_failure().value();
+    }
+    Probability::clamped(total)
+}
+
+/// A 1000-scenario design sweep: improvement factors fanned over classes.
+fn sweep_scenarios(n_classes: usize) -> Vec<Scenario> {
+    (0..1000)
+        .map(|i| {
+            let class = ClassId::new(format!("class{}", i % n_classes));
+            let factor = 1.5 + (i / n_classes) as f64 * 0.05;
+            Scenario::new().improve_machine(class, factor)
+        })
+        .collect()
+}
+
+fn bench_single_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_eval");
+    for n in [8usize, 32, 128] {
+        let (model, profile) = synthetic_model(n);
+        group.bench_with_input(BenchmarkId::new("map", n), &n, |b, _| {
+            b.iter(|| map_system_failure(&model, &profile));
+        });
+        let compiled = model.compiled().clone();
+        let bound = compiled.bind_profile(&profile).expect("covered");
+        group.bench_with_input(BenchmarkId::new("compiled", n), &n, |b, _| {
+            b.iter(|| compiled.system_failure(&bound));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scenario_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_sweep_1k");
+    for n in [8usize, 32] {
+        let (model, profile) = synthetic_model(n);
+        let scenarios = sweep_scenarios(n);
+        group.bench_with_input(BenchmarkId::new("map", n), &n, |b, _| {
+            b.iter(|| {
+                scenarios
+                    .iter()
+                    .map(|s| {
+                        let applied = s.apply(&model).expect("valid");
+                        map_system_failure(&applied, &profile)
+                    })
+                    .collect::<Vec<_>>()
+            });
+        });
+        let compiled = model.compiled().clone();
+        let bound = compiled.bind_profile(&profile).expect("covered");
+        group.bench_with_input(BenchmarkId::new("compiled", n), &n, |b, _| {
+            b.iter(|| {
+                compiled
+                    .evaluate_scenarios(&scenarios, &bound)
+                    .expect("valid")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_eval, bench_scenario_sweep);
+criterion_main!(benches);

@@ -131,14 +131,15 @@ pub fn table3_rows() -> Result<Vec<Row>, ModelError> {
 ///
 /// # Errors
 ///
-/// [`ModelError::MissingClass`] if the class is unknown.
+/// [`ModelError::MissingClass`] if the class is unknown;
+/// [`ModelError::InvalidFactor`] if `points < 2`.
 pub fn fig4_series(
     model: &SequentialModel,
     class: &ClassId,
     points: usize,
 ) -> Result<Vec<(f64, f64)>, ModelError> {
     let line = hmdiv_core::importance::machine_response_line(model, class)?;
-    Ok(line.sweep(points))
+    line.sweep(points)
 }
 
 /// Standard profiles + model bundle used by several benches.

@@ -49,8 +49,8 @@ impl MergedClass {
 /// # Errors
 ///
 /// * [`ModelError::Empty`] if `members` is empty.
-/// * [`ModelError::MissingClass`] if a member is absent from the model or
-///   profile.
+/// * [`ModelError::UnknownClass`] if a member is absent from the profile.
+/// * [`ModelError::MissingClass`] if a member is absent from the model.
 /// * [`ModelError::InvalidFactor`] if a conditional is undefined because
 ///   the machine never succeeds (or never fails) across the merged class.
 pub fn merge_classes(
@@ -70,12 +70,7 @@ pub fn merge_classes(
     let mut joint_hf_mf = 0.0;
     let mut mass_mf = 0.0;
     for class in members {
-        let w = profile
-            .weight(class.name())
-            .ok_or_else(|| ModelError::MissingClass {
-                class: class.clone(),
-            })?
-            .value();
+        let w = profile.weight(class.name())?.value();
         let cp = model.params().class(class)?;
         total_w += w;
         mean_mf += w * cp.p_mf().value();
@@ -286,8 +281,8 @@ mod tests {
         let (coarse_model, coarse_profile) =
             coarsen(&model, &profile, &[ClassId::new("a"), ClassId::new("b")]).unwrap();
         assert_eq!(coarse_profile.len(), 2);
-        assert!(coarse_profile.weight("a+b").is_some());
-        assert!(coarse_profile.weight("c").is_some());
+        assert!(coarse_profile.weight("a+b").is_ok());
+        assert!(coarse_profile.weight("c").is_ok());
         let before = model.system_failure(&profile).unwrap();
         let after = coarse_model.system_failure(&coarse_profile).unwrap();
         assert!((before.value() - after.value()).abs() < 1e-12);
@@ -302,7 +297,7 @@ mod tests {
         ));
         assert!(matches!(
             merge_classes(&model, &profile, &[ClassId::new("ghost")]),
-            Err(ModelError::MissingClass { .. })
+            Err(ModelError::UnknownClass { .. })
         ));
         // Machine never fails in the merged class → PHf|Mf undefined.
         let degenerate = SequentialModel::new(

@@ -74,6 +74,111 @@ impl Borrow<str> for ClassId {
     }
 }
 
+/// An interned, sorted universe of demand classes.
+///
+/// Class names resolve **once** to dense `u32` indices; every compiled
+/// evaluation structure ([`crate::compiled`]) stores its per-class data in
+/// parallel vectors over these indices, so hot loops index slices instead of
+/// walking `BTreeMap<ClassId, _>` nodes. Indices follow sorted name order —
+/// the same order a `BTreeMap` iterates — which is what keeps compiled
+/// evaluation bit-identical to the map-based reference (including RNG
+/// consumption order in posterior sampling).
+///
+/// # Example
+///
+/// ```
+/// use hmdiv_core::ClassUniverse;
+///
+/// let u = ClassUniverse::from_names(["difficult", "easy"]);
+/// assert_eq!(u.len(), 2);
+/// assert_eq!(u.index_of("difficult"), Some(0));
+/// assert_eq!(u.index_of("easy"), Some(1));
+/// assert_eq!(u.class(1).name(), "easy");
+/// assert!(u.index_of("odd").is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassUniverse {
+    /// Sorted, deduplicated class names; `names[i]` is the class at index
+    /// `i as u32`.
+    names: Vec<ClassId>,
+}
+
+impl ClassUniverse {
+    /// Interns a collection of class names (sorted and deduplicated).
+    #[must_use]
+    pub fn from_names<I, C>(names: I) -> Self
+    where
+        I: IntoIterator<Item = C>,
+        C: Into<ClassId>,
+    {
+        let mut names: Vec<ClassId> = names.into_iter().map(Into::into).collect();
+        names.sort();
+        names.dedup();
+        ClassUniverse { names }
+    }
+
+    /// Number of classes in the universe.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the universe is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The dense index of a class name, or `None` if unknown.
+    #[must_use]
+    pub fn index_of(&self, name: &str) -> Option<u32> {
+        self.names
+            .binary_search_by(|c| c.name().cmp(name))
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    /// The dense index of a class name, as a typed error on miss.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ModelError::UnknownClass`] if the name is not interned.
+    pub fn resolve(&self, name: &str) -> Result<u32, crate::ModelError> {
+        self.index_of(name)
+            .ok_or_else(|| crate::ModelError::UnknownClass {
+                class: ClassId::new(name),
+            })
+    }
+
+    /// The class at a dense index.
+    ///
+    /// # Panics
+    ///
+    /// If `index >= self.len()` — indices come from this universe's own
+    /// `index_of`/`resolve`, so a panic indicates a cross-universe mixup.
+    #[must_use]
+    pub fn class(&self, index: u32) -> &ClassId {
+        &self.names[index as usize]
+    }
+
+    /// Whether a class name is interned.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    /// Iterates the classes in index (sorted-name) order.
+    pub fn iter(&self) -> impl Iterator<Item = &ClassId> {
+        self.names.iter()
+    }
+
+    /// The classes as a slice in index order.
+    #[must_use]
+    pub fn classes(&self) -> &[ClassId] {
+        &self.names
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +211,36 @@ mod tests {
         let a = ClassId::new("x");
         let b = a.clone();
         assert!(Arc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn universe_interns_sorted_and_deduplicated() {
+        let u = ClassUniverse::from_names(["easy", "difficult", "easy", "average"]);
+        assert_eq!(u.len(), 3);
+        let names: Vec<&str> = u.iter().map(ClassId::name).collect();
+        assert_eq!(names, ["average", "difficult", "easy"]);
+        for (i, class) in u.classes().iter().enumerate() {
+            assert_eq!(u.index_of(class.name()), Some(i as u32));
+            assert_eq!(u.class(i as u32), class);
+            assert!(u.contains(class.name()));
+        }
+    }
+
+    #[test]
+    fn universe_resolve_errors_on_unknown() {
+        let u = ClassUniverse::from_names(["easy"]);
+        assert_eq!(u.resolve("easy"), Ok(0));
+        assert!(matches!(
+            u.resolve("odd"),
+            Err(crate::ModelError::UnknownClass { class }) if class.name() == "odd"
+        ));
+        assert!(!u.contains("odd"));
+    }
+
+    #[test]
+    fn empty_universe() {
+        let u = ClassUniverse::from_names(Vec::<ClassId>::new());
+        assert!(u.is_empty());
+        assert_eq!(u.index_of("x"), None);
     }
 }

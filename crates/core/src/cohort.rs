@@ -129,18 +129,21 @@ impl ReaderCohort {
         &self.members
     }
 
-    /// Evaluates the cohort under a profile.
+    /// Evaluates the cohort under a profile. Each member's model is
+    /// evaluated through its compiled dense representation (compiled lazily
+    /// on first use, then cached on the member's [`SequentialModel`]).
     ///
     /// # Errors
     ///
-    /// [`ModelError::MissingClass`] if any member's table misses a profile
-    /// class.
+    /// [`ModelError::UnknownClass`] if the profile mentions a class outside
+    /// any member's class universe.
     pub fn evaluate(&self, profile: &DemandProfile) -> Result<CohortSummary, ModelError> {
         let total_w: f64 = self.members.iter().map(|m| m.weight).sum();
         let mut rows = Vec::with_capacity(self.members.len());
         let mut mean = 0.0;
         for m in &self.members {
-            let failure = m.model.system_failure(profile)?;
+            let compiled = m.model.compiled();
+            let failure = compiled.system_failure(&compiled.bind_profile(profile)?);
             let share = m.weight / total_w;
             mean += share * failure.value();
             rows.push(CohortRow {
@@ -151,12 +154,17 @@ impl ReaderCohort {
         }
         rows.sort_by(|a, b| {
             b.failure
-                .partial_cmp(&a.failure)
-                .expect("finite")
+                .value()
+                .total_cmp(&a.failure.value())
                 .then_with(|| a.name.cmp(&b.name))
         });
-        let best = rows.last().expect("non-empty").failure;
-        let worst = rows.first().expect("non-empty").failure;
+        // `new` rejects empty cohorts, so rows is non-empty; keep the error
+        // typed anyway rather than panicking on an impossible state.
+        let empty = || ModelError::Empty {
+            context: "reader cohort",
+        };
+        let best = rows.last().map(|r| r.failure).ok_or_else(empty)?;
+        let worst = rows.first().map(|r| r.failure).ok_or_else(empty)?;
         Ok(CohortSummary {
             rows,
             mean: Probability::clamped(mean),
@@ -172,7 +180,8 @@ impl ReaderCohort {
     ///
     /// # Errors
     ///
-    /// [`ModelError::MissingClass`] on profile/table mismatch.
+    /// [`ModelError::UnknownClass`] on profile/universe mismatch;
+    /// [`ModelError::Empty`] if the ranking comes back empty.
     pub fn preferred_targets(
         &self,
         profile: &DemandProfile,
@@ -180,7 +189,13 @@ impl ReaderCohort {
         let mut out = Vec::with_capacity(self.members.len());
         for m in &self.members {
             let ranked = crate::design::rank_improvement_targets(&m.model, profile)?;
-            let top = ranked.first().expect("profile non-empty").class.clone();
+            let top = ranked
+                .first()
+                .ok_or(ModelError::Empty {
+                    context: "demand profile",
+                })?
+                .class
+                .clone();
             out.push((m.name.clone(), top));
         }
         Ok(out)

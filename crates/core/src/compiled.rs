@@ -1,0 +1,673 @@
+//! Dense compiled evaluation of the core models.
+//!
+//! Every hot path in the reproduction — eq. (8) `system_failure`, §5
+//! scenario sweeps, §6.2 design ranking, uncertainty Monte-Carlo — used to
+//! re-walk `BTreeMap<ClassId, _>` tables keyed by `Arc<str>` and clone whole
+//! models per candidate. This module applies the compile-then-evaluate
+//! architecture proven on RBDs (`hmdiv_rbd::compiled`) to the sequential and
+//! parallel-detection models:
+//!
+//! * class names are interned once into a [`ClassUniverse`] of dense `u32`
+//!   indices (sorted-name order — the order a `BTreeMap` iterates);
+//! * a [`CompiledModel`] stores per-class parameters in parallel vectors
+//!   over those indices (struct-of-arrays: `p_mf`, `p_hf_given_ms`,
+//!   `p_hf_given_mf` as `Vec<f64>` mirrors of the exact `ClassParams`);
+//! * a [`CompiledProfile`] resolves a [`DemandProfile`]'s classes to indices
+//!   once, keeping weights in **profile insertion order** so summation
+//!   order — and therefore every result bit — matches the map-based path;
+//! * [`CompiledModel::patch`]/[`CompiledModel::restore`] mutate one class
+//!   slot in place, so design ranking, budget allocation and importance
+//!   sweeps evaluate candidates without cloning a model per candidate.
+//!
+//! Evaluation calls the *same* [`ClassParams`] methods as the map-based
+//! reference (never algebraically-equivalent reformulations), which is what
+//! makes compiled results bit-identical — pinned by
+//! `crates/core/tests/compiled_equivalence.rs`.
+//!
+//! Class-resolution failures surface uniformly as
+//! [`ModelError::UnknownClass`].
+
+use std::sync::Arc;
+
+use hmdiv_prob::Probability;
+
+use crate::extrapolate::{Change, Scenario};
+use crate::{
+    ClassParams, ClassUniverse, DemandProfile, DetectionParams, ModelError, ModelParams,
+    ParallelDetectionModel,
+};
+
+/// A demand profile resolved against a [`ClassUniverse`]: dense indices plus
+/// weights, in the profile's insertion order.
+///
+/// Binding is the only string work left on an evaluation path; once bound, a
+/// profile can be evaluated against any patched state of the same compiled
+/// model with pure slice indexing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProfile {
+    universe: Arc<ClassUniverse>,
+    indices: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl CompiledProfile {
+    /// Resolves a profile's classes against a universe.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownClass`] if the profile mentions a class the
+    /// universe does not contain.
+    pub fn bind(
+        universe: &Arc<ClassUniverse>,
+        profile: &DemandProfile,
+    ) -> Result<Self, ModelError> {
+        let mut indices = Vec::with_capacity(profile.len());
+        let mut weights = Vec::with_capacity(profile.len());
+        for (class, weight) in profile.iter() {
+            indices.push(universe.resolve(class.name())?);
+            weights.push(weight.value());
+        }
+        Ok(CompiledProfile {
+            universe: Arc::clone(universe),
+            indices,
+            weights,
+        })
+    }
+
+    /// The universe this profile is bound to.
+    #[must_use]
+    pub fn universe(&self) -> &Arc<ClassUniverse> {
+        &self.universe
+    }
+
+    /// The dense class indices, in profile insertion order.
+    #[must_use]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// The profile weights, parallel to [`CompiledProfile::indices`].
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of profile entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the profile has no entries (never true for a bound profile).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Iterates `(index, weight)` pairs in profile insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.weights.iter().copied())
+    }
+}
+
+/// The sequential model compiled to dense per-class storage.
+///
+/// Holds the exact [`ClassParams`] per universe index (evaluation reuses
+/// their methods verbatim) plus struct-of-arrays `f64` mirrors for analyses
+/// that consume raw columns (sensitivity gradients, decomposition,
+/// importance sweeps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledModel {
+    universe: Arc<ClassUniverse>,
+    params: Vec<ClassParams>,
+    p_mf: Vec<f64>,
+    p_hf_given_ms: Vec<f64>,
+    p_hf_given_mf: Vec<f64>,
+}
+
+impl CompiledModel {
+    /// Compiles a parameter table: interns the class names and lays the
+    /// parameters out densely in universe (sorted-name) order.
+    ///
+    /// Recorded under the `core.compile` span with a
+    /// `core.compile.classes` counter when observability is enabled.
+    #[must_use]
+    pub fn compile(params: &ModelParams) -> Self {
+        let span = hmdiv_obs::span("core.compile");
+        let universe = Arc::new(ClassUniverse::from_names(params.classes().cloned()));
+        let mut dense = Vec::with_capacity(params.len());
+        let mut p_mf = Vec::with_capacity(params.len());
+        let mut p_hf_given_ms = Vec::with_capacity(params.len());
+        let mut p_hf_given_mf = Vec::with_capacity(params.len());
+        // `ModelParams::iter` walks the BTreeMap in sorted order, which is
+        // exactly the universe's index order — the vectors stay aligned.
+        for (_, cp) in params.iter() {
+            dense.push(*cp);
+            p_mf.push(cp.p_mf().value());
+            p_hf_given_ms.push(cp.p_hf_given_ms().value());
+            p_hf_given_mf.push(cp.p_hf_given_mf().value());
+        }
+        hmdiv_obs::counter_add("core.compile.classes", params.len() as u64);
+        drop(span);
+        CompiledModel {
+            universe,
+            params: dense,
+            p_mf,
+            p_hf_given_ms,
+            p_hf_given_mf,
+        }
+    }
+
+    /// The interned class universe.
+    #[must_use]
+    pub fn universe(&self) -> &Arc<ClassUniverse> {
+        &self.universe
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the model has no classes (never true for a compiled table).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// The parameters at a universe index.
+    #[must_use]
+    pub fn params_at(&self, index: u32) -> ClassParams {
+        self.params[index as usize]
+    }
+
+    /// The dense parameter slots in universe order.
+    #[must_use]
+    pub fn params_slice(&self) -> &[ClassParams] {
+        &self.params
+    }
+
+    /// `PMf(x)` per universe index.
+    #[must_use]
+    pub fn p_mf_slice(&self) -> &[f64] {
+        &self.p_mf
+    }
+
+    /// `PHf|Ms(x)` per universe index.
+    #[must_use]
+    pub fn p_hf_given_ms_slice(&self) -> &[f64] {
+        &self.p_hf_given_ms
+    }
+
+    /// `PHf|Mf(x)` per universe index.
+    #[must_use]
+    pub fn p_hf_given_mf_slice(&self) -> &[f64] {
+        &self.p_hf_given_mf
+    }
+
+    /// Binds a demand profile to this model's universe.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownClass`] if the profile mentions a class the
+    /// model does not cover.
+    pub fn bind_profile(&self, profile: &DemandProfile) -> Result<CompiledProfile, ModelError> {
+        CompiledProfile::bind(&self.universe, profile)
+    }
+
+    /// Eq. (8) over a bound profile — the same sum, in the same order, as
+    /// the map-based [`crate::SequentialModel::system_failure`].
+    #[must_use]
+    pub fn system_failure(&self, profile: &CompiledProfile) -> Probability {
+        failure_over(&self.params, profile)
+    }
+
+    /// The marginal machine failure `PMf = E_x[PMf(x)]` over a bound
+    /// profile.
+    #[must_use]
+    pub fn machine_failure(&self, profile: &CompiledProfile) -> Probability {
+        let mut total = 0.0;
+        for (idx, w) in profile.iter() {
+            total += w * self.params[idx as usize].p_mf().value();
+        }
+        Probability::clamped(total)
+    }
+
+    /// The Bayes-weighted marginal `P(Hf|Ms)` over a bound profile.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidFactor`] if `P(Ms) = 0` under the profile.
+    pub fn human_failure_given_machine_success(
+        &self,
+        profile: &CompiledProfile,
+    ) -> Result<Probability, ModelError> {
+        let mut joint = 0.0;
+        let mut marginal = 0.0;
+        for (idx, w) in profile.iter() {
+            let cp = &self.params[idx as usize];
+            joint += w * cp.p_ms().value() * cp.p_hf_given_ms().value();
+            marginal += w * cp.p_ms().value();
+        }
+        if marginal <= 0.0 {
+            return Err(ModelError::InvalidFactor {
+                value: marginal,
+                context: "P(Ms) for conditioning (machine never succeeds under this profile)",
+            });
+        }
+        Ok(Probability::clamped(joint / marginal))
+    }
+
+    /// The Bayes-weighted marginal `P(Hf|Mf)` over a bound profile.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidFactor`] if `P(Mf) = 0` under the profile.
+    pub fn human_failure_given_machine_failure(
+        &self,
+        profile: &CompiledProfile,
+    ) -> Result<Probability, ModelError> {
+        let mut joint = 0.0;
+        let mut marginal = 0.0;
+        for (idx, w) in profile.iter() {
+            let cp = &self.params[idx as usize];
+            joint += w * cp.p_mf().value() * cp.p_hf_given_mf().value();
+            marginal += w * cp.p_mf().value();
+        }
+        if marginal <= 0.0 {
+            return Err(ModelError::InvalidFactor {
+                value: marginal,
+                context: "P(Mf) for conditioning (machine never fails under this profile)",
+            });
+        }
+        Ok(Probability::clamped(joint / marginal))
+    }
+
+    /// Batch evaluation: eq. (8) for each bound profile.
+    ///
+    /// Records a `core.compiled.profile_evals` counter (once per batch).
+    #[must_use]
+    pub fn evaluate_profiles(&self, profiles: &[CompiledProfile]) -> Vec<Probability> {
+        let out = profiles.iter().map(|p| self.system_failure(p)).collect();
+        hmdiv_obs::counter_add("core.compiled.profile_evals", profiles.len() as u64);
+        out
+    }
+
+    /// Batch evaluation: applies each scenario to a scratch copy of the
+    /// parameter slots (batch patch/restore — the baseline is re-copied per
+    /// scenario, never cloned as a map) and evaluates eq. (8) under the
+    /// bound profile.
+    ///
+    /// Records a `core.compiled.scenario_evals` counter (once per batch).
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::UnknownClass`] if a change targets a class outside
+    ///   the universe.
+    /// * [`ModelError::InvalidFactor`] for invalid factors/strengths.
+    pub fn evaluate_scenarios(
+        &self,
+        scenarios: &[Scenario],
+        profile: &CompiledProfile,
+    ) -> Result<Vec<Probability>, ModelError> {
+        let mut scratch = Vec::with_capacity(self.params.len());
+        let mut out = Vec::with_capacity(scenarios.len());
+        for scenario in scenarios {
+            self.apply_scenario_into(scenario, &mut scratch)?;
+            out.push(failure_over(&scratch, profile));
+        }
+        hmdiv_obs::counter_add("core.compiled.scenario_evals", scenarios.len() as u64);
+        Ok(out)
+    }
+
+    /// Applies a scenario's changes (and adaptation) to `scratch`, which is
+    /// reset to this model's baseline first. Slot-for-slot the same
+    /// transformations as [`Scenario::apply`], without building maps.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledModel::evaluate_scenarios`].
+    pub fn apply_scenario_into(
+        &self,
+        scenario: &Scenario,
+        scratch: &mut Vec<ClassParams>,
+    ) -> Result<(), ModelError> {
+        scenario.adaptation().validate()?;
+        scratch.clear();
+        scratch.extend_from_slice(&self.params);
+        for change in scenario.changes() {
+            match change {
+                Change::ImproveMachine { class, factor } => {
+                    let i = self.universe.resolve(class.name())? as usize;
+                    scratch[i] = scratch[i].with_machine_improved(*factor)?;
+                }
+                Change::ImproveMachineEverywhere { factor } => {
+                    for cp in scratch.iter_mut() {
+                        *cp = cp.with_machine_improved(*factor)?;
+                    }
+                }
+                Change::SetMachineFailure { class, p_mf } => {
+                    let i = self.universe.resolve(class.name())? as usize;
+                    scratch[i] = scratch[i].with_p_mf(*p_mf);
+                }
+                Change::SetReader {
+                    class,
+                    p_hf_given_ms,
+                    p_hf_given_mf,
+                } => {
+                    let i = self.universe.resolve(class.name())? as usize;
+                    scratch[i] = scratch[i].with_reader(*p_hf_given_ms, *p_hf_given_mf);
+                }
+                Change::ScaleReaderEverywhere { factor } => {
+                    if factor.is_nan() || *factor < 0.0 || factor.is_infinite() {
+                        return Err(ModelError::InvalidFactor {
+                            value: *factor,
+                            context: "reader scale factor",
+                        });
+                    }
+                    for cp in scratch.iter_mut() {
+                        *cp = cp.with_reader(
+                            Probability::clamped(cp.p_hf_given_ms().value() * factor),
+                            Probability::clamped(cp.p_hf_given_mf().value() * factor),
+                        );
+                    }
+                }
+            }
+        }
+        // Indirect effects: the reader adapts to the machine change,
+        // referenced against the *baseline* machine parameters — the same
+        // pass `Scenario::apply` makes over the map in sorted order.
+        for (i, cp) in scratch.iter_mut().enumerate() {
+            *cp = scenario.adaptation().apply(self.params[i].p_mf(), cp)?;
+        }
+        Ok(())
+    }
+
+    /// Replaces one class slot in place, returning the previous parameters
+    /// (hand them back to [`CompiledModel::restore`] to undo). Keeps the
+    /// struct-of-arrays mirrors in sync.
+    pub fn patch(&mut self, index: u32, params: ClassParams) -> ClassParams {
+        let i = index as usize;
+        let old = self.params[i];
+        self.params[i] = params;
+        self.p_mf[i] = params.p_mf().value();
+        self.p_hf_given_ms[i] = params.p_hf_given_ms().value();
+        self.p_hf_given_mf[i] = params.p_hf_given_mf().value();
+        old
+    }
+
+    /// Undoes a [`CompiledModel::patch`] by re-patching the saved slot.
+    pub fn restore(&mut self, index: u32, params: ClassParams) {
+        self.patch(index, params);
+    }
+
+    /// Eq. (8) with one class slot temporarily replaced — patch, evaluate,
+    /// restore, without mutating `self` (the override is applied inline).
+    #[must_use]
+    pub fn system_failure_patched(
+        &self,
+        profile: &CompiledProfile,
+        index: u32,
+        params: ClassParams,
+    ) -> Probability {
+        let mut total = 0.0;
+        for (idx, w) in profile.iter() {
+            let cp = if idx == index {
+                &params
+            } else {
+                &self.params[idx as usize]
+            };
+            total += w * cp.class_failure().value();
+        }
+        Probability::clamped(total)
+    }
+
+    /// Materialises the current slots back into a map-based table (e.g. to
+    /// hand a patched model to serde-facing callers).
+    #[must_use]
+    pub fn to_model_params(&self) -> ModelParams {
+        let mut builder = ModelParams::builder();
+        for (class, cp) in self.universe.iter().zip(&self.params) {
+            builder = builder.class(class.clone(), *cp);
+        }
+        builder
+            .build()
+            .expect("a compiled model is non-empty with unique interned classes")
+    }
+}
+
+/// Eq. (8) over arbitrary parameter slots — shared by the baseline and
+/// scratch (scenario-patched) paths. Same accumulation order and the same
+/// `ClassParams::class_failure` calls as the map-based reference.
+fn failure_over(params: &[ClassParams], profile: &CompiledProfile) -> Probability {
+    let mut total = 0.0;
+    for (idx, w) in profile.iter() {
+        total += w * params[idx as usize].class_failure().value();
+    }
+    Probability::clamped(total)
+}
+
+/// The §3 parallel-detection model compiled to dense per-class storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledDetectionModel {
+    universe: Arc<ClassUniverse>,
+    params: Vec<DetectionParams>,
+}
+
+impl CompiledDetectionModel {
+    /// Compiles a parallel-detection table (see [`CompiledModel::compile`]).
+    #[must_use]
+    pub fn compile(model: &ParallelDetectionModel) -> Self {
+        let span = hmdiv_obs::span("core.compile");
+        let universe = Arc::new(ClassUniverse::from_names(
+            model.iter().map(|(c, _)| c.clone()),
+        ));
+        let params = model.iter().map(|(_, dp)| *dp).collect();
+        hmdiv_obs::counter_add("core.compile.classes", model.len() as u64);
+        drop(span);
+        CompiledDetectionModel { universe, params }
+    }
+
+    /// The interned class universe.
+    #[must_use]
+    pub fn universe(&self) -> &Arc<ClassUniverse> {
+        &self.universe
+    }
+
+    /// The parameters at a universe index.
+    #[must_use]
+    pub fn params_at(&self, index: u32) -> DetectionParams {
+        self.params[index as usize]
+    }
+
+    /// Binds a demand profile to this model's universe.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownClass`] if the profile mentions a class the
+    /// model does not cover.
+    pub fn bind_profile(&self, profile: &DemandProfile) -> Result<CompiledProfile, ModelError> {
+        CompiledProfile::bind(&self.universe, profile)
+    }
+
+    /// Eq. (1) aggregated over a bound profile — same order and the same
+    /// `DetectionParams::class_failure` calls as the map-based path.
+    #[must_use]
+    pub fn system_failure(&self, profile: &CompiledProfile) -> Probability {
+        let mut total = 0.0;
+        for (idx, w) in profile.iter() {
+            total += w * self.params[idx as usize].class_failure().value();
+        }
+        Probability::clamped(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+    use crate::ClassId;
+
+    #[test]
+    fn compile_aligns_universe_and_slots() {
+        let model = paper::example_model().unwrap();
+        let compiled = CompiledModel::compile(model.params());
+        assert_eq!(compiled.len(), 2);
+        for (i, class) in compiled.universe().iter().enumerate() {
+            let cp = model.params().class(class).unwrap();
+            assert_eq!(compiled.params_at(i as u32), *cp);
+            assert_eq!(compiled.p_mf_slice()[i], cp.p_mf().value());
+            assert_eq!(
+                compiled.p_hf_given_ms_slice()[i],
+                cp.p_hf_given_ms().value()
+            );
+            assert_eq!(
+                compiled.p_hf_given_mf_slice()[i],
+                cp.p_hf_given_mf().value()
+            );
+        }
+    }
+
+    #[test]
+    fn system_failure_bit_identical_to_map_walk() {
+        let model = paper::example_model().unwrap();
+        let compiled = CompiledModel::compile(model.params());
+        for profile in [
+            paper::trial_profile().unwrap(),
+            paper::field_profile().unwrap(),
+        ] {
+            let bound = compiled.bind_profile(&profile).unwrap();
+            // The pre-compilation reference: walk the map in profile order.
+            let mut total = 0.0;
+            for (class, weight) in profile.iter() {
+                total +=
+                    weight.value() * model.params().class(class).unwrap().class_failure().value();
+            }
+            let reference = Probability::clamped(total);
+            assert_eq!(
+                compiled.system_failure(&bound).value().to_bits(),
+                reference.value().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn bind_rejects_unknown_class() {
+        let model = paper::example_model().unwrap();
+        let compiled = CompiledModel::compile(model.params());
+        let odd = DemandProfile::builder().class("odd", 1.0).build().unwrap();
+        assert!(matches!(
+            compiled.bind_profile(&odd),
+            Err(ModelError::UnknownClass { class }) if class.name() == "odd"
+        ));
+    }
+
+    #[test]
+    fn patch_restore_round_trips() {
+        let model = paper::example_model().unwrap();
+        let mut compiled = CompiledModel::compile(model.params());
+        let pristine = compiled.clone();
+        let field = paper::field_profile().unwrap();
+        let bound = compiled.bind_profile(&field).unwrap();
+        let baseline = compiled.system_failure(&bound);
+
+        let idx = compiled.universe().resolve("difficult").unwrap();
+        let improved = compiled.params_at(idx).with_machine_improved(10.0).unwrap();
+        let old = compiled.patch(idx, improved);
+        let patched = compiled.system_failure(&bound);
+        assert!(patched < baseline);
+        assert!(
+            (patched.value() - paper::published::FIELD_FAILURE_IMPROVED_DIFFICULT).abs() < 1e-9
+        );
+        compiled.restore(idx, old);
+        assert_eq!(compiled, pristine);
+        assert_eq!(
+            compiled.system_failure(&bound).value().to_bits(),
+            baseline.value().to_bits()
+        );
+        // The non-mutating variant agrees with patch/evaluate/restore.
+        assert_eq!(
+            compiled
+                .system_failure_patched(&bound, idx, improved)
+                .value()
+                .to_bits(),
+            patched.value().to_bits()
+        );
+    }
+
+    #[test]
+    fn scenario_batch_matches_map_based_apply() {
+        let model = paper::example_model().unwrap();
+        let compiled = CompiledModel::compile(model.params());
+        let field = paper::field_profile().unwrap();
+        let bound = compiled.bind_profile(&field).unwrap();
+        let scenarios = vec![
+            Scenario::new(),
+            Scenario::new().improve_machine(ClassId::new("easy"), 10.0),
+            Scenario::new().improve_machine(ClassId::new("difficult"), 10.0),
+            Scenario::new().improve_machine_everywhere(2.0),
+            Scenario::new().scale_reader_everywhere(1.5),
+        ];
+        let batch = compiled.evaluate_scenarios(&scenarios, &bound).unwrap();
+        for (scenario, got) in scenarios.iter().zip(&batch) {
+            let reference = scenario
+                .apply(&model)
+                .unwrap()
+                .system_failure(&field)
+                .unwrap();
+            assert_eq!(got.value().to_bits(), reference.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn scenario_unknown_class_is_typed() {
+        let model = paper::example_model().unwrap();
+        let compiled = CompiledModel::compile(model.params());
+        let field = paper::field_profile().unwrap();
+        let bound = compiled.bind_profile(&field).unwrap();
+        let ghost = vec![Scenario::new().improve_machine(ClassId::new("ghost"), 10.0)];
+        assert!(matches!(
+            compiled.evaluate_scenarios(&ghost, &bound),
+            Err(ModelError::UnknownClass { class }) if class.name() == "ghost"
+        ));
+    }
+
+    #[test]
+    fn evaluate_profiles_batches() {
+        let model = paper::example_model().unwrap();
+        let compiled = CompiledModel::compile(model.params());
+        let bound: Vec<CompiledProfile> = [
+            paper::trial_profile().unwrap(),
+            paper::field_profile().unwrap(),
+        ]
+        .iter()
+        .map(|p| compiled.bind_profile(p).unwrap())
+        .collect();
+        let out = compiled.evaluate_profiles(&bound);
+        assert!((out[0].value() - 0.23524).abs() < 1e-9);
+        assert!((out[1].value() - 0.18902).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trip_to_model_params() {
+        let model = paper::example_model().unwrap();
+        let compiled = CompiledModel::compile(model.params());
+        assert_eq!(&compiled.to_model_params(), model.params());
+    }
+
+    #[test]
+    fn profile_subset_of_universe_is_fine() {
+        // The profile may use fewer classes than the model knows.
+        let model = paper::example_model().unwrap();
+        let compiled = CompiledModel::compile(model.params());
+        let only_easy = DemandProfile::builder().class("easy", 1.0).build().unwrap();
+        let bound = compiled.bind_profile(&only_easy).unwrap();
+        assert_eq!(bound.len(), 1);
+        assert!(!bound.is_empty());
+        assert!((compiled.system_failure(&bound).value() - 0.1428).abs() < 1e-12);
+    }
+}

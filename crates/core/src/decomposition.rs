@@ -65,7 +65,7 @@ impl CovarianceDecomposition {
 ///
 /// # Errors
 ///
-/// [`ModelError::MissingClass`] if the profile mentions a class without
+/// [`ModelError::UnknownClass`] if the profile mentions a class without
 /// parameters.
 ///
 /// # Example
@@ -89,13 +89,15 @@ pub fn decompose(
     model: &SequentialModel,
     profile: &DemandProfile,
 ) -> Result<CovarianceDecomposition, ModelError> {
-    let mut weights = Vec::with_capacity(profile.len());
-    let mut p_mfs = Vec::with_capacity(profile.len());
-    let mut ts = Vec::with_capacity(profile.len());
-    let mut hf_ms = Vec::with_capacity(profile.len());
-    for (class, weight) in profile.iter() {
-        let cp = model.params().class(class)?;
-        weights.push(weight.value());
+    let compiled = model.compiled();
+    let bound = compiled.bind_profile(profile)?;
+    let mut weights = Vec::with_capacity(bound.len());
+    let mut p_mfs = Vec::with_capacity(bound.len());
+    let mut ts = Vec::with_capacity(bound.len());
+    let mut hf_ms = Vec::with_capacity(bound.len());
+    for (idx, w) in bound.iter() {
+        let cp = compiled.params_at(idx);
+        weights.push(w);
         p_mfs.push(cp.p_mf().value());
         ts.push(cp.coherence_index());
         hf_ms.push(cp.p_hf_given_ms().value());
@@ -211,7 +213,7 @@ mod tests {
             .unwrap();
         assert!(matches!(
             decompose(&paper_model(), &profile),
-            Err(ModelError::MissingClass { .. })
+            Err(ModelError::UnknownClass { .. })
         ));
     }
 

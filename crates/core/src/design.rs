@@ -15,6 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::compiled::CompiledModel;
 use crate::extrapolate::Scenario;
 use crate::{ClassId, DemandProfile, ModelError, SequentialModel};
 
@@ -40,7 +41,7 @@ pub struct ClassLeverage {
 ///
 /// # Errors
 ///
-/// [`ModelError::MissingClass`] if the profile mentions a class without
+/// [`ModelError::UnknownClass`] if the profile mentions a class without
 /// parameters.
 ///
 /// # Example
@@ -61,23 +62,24 @@ pub fn rank_improvement_targets(
     model: &SequentialModel,
     profile: &DemandProfile,
 ) -> Result<Vec<ClassLeverage>, ModelError> {
-    let mut out = Vec::with_capacity(profile.len());
-    for (class, weight) in profile.iter() {
-        let cp = model.params().class(class)?;
+    let compiled = model.compiled();
+    let bound = compiled.bind_profile(profile)?;
+    let mut out = Vec::with_capacity(bound.len());
+    for (idx, weight) in bound.iter() {
+        let cp = compiled.params_at(idx);
         let t = cp.coherence_index();
         let p_mf = cp.p_mf().value();
         out.push(ClassLeverage {
-            class: class.clone(),
-            weight: weight.value(),
+            class: compiled.universe().class(idx).clone(),
+            weight,
             coherence_index: t,
             p_mf,
-            max_benefit: weight.value() * t * p_mf,
+            max_benefit: weight * t * p_mf,
         });
     }
     out.sort_by(|a, b| {
         b.max_benefit
-            .partial_cmp(&a.max_benefit)
-            .expect("leverage is finite")
+            .total_cmp(&a.max_benefit)
             .then_with(|| a.class.cmp(&b.class))
     });
     Ok(out)
@@ -153,32 +155,41 @@ pub fn allocate_improvement_budget(
             context: "improvement budget",
         });
     }
-    let before = model.system_failure(profile)?.value();
-    let mut current = model.clone();
+    // Compile once; candidates are evaluated by patching one class slot
+    // instead of cloning a map-based model per candidate per unit.
+    let bound = model.compiled().bind_profile(profile)?;
+    let mut compiled = CompiledModel::clone(model.compiled());
+    let before = compiled.system_failure(&bound).value();
     let mut spent: std::collections::BTreeMap<ClassId, usize> = Default::default();
     for _ in 0..budget {
-        let mut best: Option<(ClassId, f64)> = None;
-        for (class, _) in profile.iter() {
-            let benefit = improvement_benefit(&current, profile, class, step_factor)?;
+        let baseline = compiled.system_failure(&bound).value();
+        let mut best: Option<(u32, f64)> = None;
+        for (idx, _) in bound.iter() {
+            let candidate = compiled.params_at(idx).with_machine_improved(step_factor)?;
+            let benefit = baseline
+                - compiled
+                    .system_failure_patched(&bound, idx, candidate)
+                    .value();
             match &best {
                 Some((_, b)) if *b >= benefit => {}
-                _ => best = Some((class.clone(), benefit)),
+                _ => best = Some((idx, benefit)),
             }
         }
-        let (class, _) = best.ok_or(ModelError::Empty {
+        let (idx, _) = best.ok_or(ModelError::Empty {
             context: "demand profile",
         })?;
-        current = Scenario::new()
-            .improve_machine(class.clone(), step_factor)
-            .apply(&current)?;
-        *spent.entry(class).or_insert(0) += 1;
+        let improved = compiled.params_at(idx).with_machine_improved(step_factor)?;
+        compiled.patch(idx, improved);
+        *spent
+            .entry(compiled.universe().class(idx).clone())
+            .or_insert(0) += 1;
     }
-    let after = current.system_failure(profile)?.value();
+    let after = compiled.system_failure(&bound).value();
     Ok(BudgetAllocation {
         allocation: spent.into_iter().collect(),
         before,
         after,
-        model: current,
+        model: SequentialModel::new(compiled.to_model_params()),
     })
 }
 

@@ -14,6 +14,16 @@ pub enum ModelError {
         /// The class without parameters.
         class: ClassId,
     },
+    /// A class name could not be resolved against a [`ClassUniverse`] — the
+    /// unified mismatched-universe error of the compiled evaluation layer
+    /// (profile class absent from the model, or model class absent from the
+    /// profile).
+    ///
+    /// [`ClassUniverse`]: crate::ClassUniverse
+    UnknownClass {
+        /// The unresolvable class.
+        class: ClassId,
+    },
     /// A profile mentions no classes, or a parameter table is empty.
     Empty {
         /// What was empty.
@@ -40,6 +50,12 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::MissingClass { class } => {
                 write!(f, "no parameters for demand class `{class}`")
+            }
+            ModelError::UnknownClass { class } => {
+                write!(
+                    f,
+                    "demand class `{class}` is not in the model's class universe"
+                )
             }
             ModelError::Empty { context } => write!(f, "{context} must not be empty"),
             ModelError::DuplicateClass { class } => {
@@ -77,6 +93,9 @@ mod tests {
         let errors = [
             ModelError::MissingClass {
                 class: ClassId::new("difficult"),
+            },
+            ModelError::UnknownClass {
+                class: ClassId::new("odd"),
             },
             ModelError::Empty {
                 context: "demand profile",

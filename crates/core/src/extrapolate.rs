@@ -158,6 +158,12 @@ impl Scenario {
         &self.changes
     }
 
+    /// The reader-adaptation response applied after the changes.
+    #[must_use]
+    pub fn adaptation(&self) -> &AdaptationResponse {
+        &self.adaptation
+    }
+
     /// Applies the scenario to a model, producing the predicted model.
     ///
     /// # Errors

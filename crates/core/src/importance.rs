@@ -66,18 +66,23 @@ impl MachineResponseLine {
     /// probabilities in `[0, 1]`, returning `(p_mf, p_system_failure)`
     /// pairs — the series plotted in Fig. 4.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `points < 2` (a line needs two points).
-    #[must_use]
-    pub fn sweep(&self, points: usize) -> Vec<(f64, f64)> {
-        assert!(points >= 2, "a sweep needs at least 2 points");
-        (0..points)
+    /// [`ModelError::InvalidFactor`] if `points < 2` (a line needs two
+    /// points).
+    pub fn sweep(&self, points: usize) -> Result<Vec<(f64, f64)>, ModelError> {
+        if points < 2 {
+            return Err(ModelError::InvalidFactor {
+                value: points as f64,
+                context: "sweep point count (need at least 2)",
+            });
+        }
+        Ok((0..points)
             .map(|i| {
                 let p_mf = i as f64 / (points - 1) as f64;
                 (p_mf, self.failure_at(Probability::clamped(p_mf)).value())
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -134,14 +139,16 @@ pub fn machine_response_lines(model: &SequentialModel) -> Vec<MachineResponseLin
 ///
 /// # Errors
 ///
-/// [`ModelError::MissingClass`] if the profile mentions an absent class.
+/// [`ModelError::UnknownClass`] if the profile mentions an absent class.
 pub fn system_lower_bound(
     model: &SequentialModel,
     profile: &DemandProfile,
 ) -> Result<Probability, ModelError> {
+    let compiled = model.compiled();
+    let bound = compiled.bind_profile(profile)?;
     let mut total = 0.0;
-    for (class, weight) in profile.iter() {
-        total += weight.value() * model.params().class(class)?.p_hf_given_ms().value();
+    for (idx, w) in bound.iter() {
+        total += w * compiled.p_hf_given_ms_slice()[idx as usize];
     }
     Ok(Probability::clamped(total))
 }
@@ -153,10 +160,26 @@ pub fn system_lower_bound(
 /// # Errors
 ///
 /// * [`ModelError::InvalidFactor`] if `scale` is not in `[0, 1]`.
-/// * [`ModelError::MissingClass`] if the profile mentions an absent class.
+/// * [`ModelError::UnknownClass`] if the profile mentions an absent class.
 pub fn system_failure_with_machine_scaled(
     model: &SequentialModel,
     profile: &DemandProfile,
+    scale: f64,
+) -> Result<Probability, ModelError> {
+    let compiled = model.compiled();
+    let bound = compiled.bind_profile(profile)?;
+    system_failure_scaled_compiled(compiled, &bound, scale)
+}
+
+/// The compiled-form core of [`system_failure_with_machine_scaled`]: reuse a
+/// bound profile across the points of a sweep.
+///
+/// # Errors
+///
+/// [`ModelError::InvalidFactor`] if `scale` is not in `[0, 1]`.
+pub fn system_failure_scaled_compiled(
+    compiled: &crate::CompiledModel,
+    bound: &crate::CompiledProfile,
     scale: f64,
 ) -> Result<Probability, ModelError> {
     if scale.is_nan() || !(0.0..=1.0).contains(&scale) {
@@ -166,10 +189,10 @@ pub fn system_failure_with_machine_scaled(
         });
     }
     let mut total = 0.0;
-    for (class, weight) in profile.iter() {
-        let cp = model.params().class(class)?;
+    for (idx, w) in bound.iter() {
+        let cp = compiled.params_at(idx);
         let scaled_pmf = cp.p_mf().value() * scale;
-        total += weight.value() * (cp.p_hf_given_ms().value() + scaled_pmf * cp.coherence_index());
+        total += w * (cp.p_hf_given_ms().value() + scaled_pmf * cp.coherence_index());
     }
     Ok(Probability::clamped(total))
 }
@@ -181,23 +204,28 @@ pub fn system_failure_with_machine_scaled(
 ///
 /// # Errors
 ///
-/// As [`system_failure_with_machine_scaled`].
-///
-/// # Panics
-///
-/// Panics if `points < 2`.
+/// As [`system_failure_with_machine_scaled`], plus
+/// [`ModelError::InvalidFactor`] if `points < 2`.
 pub fn system_machine_sweep(
     model: &SequentialModel,
     profile: &DemandProfile,
     points: usize,
 ) -> Result<Vec<(f64, f64)>, ModelError> {
-    assert!(points >= 2, "a sweep needs at least 2 points");
+    if points < 2 {
+        return Err(ModelError::InvalidFactor {
+            value: points as f64,
+            context: "sweep point count (need at least 2)",
+        });
+    }
+    // Compile and bind once; the per-point evaluation is pure slice work.
+    let compiled = model.compiled();
+    let bound = compiled.bind_profile(profile)?;
     (0..points)
         .map(|i| {
             let scale = i as f64 / (points - 1) as f64;
             Ok((
                 scale,
-                system_failure_with_machine_scaled(model, profile, scale)?.value(),
+                system_failure_scaled_compiled(compiled, &bound, scale)?.value(),
             ))
         })
         .collect()
@@ -254,7 +282,7 @@ mod tests {
     #[test]
     fn sweep_is_monotone_for_positive_t() {
         let line = machine_response_line(&model(), &ClassId::new("easy")).unwrap();
-        let series = line.sweep(11);
+        let series = line.sweep(11).unwrap();
         assert_eq!(series.len(), 11);
         for w in series.windows(2) {
             assert!(w[1].1 >= w[0].1);
@@ -264,10 +292,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least 2")]
     fn sweep_rejects_single_point() {
         let line = machine_response_line(&model(), &ClassId::new("easy")).unwrap();
-        let _ = line.sweep(1);
+        assert!(matches!(
+            line.sweep(1),
+            Err(ModelError::InvalidFactor { .. })
+        ));
+        assert!(matches!(
+            system_machine_sweep(&model(), &trial(), 0),
+            Err(ModelError::InvalidFactor { .. })
+        ));
     }
 
     #[test]
@@ -330,7 +364,7 @@ mod tests {
         );
         let line = machine_response_line(&m, &ClassId::new("odd")).unwrap();
         assert!(line.coherence_index() < 0.0);
-        let series = line.sweep(5);
+        let series = line.sweep(5).unwrap();
         assert!(series[4].1 < series[0].1);
     }
 }

@@ -40,6 +40,10 @@
 //! * [`uncertainty`] — Monte-Carlo propagation of parameter uncertainty
 //!   into system predictions.
 //! * [`paper`] — the paper's §5 worked example as ready-made constants.
+//! * [`compiled`] — the interned [`ClassUniverse`] and dense
+//!   struct-of-arrays [`CompiledModel`] every hot path evaluates through
+//!   (batch scenario sweeps, patch/restore candidate evaluation),
+//!   bit-identical to the map-based reference.
 //!
 //! # Example
 //!
@@ -64,6 +68,7 @@ pub mod advice;
 pub mod aggregation;
 mod class;
 pub mod cohort;
+pub mod compiled;
 pub mod decomposition;
 pub mod design;
 pub mod economics;
@@ -82,7 +87,8 @@ mod sequential;
 pub mod tradeoff;
 pub mod uncertainty;
 
-pub use class::ClassId;
+pub use class::{ClassId, ClassUniverse};
+pub use compiled::{CompiledDetectionModel, CompiledModel, CompiledProfile};
 pub use error::ModelError;
 pub use parallel::{DetectionParams, ParallelDetectionModel};
 pub use params::{ClassParams, ModelParams};

@@ -14,12 +14,14 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
 use hmdiv_prob::Probability;
 
-use crate::{ClassId, DemandProfile, ModelError};
+use crate::compiled::CompiledProfile;
+use crate::{ClassId, ClassUniverse, DemandProfile, ModelError};
 
 /// A reader's skill: per class, the failure probabilities conditional on
 /// machine success and failure.
@@ -172,11 +174,21 @@ impl fmt::Display for CombinationRule {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TeamModel {
     machine: BTreeMap<ClassId, Probability>,
     readers: Vec<ReaderSkill>,
     rule: CombinationRule,
+    /// Lazily interned machine-class universe; derived state, excluded from
+    /// equality and serialisation.
+    #[serde(skip)]
+    universe: OnceLock<Arc<ClassUniverse>>,
+}
+
+impl PartialEq for TeamModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.machine == other.machine && self.readers == other.readers && self.rule == other.rule
+    }
 }
 
 impl TeamModel {
@@ -184,6 +196,13 @@ impl TeamModel {
     #[must_use]
     pub fn builder() -> TeamModelBuilder {
         TeamModelBuilder::default()
+    }
+
+    /// The interned universe of the machine table's classes. Built on first
+    /// use and cached; cheap to call afterwards.
+    pub fn universe(&self) -> &Arc<ClassUniverse> {
+        self.universe
+            .get_or_init(|| Arc::new(ClassUniverse::from_names(self.machine.keys().cloned())))
     }
 
     /// The class-conditional false-negative probability of the team.
@@ -246,13 +265,22 @@ impl TeamModel {
 
     /// The team's false-negative probability over a demand profile.
     ///
+    /// The profile is resolved against the machine table's interned
+    /// [`ClassUniverse`] up front, so a profile/table mismatch surfaces as a
+    /// typed error before any per-class arithmetic runs.
+    ///
     /// # Errors
     ///
-    /// As [`TeamModel::class_failure`].
+    /// * [`ModelError::UnknownClass`] if the profile mentions a class absent
+    ///   from the machine table.
+    /// * [`ModelError::MissingClass`] if a reader's table misses a class
+    ///   (see [`TeamModel::class_failure`]).
     pub fn system_failure(&self, profile: &DemandProfile) -> Result<Probability, ModelError> {
+        let universe = Arc::clone(self.universe());
+        let bound = CompiledProfile::bind(&universe, profile)?;
         let mut total = 0.0;
-        for (class, weight) in profile.iter() {
-            total += weight.value() * self.class_failure(class)?.value();
+        for (idx, weight) in bound.iter() {
+            total += weight * self.class_failure(universe.class(idx))?.value();
         }
         Ok(Probability::clamped(total))
     }
@@ -309,7 +337,9 @@ impl TeamModel {
     /// * [`ModelError::InvalidFactor`] if `rho` is outside `[-1, 1]`, the
     ///   team does not have exactly two readers, or the rule is
     ///   unsupported.
-    /// * [`ModelError::MissingClass`] on profile/table mismatch.
+    /// * [`ModelError::UnknownClass`] if the profile mentions a class absent
+    ///   from the machine table; [`ModelError::MissingClass`] if a reader's
+    ///   table misses a class.
     pub fn system_failure_correlated(
         &self,
         profile: &DemandProfile,
@@ -337,8 +367,11 @@ impl TeamModel {
                 })
             }
         };
+        let universe = Arc::clone(self.universe());
+        let bound = CompiledProfile::bind(&universe, profile)?;
         let mut total = 0.0;
-        for (class, weight) in profile.iter() {
+        for (idx, weight) in bound.iter() {
+            let class = universe.class(idx);
             let p_mf =
                 self.machine
                     .get(class)
@@ -363,7 +396,7 @@ impl TeamModel {
                 };
                 class_failure += p_branch * fail;
             }
-            total += weight.value() * class_failure;
+            total += weight * class_failure;
         }
         Ok(Probability::clamped(total))
     }
@@ -435,6 +468,7 @@ impl TeamModelBuilder {
             machine: self.machine,
             readers: self.readers,
             rule,
+            universe: OnceLock::new(),
         })
     }
 }
@@ -624,10 +658,14 @@ mod tests {
             .class("ghost", 1.0)
             .build()
             .unwrap();
+        // A profile class outside the machine table's universe is an
+        // UnknownClass (the compiled-layer resolution error).
         assert!(matches!(
             team.system_failure(&bad),
-            Err(ModelError::MissingClass { .. })
+            Err(ModelError::UnknownClass { .. })
         ));
+        assert!(team.universe().contains("easy"));
+        assert!(!team.universe().contains("ghost"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -8,6 +9,7 @@ use hmdiv_prob::Probability;
 use hmdiv_rbd::difficulty::littlewood_miller;
 use hmdiv_rbd::Block;
 
+use crate::compiled::CompiledDetectionModel;
 use crate::{ClassId, DemandProfile, ModelError};
 
 /// The paper's §3 "parallel detection" parameters for one class of demands:
@@ -122,9 +124,19 @@ pub struct DetectionCovariance {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ParallelDetectionModel {
     table: BTreeMap<ClassId, DetectionParams>,
+    /// Lazily-compiled dense evaluation form (derived state; see
+    /// [`crate::compiled`]).
+    #[serde(skip)]
+    compiled: OnceLock<Arc<CompiledDetectionModel>>,
+}
+
+impl PartialEq for ParallelDetectionModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.table == other.table
+    }
 }
 
 impl ParallelDetectionModel {
@@ -176,17 +188,23 @@ impl ParallelDetectionModel {
         Ok(self.class(class)?.class_failure())
     }
 
-    /// The system failure probability over a demand profile.
+    /// The dense compiled form of this model, compiled on first use and
+    /// cached.
+    #[must_use]
+    pub fn compiled(&self) -> &Arc<CompiledDetectionModel> {
+        self.compiled
+            .get_or_init(|| Arc::new(CompiledDetectionModel::compile(self)))
+    }
+
+    /// The system failure probability over a demand profile, evaluated
+    /// through the compiled form.
     ///
     /// # Errors
     ///
-    /// [`ModelError::MissingClass`] if the profile mentions an absent class.
+    /// [`ModelError::UnknownClass`] if the profile mentions an absent class.
     pub fn system_failure(&self, profile: &DemandProfile) -> Result<Probability, ModelError> {
-        let mut total = 0.0;
-        for (class, weight) in profile.iter() {
-            total += weight.value() * self.class(class)?.class_failure().value();
-        }
-        Ok(Probability::clamped(total))
+        let compiled = self.compiled();
+        Ok(compiled.system_failure(&compiled.bind_profile(profile)?))
     }
 
     /// Decomposes the detection-failure probability into independent product
@@ -298,7 +316,10 @@ impl ParallelDetectionModelBuilder {
                 context: "parallel-detection parameter table",
             });
         }
-        Ok(ParallelDetectionModel { table: self.table })
+        Ok(ParallelDetectionModel {
+            table: self.table,
+            compiled: OnceLock::new(),
+        })
     }
 }
 
@@ -393,10 +414,12 @@ mod tests {
     fn missing_class_errors() {
         let m = model();
         let profile = DemandProfile::builder().class("odd", 1.0).build().unwrap();
+        // Compiled-layer resolution reports the unified UnknownClass…
         assert!(matches!(
             m.system_failure(&profile),
-            Err(ModelError::MissingClass { .. })
+            Err(ModelError::UnknownClass { .. })
         ));
+        // …while direct table lookups keep MissingClass.
         assert!(matches!(
             m.detection_covariance(&profile),
             Err(ModelError::MissingClass { .. })

@@ -78,14 +78,23 @@ impl DemandProfile {
         self.dist.categories()
     }
 
-    /// The probability weight of a class, or `None` if absent.
-    #[must_use]
-    pub fn weight(&self, class: &str) -> Option<Probability> {
+    /// The probability weight of a class.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownClass`] if the profile does not mention the
+    /// class — the same typed error the compiled evaluation layer reports
+    /// for the reverse mismatch (a profile class absent from a model's
+    /// universe).
+    pub fn weight(&self, class: &str) -> Result<Probability, ModelError> {
         self.dist
             .categories()
             .iter()
             .position(|c| c.name() == class)
             .map(|i| self.dist.probability_at(i))
+            .ok_or_else(|| ModelError::UnknownClass {
+                class: ClassId::new(class),
+            })
     }
 
     /// Iterates `(class, weight)` pairs.
@@ -195,7 +204,10 @@ mod tests {
             .build()
             .unwrap();
         assert!((p.weight("a").unwrap().value() - 0.5).abs() < 1e-12);
-        assert!(p.weight("missing").is_none());
+        assert!(matches!(
+            p.weight("missing"),
+            Err(ModelError::UnknownClass { class }) if class.name() == "missing"
+        ));
     }
 
     #[test]

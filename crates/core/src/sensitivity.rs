@@ -44,8 +44,8 @@ impl ClassSensitivity {
         ];
         candidates
             .into_iter()
-            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite"))
-            .expect("non-empty")
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+            .expect("candidate list is a non-empty literal")
     }
 }
 
@@ -53,18 +53,19 @@ impl ClassSensitivity {
 ///
 /// # Errors
 ///
-/// [`ModelError::MissingClass`] if the profile mentions a class without
+/// [`ModelError::UnknownClass`] if the profile mentions a class without
 /// parameters.
 pub fn gradients(
     model: &SequentialModel,
     profile: &DemandProfile,
 ) -> Result<Vec<ClassSensitivity>, ModelError> {
-    let mut out = Vec::with_capacity(profile.len());
-    for (class, weight) in profile.iter() {
-        let cp = model.params().class(class)?;
-        let w = weight.value();
+    let compiled = model.compiled();
+    let bound = compiled.bind_profile(profile)?;
+    let mut out = Vec::with_capacity(bound.len());
+    for (idx, w) in bound.iter() {
+        let cp = compiled.params_at(idx);
         out.push(ClassSensitivity {
-            class: class.clone(),
+            class: compiled.universe().class(idx).clone(),
             d_p_mf: w * cp.coherence_index(),
             d_p_hf_given_ms: w * cp.p_ms().value(),
             d_p_hf_given_mf: w * cp.p_mf().value(),
@@ -107,7 +108,7 @@ where
         total += v;
         contributions.push((g.class.clone(), v));
     }
-    contributions.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    contributions.sort_by(|a, b| b.1.total_cmp(&a.1));
     Ok((total, contributions))
 }
 

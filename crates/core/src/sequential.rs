@@ -1,9 +1,11 @@
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
 use hmdiv_prob::Probability;
 
+use crate::compiled::CompiledModel;
 use crate::{ClassId, ClassParams, DemandProfile, ModelError, ModelParams};
 
 /// The paper's §4 "sequential operation" model (Fig. 3).
@@ -30,22 +32,45 @@ use crate::{ClassId, ClassParams, DemandProfile, ModelError, ModelParams};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SequentialModel {
     params: ModelParams,
+    /// Lazily-compiled dense evaluation form. The map-based `params` stay
+    /// the public, serde-facing surface; every evaluation goes through this.
+    #[serde(skip)]
+    compiled: OnceLock<Arc<CompiledModel>>,
+}
+
+impl PartialEq for SequentialModel {
+    fn eq(&self, other: &Self) -> bool {
+        // The compiled cache is derived state; identity is the table.
+        self.params == other.params
+    }
 }
 
 impl SequentialModel {
     /// Builds the model from a per-class parameter table.
     #[must_use]
     pub fn new(params: ModelParams) -> Self {
-        SequentialModel { params }
+        SequentialModel {
+            params,
+            compiled: OnceLock::new(),
+        }
     }
 
     /// The parameter table.
     #[must_use]
     pub fn params(&self) -> &ModelParams {
         &self.params
+    }
+
+    /// The dense compiled form of this model, compiled on first use and
+    /// cached. Batch callers (design sweeps, uncertainty MC) should grab
+    /// this once and bind profiles against its universe.
+    #[must_use]
+    pub fn compiled(&self) -> &Arc<CompiledModel> {
+        self.compiled
+            .get_or_init(|| Arc::new(CompiledModel::compile(&self.params)))
     }
 
     /// The class-conditional failure probability `PHf(x)` for one class.
@@ -59,17 +84,17 @@ impl SequentialModel {
 
     /// The system failure probability under a demand profile (eq. 8).
     ///
+    /// Evaluated through the compiled form: the profile's classes resolve to
+    /// dense universe indices and the sum runs over slices, in the profile's
+    /// insertion order — bit-identical to the original map walk.
+    ///
     /// # Errors
     ///
-    /// [`ModelError::MissingClass`] if the profile mentions a class with no
+    /// [`ModelError::UnknownClass`] if the profile mentions a class with no
     /// parameters.
     pub fn system_failure(&self, profile: &DemandProfile) -> Result<Probability, ModelError> {
-        let mut total = 0.0;
-        for (class, weight) in profile.iter() {
-            let params = self.params.class(class)?;
-            total += weight.value() * params.class_failure().value();
-        }
-        Ok(Probability::clamped(total))
+        let compiled = self.compiled();
+        Ok(compiled.system_failure(&compiled.bind_profile(profile)?))
     }
 
     /// The marginal machine failure probability `PMf = E_x[PMf(x)]` under a
@@ -79,11 +104,8 @@ impl SequentialModel {
     ///
     /// As [`SequentialModel::system_failure`].
     pub fn machine_failure(&self, profile: &DemandProfile) -> Result<Probability, ModelError> {
-        let mut total = 0.0;
-        for (class, weight) in profile.iter() {
-            total += weight.value() * self.params.class(class)?.p_mf().value();
-        }
-        Ok(Probability::clamped(total))
+        let compiled = self.compiled();
+        Ok(compiled.machine_failure(&compiled.bind_profile(profile)?))
     }
 
     /// The marginal reader failure probability conditional on machine
@@ -103,21 +125,8 @@ impl SequentialModel {
         &self,
         profile: &DemandProfile,
     ) -> Result<Probability, ModelError> {
-        let mut joint = 0.0; // P(Hf ∧ Ms)
-        let mut marginal = 0.0; // P(Ms)
-        for (class, weight) in profile.iter() {
-            let cp = self.params.class(class)?;
-            let w = weight.value();
-            joint += w * cp.p_ms().value() * cp.p_hf_given_ms().value();
-            marginal += w * cp.p_ms().value();
-        }
-        if marginal <= 0.0 {
-            return Err(ModelError::InvalidFactor {
-                value: marginal,
-                context: "P(Ms) for conditioning (machine never succeeds under this profile)",
-            });
-        }
-        Ok(Probability::clamped(joint / marginal))
+        let compiled = self.compiled();
+        compiled.human_failure_given_machine_success(&compiled.bind_profile(profile)?)
     }
 
     /// The marginal reader failure probability conditional on machine
@@ -132,21 +141,8 @@ impl SequentialModel {
         &self,
         profile: &DemandProfile,
     ) -> Result<Probability, ModelError> {
-        let mut joint = 0.0; // P(Hf ∧ Mf)
-        let mut marginal = 0.0; // P(Mf)
-        for (class, weight) in profile.iter() {
-            let cp = self.params.class(class)?;
-            let w = weight.value();
-            joint += w * cp.p_mf().value() * cp.p_hf_given_mf().value();
-            marginal += w * cp.p_mf().value();
-        }
-        if marginal <= 0.0 {
-            return Err(ModelError::InvalidFactor {
-                value: marginal,
-                context: "P(Mf) for conditioning (machine never fails under this profile)",
-            });
-        }
-        Ok(Probability::clamped(joint / marginal))
+        let compiled = self.compiled();
+        compiled.human_failure_given_machine_failure(&compiled.bind_profile(profile)?)
     }
 
     /// Verifies the paper's eq. (4) at the marginal level:
@@ -296,8 +292,24 @@ mod tests {
             .unwrap();
         assert!(matches!(
             m.system_failure(&profile),
-            Err(ModelError::MissingClass { .. })
+            Err(ModelError::UnknownClass { .. })
         ));
+    }
+
+    #[test]
+    fn compiled_cache_is_shared_and_consistent() {
+        let m = model();
+        let c1 = std::sync::Arc::clone(m.compiled());
+        let c2 = std::sync::Arc::clone(m.compiled());
+        assert!(std::sync::Arc::ptr_eq(&c1, &c2), "compiled once, cached");
+        // A clone re-uses the already-compiled value (or recompiles to an
+        // equal one) — either way evaluation agrees.
+        let clone = m.clone();
+        assert_eq!(
+            clone.system_failure(&trial()).unwrap(),
+            m.system_failure(&trial()).unwrap()
+        );
+        assert_eq!(m, clone);
     }
 
     #[test]

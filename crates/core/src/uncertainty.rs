@@ -10,13 +10,17 @@
 //! repeat.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use rand::Rng;
 
 use hmdiv_prob::bayes::Beta;
 use hmdiv_prob::Probability;
 
-use crate::{ClassId, ClassParams, DemandProfile, ModelError, ModelParams, SequentialModel};
+use crate::compiled::CompiledProfile;
+use crate::{
+    ClassId, ClassParams, ClassUniverse, DemandProfile, ModelError, ModelParams, SequentialModel,
+};
 
 /// Beta posteriors for one class's parameter triple.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -134,6 +138,16 @@ impl ModelPosterior {
         Ok(SequentialModel::new(builder.build()?))
     }
 
+    /// The sampling plan of the posterior set: the interned universe plus
+    /// the per-class posteriors laid out in universe (sorted-name) order —
+    /// the same order [`ModelPosterior::sample_model`] consumes the RNG in,
+    /// which is what keeps the compiled Monte-Carlo bit-identical.
+    fn sampling_plan(&self) -> (Arc<ClassUniverse>, Vec<ClassPosterior>) {
+        let universe = Arc::new(ClassUniverse::from_names(self.table.keys().cloned()));
+        let posts = self.table.values().copied().collect();
+        (universe, posts)
+    }
+
     /// The posterior-mean model.
     ///
     /// # Errors
@@ -231,10 +245,17 @@ impl UncertainPrediction {
 /// probability under a profile, by `draws` Monte-Carlo evaluations of
 /// eq. (8).
 ///
+/// Each draw samples the per-class parameters directly into a dense scratch
+/// buffer laid out over the posterior's class universe and evaluates eq. (8)
+/// through the bound profile — no per-draw `BTreeMap` model is built. The
+/// RNG consumption order (classes in sorted order) and the summation order
+/// (profile insertion order) match the naive sample-a-model loop exactly, so
+/// the samples are bit-identical to it.
+///
 /// # Errors
 ///
 /// * [`ModelError::Empty`] if `draws == 0` or the posterior is empty.
-/// * [`ModelError::MissingClass`] if the profile mentions a class without a
+/// * [`ModelError::UnknownClass`] if the profile mentions a class without a
 ///   posterior.
 ///
 /// # Example
@@ -267,22 +288,35 @@ pub fn propagate<R: Rng + ?Sized>(
             context: "monte-carlo draw count",
         });
     }
-    // Fail fast on coverage.
-    for (class, _) in profile.iter() {
-        if !posterior.table.contains_key(class) {
-            return Err(ModelError::MissingClass {
-                class: class.clone(),
-            });
-        }
+    if posterior.is_empty() {
+        return Err(ModelError::Empty {
+            context: "model posterior",
+        });
     }
+    // Coverage resolves once through the interned universe.
+    let (universe, posts) = posterior.sampling_plan();
+    let bound = CompiledProfile::bind(&universe, profile)?;
     let _span = hmdiv_obs::span("core.uncertainty.propagate");
     let mut samples = Vec::with_capacity(draws);
+    let mut scratch: Vec<ClassParams> = Vec::with_capacity(posts.len());
     for _ in 0..draws {
-        let model = posterior.sample_model(rng)?;
-        samples.push(model.system_failure(profile)?.value());
+        scratch.clear();
+        scratch.extend(posts.iter().map(|post| post.sample(rng)));
+        samples.push(failure_of_draw(&scratch, &bound));
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("failure probabilities are finite"));
+    samples.sort_by(|a, b| a.total_cmp(b));
     Ok(UncertainPrediction { samples })
+}
+
+/// Eq. (8) over one posterior draw laid out in universe order — the same
+/// accumulation order and [`ClassParams`] calls as
+/// [`SequentialModel::system_failure`] on the equivalent sampled model.
+fn failure_of_draw(params: &[ClassParams], bound: &CompiledProfile) -> f64 {
+    let mut total = 0.0;
+    for (idx, w) in bound.iter() {
+        total += w * params[idx as usize].class_failure().value();
+    }
+    Probability::clamped(total).value()
 }
 
 /// Parallel [`propagate`]: deterministic for `(seed, draws)` and identical
@@ -296,8 +330,7 @@ pub fn propagate<R: Rng + ?Sized>(
 ///
 /// # Errors
 ///
-/// As [`propagate`]. Per-draw evaluation errors are propagated from the
-/// earliest failing draw id.
+/// As [`propagate`]; coverage errors surface before any draw runs.
 pub fn propagate_par(
     posterior: &ModelPosterior,
     profile: &DemandProfile,
@@ -315,28 +348,19 @@ pub fn propagate_par(
             context: "model posterior",
         });
     }
-    // Fail fast on coverage.
-    for (class, _) in profile.iter() {
-        if !posterior.table.contains_key(class) {
-            return Err(ModelError::MissingClass {
-                class: class.clone(),
-            });
-        }
-    }
+    // Coverage resolves once through the interned universe; per-draw
+    // evaluation is then infallible dense work.
+    let (universe, posts) = posterior.sampling_plan();
+    let bound = CompiledProfile::bind(&universe, profile)?;
     // Accumulator: per-draw failure probabilities (in-order concatenation)
-    // plus the first error in draw order, if any. Draws after an error in
-    // the same worker block are skipped; merging keeps the earliest error,
-    // so the outcome is thread-count invariant.
+    // plus a per-worker scratch buffer reused across its draws.
     struct Acc {
         values: Vec<f64>,
-        err: Option<ModelError>,
+        scratch: Vec<ClassParams>,
     }
     impl hmdiv_prob::par::Merge for Acc {
         fn merge(&mut self, later: Self) {
-            if self.err.is_none() {
-                hmdiv_prob::par::Merge::merge(&mut self.values, later.values);
-                self.err = later.err;
-            }
+            hmdiv_prob::par::Merge::merge(&mut self.values, later.values);
         }
     }
     // The "core.uncertainty" scope reports replicate (draw) throughput as
@@ -348,26 +372,17 @@ pub fn propagate_par(
         threads,
         || Acc {
             values: Vec::new(),
-            err: None,
+            scratch: Vec::with_capacity(posts.len()),
         },
         |_id, rng, acc: &mut Acc| {
-            if acc.err.is_some() {
-                return;
-            }
-            let value = posterior
-                .sample_model(rng)
-                .and_then(|model| model.system_failure(profile));
-            match value {
-                Ok(p) => acc.values.push(p.value()),
-                Err(e) => acc.err = Some(e),
-            }
+            acc.scratch.clear();
+            let scratch = &mut acc.scratch;
+            scratch.extend(posts.iter().map(|post| post.sample(rng)));
+            acc.values.push(failure_of_draw(scratch, &bound));
         },
     );
-    if let Some(err) = acc.err {
-        return Err(err);
-    }
     let mut samples = acc.values;
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("failure probabilities are finite"));
+    samples.sort_by(|a, b| a.total_cmp(b));
     Ok(UncertainPrediction { samples })
 }
 
@@ -462,7 +477,7 @@ mod tests {
             .unwrap();
         assert!(matches!(
             propagate(&post, &missing, 10, &mut rng),
-            Err(ModelError::MissingClass { .. })
+            Err(ModelError::UnknownClass { .. })
         ));
         assert!(ClassPosterior::from_counts((5, 3), (0, 0), (0, 0)).is_err());
         // Zero-trial counts fall back to the prior.
@@ -509,7 +524,7 @@ mod tests {
             .unwrap();
         assert!(matches!(
             propagate_par(&post, &missing, 10, 1, 4),
-            Err(ModelError::MissingClass { .. })
+            Err(ModelError::UnknownClass { .. })
         ));
     }
 }

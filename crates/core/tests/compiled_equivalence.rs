@@ -1,0 +1,344 @@
+//! Property-based equivalence between the compiled dense evaluation layer
+//! and map-based reference implementations.
+//!
+//! The compiled layer ([`hmdiv_core::compiled`]) promises *bit-identical*
+//! results, not merely close ones: the same summation order (profile
+//! insertion order), the same [`ClassParams`] arithmetic, and the same RNG
+//! consumption order (classes sorted by name) as walking the `BTreeMap`
+//! tables directly. Each test here re-rolls the pre-compiled map-based
+//! computation by hand and compares `f64::to_bits`.
+
+use hmdiv_core::design::rank_improvement_targets;
+use hmdiv_core::extrapolate::Scenario;
+use hmdiv_core::uncertainty::{propagate, propagate_par, ClassPosterior, ModelPosterior};
+use hmdiv_core::{ClassId, ClassParams, DemandProfile, ModelParams, SequentialModel};
+use hmdiv_prob::Probability;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn p(v: f64) -> Probability {
+    Probability::new(v).unwrap()
+}
+
+/// Interior probabilities, bounded away from 0/1 so conditionals stay
+/// defined.
+fn interior() -> impl Strategy<Value = f64> {
+    0.02..=0.98f64
+}
+
+#[derive(Debug, Clone)]
+struct System {
+    model: SequentialModel,
+    profile: DemandProfile,
+}
+
+/// Random 3-class systems; class names chosen so sorted (universe) order
+/// differs from profile insertion order, exercising the index indirection.
+fn system() -> impl Strategy<Value = System> {
+    (
+        proptest::collection::vec((interior(), interior(), interior()), 3),
+        0.05..=0.9f64,
+        0.05..=0.9f64,
+    )
+        .prop_map(|(params, w1, w2)| {
+            let names = ["zeta", "alpha", "mid"];
+            let mut builder = ModelParams::builder();
+            for (name, (mf, ms, mf_cond)) in names.iter().zip(&params) {
+                builder = builder.class(*name, ClassParams::new(p(*mf), p(*ms), p(*mf_cond)));
+            }
+            let model = SequentialModel::new(builder.build().unwrap());
+            // Insertion order zeta, alpha, mid — not sorted.
+            let profile = DemandProfile::builder()
+                .class("zeta", w1)
+                .class("alpha", w2)
+                .class("mid", 0.1)
+                .build()
+                .unwrap();
+            System { model, profile }
+        })
+}
+
+/// The pre-compiled map-based eq. (8): walk the profile in insertion order,
+/// look each class up in the `BTreeMap` table.
+fn map_system_failure(model: &SequentialModel, profile: &DemandProfile) -> f64 {
+    let mut total = 0.0;
+    for (class, weight) in profile.iter() {
+        let cp = model.params().class(class).unwrap();
+        total += weight.value() * cp.class_failure().value();
+    }
+    Probability::clamped(total).value()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn system_failure_bit_identical(sys in system()) {
+        let via_compiled = sys.model.system_failure(&sys.profile).unwrap().value();
+        let via_map = map_system_failure(&sys.model, &sys.profile);
+        prop_assert_eq!(via_compiled.to_bits(), via_map.to_bits());
+    }
+
+    #[test]
+    fn conditional_marginals_bit_identical(sys in system()) {
+        // Map-based references for PMf and the Bayes-weighted conditionals.
+        let (mut mf_total, mut joint_ms, mut marg_ms, mut joint_mf, mut marg_mf) =
+            (0.0, 0.0, 0.0, 0.0, 0.0);
+        for (class, weight) in sys.profile.iter() {
+            let cp = sys.model.params().class(class).unwrap();
+            let w = weight.value();
+            mf_total += w * cp.p_mf().value();
+            joint_ms += w * cp.p_ms().value() * cp.p_hf_given_ms().value();
+            marg_ms += w * cp.p_ms().value();
+            joint_mf += w * cp.p_mf().value() * cp.p_hf_given_mf().value();
+            marg_mf += w * cp.p_mf().value();
+        }
+        let machine = sys.model.machine_failure(&sys.profile).unwrap().value();
+        prop_assert_eq!(machine.to_bits(), Probability::clamped(mf_total).value().to_bits());
+        let hf_ms = sys.model
+            .human_failure_given_machine_success(&sys.profile)
+            .unwrap()
+            .value();
+        prop_assert_eq!(
+            hf_ms.to_bits(),
+            Probability::clamped(joint_ms / marg_ms).value().to_bits()
+        );
+        let hf_mf = sys.model
+            .human_failure_given_machine_failure(&sys.profile)
+            .unwrap()
+            .value();
+        prop_assert_eq!(
+            hf_mf.to_bits(),
+            Probability::clamped(joint_mf / marg_mf).value().to_bits()
+        );
+    }
+
+    #[test]
+    fn scenario_batch_bit_identical_to_map_apply(
+        sys in system(),
+        factor in 1.5..=20.0f64,
+        new_mf in interior(),
+        ms in interior(),
+        mf_cond in interior(),
+        scale in 0.1..=1.5f64,
+    ) {
+        let scenarios = vec![
+            Scenario::new().improve_machine(ClassId::new("alpha"), factor),
+            Scenario::new().improve_machine_everywhere(factor),
+            Scenario::new().set_machine_failure(ClassId::new("mid"), p(new_mf)),
+            Scenario::new().set_reader(ClassId::new("zeta"), p(ms), p(mf_cond)),
+            Scenario::new().scale_reader_everywhere(scale),
+        ];
+        let compiled = sys.model.compiled();
+        let bound = compiled.bind_profile(&sys.profile).unwrap();
+        let batch = compiled.evaluate_scenarios(&scenarios, &bound).unwrap();
+        for (scenario, fast) in scenarios.iter().zip(&batch) {
+            // Map path: clone-and-rebuild the model, then walk the maps.
+            let applied = scenario.apply(&sys.model).unwrap();
+            let slow = map_system_failure(&applied, &sys.profile);
+            prop_assert_eq!(fast.value().to_bits(), slow.to_bits());
+        }
+    }
+
+    #[test]
+    fn design_ranking_bit_identical(sys in system()) {
+        // Map-based reference: leverage per profile entry, same sort.
+        let mut reference = Vec::new();
+        for (class, weight) in sys.profile.iter() {
+            let cp = sys.model.params().class(class).unwrap();
+            let w = weight.value();
+            let t = cp.coherence_index();
+            let p_mf = cp.p_mf().value();
+            reference.push((class.clone(), w * t * p_mf));
+        }
+        reference.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let ranked = rank_improvement_targets(&sys.model, &sys.profile).unwrap();
+        prop_assert_eq!(ranked.len(), reference.len());
+        for (lever, (class, benefit)) in ranked.iter().zip(&reference) {
+            prop_assert_eq!(&lever.class, class);
+            prop_assert_eq!(lever.max_benefit.to_bits(), benefit.to_bits());
+        }
+    }
+
+    #[test]
+    fn budget_allocation_matches_scenario_replay(
+        sys in system(),
+        budget in 1usize..=4,
+        step in 1.5..=5.0f64,
+    ) {
+        // The patched greedy loop must produce a final model whose failure
+        // equals replaying its allocation through the map-based scenario
+        // machinery.
+        let alloc = hmdiv_core::design::allocate_improvement_budget(
+            &sys.model, &sys.profile, budget, step,
+        ).unwrap();
+        let mut scenario = Scenario::new();
+        for (class, units) in &alloc.allocation {
+            for _ in 0..*units {
+                scenario = scenario.improve_machine(class.clone(), step);
+            }
+        }
+        let replayed = scenario.apply(&sys.model).unwrap();
+        let replayed_failure = map_system_failure(&replayed, &sys.profile);
+        prop_assert!((alloc.after - replayed_failure).abs() < 1e-15,
+            "{} vs {}", alloc.after, replayed_failure);
+        prop_assert_eq!(
+            alloc.model.system_failure(&sys.profile).unwrap().value().to_bits(),
+            replayed_failure.to_bits()
+        );
+    }
+}
+
+fn posterior() -> ModelPosterior {
+    ModelPosterior::new()
+        .with_class(
+            "easy",
+            ClassPosterior::from_counts((14, 200), (26, 186), (3, 14)).unwrap(),
+        )
+        .with_class(
+            "difficult",
+            ClassPosterior::from_counts((82, 200), (47, 118), (74, 82)).unwrap(),
+        )
+}
+
+fn field() -> DemandProfile {
+    DemandProfile::builder()
+        .class("easy", 0.9)
+        .class("difficult", 0.1)
+        .build()
+        .unwrap()
+}
+
+/// The naive pre-compiled Monte-Carlo loop: sample a full map-based model
+/// per draw, evaluate it by walking the maps. `propagate` must consume the
+/// RNG in exactly this order and produce bit-identical samples.
+fn naive_samples(
+    post: &ModelPosterior,
+    profile: &DemandProfile,
+    draws: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples: Vec<f64> = (0..draws)
+        .map(|_| {
+            let model = post.sample_model(&mut rng).unwrap();
+            map_system_failure(&model, profile)
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples
+}
+
+#[test]
+fn uncertainty_propagation_bit_identical_to_naive_loop() {
+    let post = posterior();
+    let profile = field();
+    for seed in [1u64, 7, 1234] {
+        let reference = naive_samples(&post, &profile, 500, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pred = propagate(&post, &profile, 500, &mut rng).unwrap();
+        assert_eq!(pred.draws(), reference.len());
+        // Quantiles interpolate the sorted sample vector; probing a dense
+        // grid of orders pins every sample position.
+        let n = reference.len();
+        for i in 0..n {
+            let q = i as f64 / (n - 1) as f64;
+            let expected = {
+                // Same interpolation as UncertainPrediction::quantile.
+                let pos = q * (n - 1) as f64;
+                let idx = pos.floor() as usize;
+                let frac = pos - idx as f64;
+                let v = if idx + 1 >= n {
+                    reference[n - 1]
+                } else {
+                    reference[idx] * (1.0 - frac) + reference[idx + 1] * frac
+                };
+                Probability::clamped(v).value()
+            };
+            assert_eq!(
+                pred.quantile(q).value().to_bits(),
+                expected.to_bits(),
+                "seed {seed}, quantile {q}"
+            );
+        }
+    }
+}
+
+#[test]
+fn uncertainty_quantiles_identical_across_thread_counts() {
+    let post = posterior();
+    let profile = field();
+    let reference = propagate_par(&post, &profile, 800, 42, 1).unwrap();
+    for threads in [2usize, 7] {
+        let pred = propagate_par(&post, &profile, 800, 42, threads).unwrap();
+        for q in [0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            assert_eq!(
+                pred.quantile(q).value().to_bits(),
+                reference.quantile(q).value().to_bits(),
+                "threads {threads}, quantile {q}"
+            );
+        }
+        assert_eq!(
+            pred.mean().value().to_bits(),
+            reference.mean().value().to_bits()
+        );
+        assert_eq!(pred.std_dev().to_bits(), reference.std_dev().to_bits());
+    }
+}
+
+#[test]
+fn profile_universe_mismatch_is_unknown_class_both_directions() {
+    use hmdiv_core::ModelError;
+    // Direction 1: profile mentions a class the model's universe lacks.
+    let model = SequentialModel::new(
+        ModelParams::builder()
+            .class("known", ClassParams::new(p(0.1), p(0.2), p(0.3)))
+            .build()
+            .unwrap(),
+    );
+    let ghost_profile = DemandProfile::builder()
+        .class("known", 0.5)
+        .class("ghost", 0.5)
+        .build()
+        .unwrap();
+    assert!(matches!(
+        model.system_failure(&ghost_profile),
+        Err(ModelError::UnknownClass { class }) if class.name() == "ghost"
+    ));
+    // Direction 2: a profile bound to one universe is rejected by a model
+    // compiled over a different universe (index spaces must not mix).
+    let other = SequentialModel::new(
+        ModelParams::builder()
+            .class("other", ClassParams::new(p(0.1), p(0.2), p(0.3)))
+            .build()
+            .unwrap(),
+    );
+    let profile_for_model = DemandProfile::builder()
+        .class("known", 1.0)
+        .build()
+        .unwrap();
+    assert!(matches!(
+        other.compiled().bind_profile(&profile_for_model),
+        Err(ModelError::UnknownClass { class }) if class.name() == "known"
+    ));
+    // And the weight accessor reports the same typed error.
+    assert!(matches!(
+        profile_for_model.weight("other"),
+        Err(ModelError::UnknownClass { class }) if class.name() == "other"
+    ));
+}
+
+#[test]
+fn compiled_rng_independent_of_profile_binding() {
+    // Binding different profiles must not change how the posterior consumes
+    // randomness: the sample sequence depends only on the sorted universe.
+    let post = posterior();
+    let narrow = DemandProfile::builder().class("easy", 1.0).build().unwrap();
+    let mut rng_a = StdRng::seed_from_u64(9);
+    let mut rng_b = StdRng::seed_from_u64(9);
+    let _ = propagate(&post, &field(), 50, &mut rng_a).unwrap();
+    let _ = propagate(&post, &narrow, 50, &mut rng_b).unwrap();
+    // Both consumed the same number of random values.
+    assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+}

@@ -234,6 +234,13 @@ impl<K: Ord> StratifiedCounts<K> {
             .collect()
     }
 
+    /// Merges a whole pre-accumulated table into a stratum. Used by dense
+    /// accumulators (indexed by an interned class universe) to materialise a
+    /// keyed view at the end of a run.
+    pub fn add_table(&mut self, class: K, table: JointCounts) {
+        self.strata.entry(class).or_default().merge(&table);
+    }
+
     /// Merges another stratified tally into this one.
     pub fn merge(&mut self, other: StratifiedCounts<K>) {
         for (k, t) in other.strata {
@@ -340,6 +347,20 @@ mod tests {
         assert_eq!(*profile[0].0, "difficult");
         assert!((profile[1].1.value() - 0.9).abs() < 1e-12);
         assert_eq!(s.pooled().total(), 10);
+    }
+
+    #[test]
+    fn add_table_merges_into_stratum() {
+        let mut s = StratifiedCounts::new();
+        s.record("a", true, true);
+        s.add_table("a", table(1, 2, 3, 4));
+        s.add_table("b", table(5, 0, 0, 0));
+        assert_eq!(*s.stratum(&"a").unwrap(), table(1, 2, 3, 5));
+        assert_eq!(*s.stratum(&"b").unwrap(), table(5, 0, 0, 0));
+        // Empty tables still create the stratum only via add_table's entry;
+        // callers filter zero-total tables if they want sparse output.
+        s.add_table("c", JointCounts::new());
+        assert_eq!(s.stratum(&"c").unwrap().total(), 0);
     }
 
     #[test]

@@ -7,11 +7,13 @@
 //! RNG stream from `(seed, case id)`, so threading only changes which
 //! worker handles which id.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
-use hmdiv_core::{ClassId, ClassParams, ModelError, ModelParams, SequentialModel};
-use hmdiv_prob::counts::StratifiedCounts;
+use hmdiv_core::{ClassId, ClassParams, ClassUniverse, ModelError, ModelParams, SequentialModel};
+use hmdiv_prob::counts::{JointCounts, StratifiedCounts};
 use hmdiv_prob::par::{self, Merge};
 use hmdiv_prob::Probability;
 
@@ -75,15 +77,19 @@ impl Simulation {
         self.world.team.validate()?;
         self.world.population.validate()?;
         let world = &self.world;
+        // Intern the population's class set once; workers then tally into
+        // dense per-index arrays instead of re-hashing class names per case.
+        let universe = Arc::new(self.world.population.universe());
         let span = hmdiv_obs::span("sim.engine.run");
-        let report = par::run_tasks_scoped(
+        let tallies = par::run_tasks_scoped(
             "sim.engine",
             self.config.seed,
             self.config.cases,
             self.config.threads,
-            SimulationReport::empty,
-            |id, rng, report| screen_case(world, id, rng, report),
+            || DenseTallies::empty(Arc::clone(&universe)),
+            |id, rng, tallies| screen_case(world, id, rng, tallies),
         );
+        let report = tallies.into_report();
         if let Some(elapsed_ns) = span.elapsed_ns() {
             record_run_metrics(&report, elapsed_ns);
         }
@@ -137,19 +143,186 @@ fn record_run_metrics(report: &SimulationReport, elapsed_ns: u64) {
     );
 }
 
-/// Screens one case into `report`. The case's RNG comes from the
-/// `(seed, case id)` stream ([`par::stream_rng`]), so results are identical
-/// for any thread count — only the partition of ids across workers changes.
-fn screen_case(world: &World, id: u64, rng: &mut StdRng, report: &mut SimulationReport) {
+/// Screens one case into the worker's dense tallies. The case's RNG comes
+/// from the `(seed, case id)` stream ([`par::stream_rng`]), so results are
+/// identical for any thread count — only the partition of ids across
+/// workers changes.
+fn screen_case(world: &World, id: u64, rng: &mut StdRng, tallies: &mut DenseTallies) {
     let case = world.population.sample_case(id, rng);
     let record = world.team.screen(&case, rng);
-    report.record(
-        &case.kind,
-        record.class.clone(),
-        record.machine_failed,
-        record.system_failed,
-        &record.reader_recalls,
-    );
+    match tallies.universe.index_of(record.class.name()) {
+        Some(idx) => tallies.record(
+            &case.kind,
+            idx,
+            record.machine_failed,
+            record.system_failed,
+            &record.reader_recalls,
+        ),
+        // Unreachable when the record's class comes from the population
+        // spec (it always does today); kept as a graceful spill so a future
+        // protocol that relabels classes cannot lose counts or panic.
+        None => tallies.spill.record(
+            &case.kind,
+            record.class.clone(),
+            record.machine_failed,
+            record.system_failed,
+            &record.reader_recalls,
+        ),
+    }
+}
+
+/// Per-worker tallies, dense over the population's interned
+/// [`ClassUniverse`]: each slot of each array is one class's 2×2 table, so
+/// the hot recording path is an index instead of a `BTreeMap` walk. Every
+/// cell is an exact integer count, so folding worker tallies and then
+/// materialising the keyed [`SimulationReport`] is bit-identical to
+/// recording into the report directly.
+struct DenseTallies {
+    universe: Arc<ClassUniverse>,
+    cancer: Vec<JointCounts>,
+    normal: Vec<JointCounts>,
+    per_reader_cancer: Vec<Vec<JointCounts>>,
+    pair_given_ms: Vec<JointCounts>,
+    pair_given_mf: Vec<JointCounts>,
+    unaided_cancer_failures: u64,
+    unaided_cancer_total: u64,
+    unaided_normal_failures: u64,
+    unaided_normal_total: u64,
+    /// Classes outside the universe (defensive; empty in practice).
+    spill: SimulationReport,
+}
+
+impl DenseTallies {
+    fn empty(universe: Arc<ClassUniverse>) -> Self {
+        let n = universe.len();
+        DenseTallies {
+            universe,
+            cancer: vec![JointCounts::new(); n],
+            normal: vec![JointCounts::new(); n],
+            per_reader_cancer: Vec::new(),
+            pair_given_ms: vec![JointCounts::new(); n],
+            pair_given_mf: vec![JointCounts::new(); n],
+            unaided_cancer_failures: 0,
+            unaided_cancer_total: 0,
+            unaided_normal_failures: 0,
+            unaided_normal_total: 0,
+            spill: SimulationReport::empty(),
+        }
+    }
+
+    fn record(
+        &mut self,
+        kind: &CaseKind,
+        idx: u32,
+        machine_failed: Option<bool>,
+        system_failed: bool,
+        reader_recalls: &[bool],
+    ) {
+        let i = idx as usize;
+        if *kind == CaseKind::Cancer {
+            if let Some(mf) = machine_failed {
+                if self.per_reader_cancer.len() < reader_recalls.len() {
+                    let n = self.universe.len();
+                    self.per_reader_cancer
+                        .resize_with(reader_recalls.len(), || vec![JointCounts::new(); n]);
+                }
+                for (r, &recalled) in reader_recalls.iter().enumerate() {
+                    self.per_reader_cancer[r][i].record(mf, !recalled);
+                }
+                if reader_recalls.len() >= 2 {
+                    let table = if mf {
+                        &mut self.pair_given_mf
+                    } else {
+                        &mut self.pair_given_ms
+                    };
+                    table[i].record(!reader_recalls[0], !reader_recalls[1]);
+                }
+            }
+        }
+        match (kind, machine_failed) {
+            (CaseKind::Cancer, Some(mf)) => self.cancer[i].record(mf, system_failed),
+            (CaseKind::Normal, Some(mf)) => self.normal[i].record(mf, system_failed),
+            (CaseKind::Cancer, None) => {
+                self.unaided_cancer_total += 1;
+                self.unaided_cancer_failures += u64::from(system_failed);
+            }
+            (CaseKind::Normal, None) => {
+                self.unaided_normal_total += 1;
+                self.unaided_normal_failures += u64::from(system_failed);
+            }
+        }
+    }
+
+    /// Materialises the keyed report: non-empty slots become strata under
+    /// their interned class, exactly as map-based recording would have
+    /// produced them (strata exist only for observed classes).
+    fn into_report(self) -> SimulationReport {
+        let classes = self.universe.classes();
+        let densify = |dense: &[JointCounts]| {
+            let mut out: StratifiedCounts<ClassId> = StratifiedCounts::new();
+            for (i, table) in dense.iter().enumerate() {
+                if table.total() > 0 {
+                    out.add_table(classes[i].clone(), *table);
+                }
+            }
+            out
+        };
+        let mut report = SimulationReport {
+            cancer: densify(&self.cancer),
+            normal: densify(&self.normal),
+            per_reader_cancer: self
+                .per_reader_cancer
+                .iter()
+                .map(|dense| densify(dense))
+                .collect(),
+            pair_given_ms: densify(&self.pair_given_ms),
+            pair_given_mf: densify(&self.pair_given_mf),
+            unaided_cancer_failures: self.unaided_cancer_failures,
+            unaided_cancer_total: self.unaided_cancer_total,
+            unaided_normal_failures: self.unaided_normal_failures,
+            unaided_normal_total: self.unaided_normal_total,
+        };
+        report.merge(self.spill);
+        report
+    }
+}
+
+impl Merge for DenseTallies {
+    fn merge(&mut self, other: DenseTallies) {
+        for (mine, theirs) in self.cancer.iter_mut().zip(&other.cancer) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.normal.iter_mut().zip(&other.normal) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.pair_given_ms.iter_mut().zip(&other.pair_given_ms) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.pair_given_mf.iter_mut().zip(&other.pair_given_mf) {
+            mine.merge(theirs);
+        }
+        if self.per_reader_cancer.len() < other.per_reader_cancer.len() {
+            let n = self.universe.len();
+            self.per_reader_cancer
+                .resize_with(other.per_reader_cancer.len(), || {
+                    vec![JointCounts::new(); n]
+                });
+        }
+        for (mine, theirs) in self
+            .per_reader_cancer
+            .iter_mut()
+            .zip(&other.per_reader_cancer)
+        {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                m.merge(t);
+            }
+        }
+        self.unaided_cancer_failures += other.unaided_cancer_failures;
+        self.unaided_cancer_total += other.unaided_cancer_total;
+        self.unaided_normal_failures += other.unaided_normal_failures;
+        self.unaided_normal_total += other.unaided_normal_total;
+        self.spill.merge(other.spill);
+    }
 }
 
 /// Aggregated outcome tables from a run.

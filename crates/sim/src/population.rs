@@ -10,7 +10,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use hmdiv_core::ClassId;
+use hmdiv_core::{ClassId, ClassUniverse};
 use hmdiv_prob::bayes::Beta;
 use hmdiv_prob::{Categorical, Probability};
 
@@ -176,6 +176,20 @@ impl PopulationSpec {
     #[must_use]
     pub fn normal_mix(&self) -> &Categorical<ClassSpec> {
         &self.normal_mix
+    }
+
+    /// The interned universe of every class this population can emit,
+    /// across both ground-truth sides. The simulation engine resolves each
+    /// screened case against this universe so per-worker tallies can be
+    /// dense arrays instead of keyed maps.
+    #[must_use]
+    pub fn universe(&self) -> ClassUniverse {
+        ClassUniverse::from_names(
+            self.cancer_mix
+                .iter()
+                .chain(self.normal_mix.iter())
+                .map(|(spec, _)| spec.class.clone()),
+        )
     }
 
     /// Validates every class spec in both mixes (see
@@ -386,5 +400,20 @@ mod tests {
     #[test]
     fn empty_mix_rejected() {
         assert!(PopulationSpec::new(Probability::HALF, vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn universe_spans_both_sides_sorted() {
+        let u = spec().universe();
+        assert_eq!(u.len(), 3);
+        let names: Vec<&str> = u.classes().iter().map(|c| c.name()).collect();
+        assert_eq!(names, ["clear", "difficult", "easy"]);
+        // Every sampled case resolves in the universe.
+        let pop = spec();
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..500 {
+            let case = pop.sample_case(i, &mut rng);
+            assert!(u.contains(case.class.name()), "{}", case.class);
+        }
     }
 }

@@ -9,7 +9,9 @@ use serde::{Deserialize, Serialize};
 
 use hmdiv_core::interval::{ClassParamBox, IntervalModel};
 use hmdiv_core::uncertainty::{ClassPosterior, ModelPosterior};
-use hmdiv_core::{ClassId, ClassParams, DemandProfile, ModelParams, SequentialModel};
+use hmdiv_core::{
+    ClassId, ClassParams, ClassUniverse, DemandProfile, ModelParams, SequentialModel,
+};
 use hmdiv_prob::counts::{JointCounts, StratifiedCounts};
 use hmdiv_prob::estimate::{BinomialEstimate, CiMethod, ConfidenceInterval};
 
@@ -118,6 +120,14 @@ impl EstimatedParams {
     #[must_use]
     pub fn class(&self, name: &str) -> Option<&ClassEstimate> {
         self.classes.iter().find(|e| e.class.name() == name)
+    }
+
+    /// The interned universe of the estimated classes. Identical to the
+    /// universe of [`EstimatedParams::point_model`]'s compiled form, so
+    /// downstream consumers can check coverage without building the model.
+    #[must_use]
+    pub fn universe(&self) -> ClassUniverse {
+        ClassUniverse::from_names(self.classes.iter().map(|e| e.class.clone()))
     }
 
     /// The interval model built from every class's confidence intervals —
@@ -350,6 +360,18 @@ mod tests {
         assert!(posterior.len() >= 2);
         let mean = posterior.mean_model().unwrap();
         assert!(mean.params().class_by_name("easy").is_ok());
+    }
+
+    #[test]
+    fn universe_matches_point_model() {
+        let data = trial_data(40_000, 28);
+        let est = estimate_trial(&data, CiMethod::Wilson, 0.95, true).unwrap();
+        let universe = est.universe();
+        let model = est.point_model().unwrap();
+        assert_eq!(model.compiled().universe().classes(), universe.classes());
+        for e in &est.classes {
+            assert!(universe.contains(e.class.name()));
+        }
     }
 
     #[test]

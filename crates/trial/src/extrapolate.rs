@@ -84,11 +84,13 @@ pub fn validate_extrapolation(
         .collect();
     let field_profile = DemandProfile::from_weights(pairs).map_err(TrialError::from)?;
 
-    // Predict only over classes the model knows; re-normalise if the field
-    // saw a class the (possibly sparse) trial could not estimate.
+    // Predict only over classes in the model's interned universe;
+    // re-normalise if the field saw a class the (possibly sparse) trial
+    // could not estimate.
+    let universe = model.compiled().universe().clone();
     let known: Vec<_> = field_profile
         .iter()
-        .filter(|(c, _)| model.params().class(c).is_ok())
+        .filter(|(c, _)| universe.contains(c.name()))
         .map(|(c, w)| (c.clone(), w.value()))
         .collect();
     let usable_profile = DemandProfile::from_weights(known).map_err(TrialError::from)?;

@@ -166,7 +166,7 @@ fn fig4_line_properties() {
             < 1e-12
     );
     // Monotone sweep with the documented endpoints.
-    let series = line.sweep(101);
+    let series = line.sweep(101).unwrap();
     assert!((series[0].1 - 0.4).abs() < 1e-12);
     assert!((series[100].1 - 0.9).abs() < 1e-12);
     for w in series.windows(2) {
