@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""CI smoke test for the hmdiv-serve JSON-lines protocol.
+
+Drives a scripted session against a running `repro serve` instance:
+load -> evaluate -> scenarios -> metrics -> shutdown, asserting the
+paper's field estimate comes back bit-exactly and writing the server's
+Prometheus metrics snapshot to the given path.
+
+Usage: serve_smoke.py HOST PORT METRICS_OUT
+"""
+
+import json
+import socket
+import sys
+
+PAPER_CLASSES = {
+    "easy": {"p_mf": 0.07, "p_hf_given_ms": 0.14, "p_hf_given_mf": 0.18},
+    "difficult": {"p_mf": 0.41, "p_hf_given_ms": 0.40, "p_hf_given_mf": 0.90},
+}
+FIELD_PROFILE = {"easy": 0.9, "difficult": 0.1}
+FIELD_FAILURE = 0.18902
+
+
+class Session:
+    def __init__(self, host, port):
+        self.sock = socket.create_connection((host, port), timeout=30)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.buf = b""
+        self.next_id = 1
+
+    def request(self, verb, **fields):
+        req = {"id": self.next_id, "verb": verb, **fields}
+        self.next_id += 1
+        self.sock.sendall(json.dumps(req).encode() + b"\n")
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise RuntimeError("server closed the connection mid-response")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise RuntimeError(f"{verb} failed: {response.get('error')}")
+        return response["result"]
+
+
+def main():
+    host, port, metrics_out = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+    s = Session(host, port)
+
+    pong = s.request("ping")
+    assert pong.get("pong") is True, pong
+
+    receipt = s.request("load", classes=PAPER_CLASSES)
+    model_id = receipt["model_id"]
+    assert model_id.startswith("m"), receipt
+    # Content addressing: an identical reload yields the identical id.
+    assert s.request("load", classes=PAPER_CLASSES)["model_id"] == model_id
+
+    result = s.request("evaluate", model=model_id, profile=FIELD_PROFILE)
+    failure = result["failure"]
+    assert abs(failure - FIELD_FAILURE) < 1e-9, failure
+    print(f"field P(system failure) = {failure}")
+
+    sweep = s.request(
+        "scenarios",
+        model=model_id,
+        profile=FIELD_PROFILE,
+        scenarios=[
+            [{"op": "improve_machine", "class": "difficult", "factor": f}]
+            for f in (2, 5, 10)
+        ],
+    )
+    failures = sweep["failures"]
+    assert len(failures) == 3 and all(p < failure for p in failures), sweep
+    print(f"scenario sweep: {failures}")
+
+    prometheus = s.request("metrics")["prometheus"]
+    assert "hmdiv_serve_verb_evaluate" in prometheus, prometheus
+    with open(metrics_out, "w", encoding="utf-8") as f:
+        f.write(prometheus)
+    print(f"wrote {metrics_out} ({len(prometheus)} bytes)")
+
+    assert s.request("shutdown").get("draining") is True
+    print("serve smoke OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,8 @@
 //!
 //! ```text
 //! repro [EXPERIMENT...] [--monte-carlo] [--cases N] [--seed N] [--threads N] [--metrics[=PATH]]
+//! repro serve [--addr HOST:PORT] [--queue-capacity N] [--threads N]
+//!             [--max-line-bytes N] [--deadline-ms N] [--metrics]
 //! ```
 //!
 //! Experiments: `table1`, `table2`, `table3`, `fig4`, `eq10`, `tradeoff`,
@@ -16,6 +18,11 @@
 //! prints a JSON metrics snapshot to stdout when the run finishes;
 //! `--metrics=PATH` instead rewrites the cumulative snapshot at `PATH` after
 //! each experiment.
+//!
+//! `repro serve` starts the `hmdiv-serve` JSON-lines evaluation server and
+//! blocks until a client sends the `shutdown` verb (or the process is
+//! killed). `--metrics` enables the `hmdiv-obs` layer so the server's
+//! `metrics` verb returns live counters.
 
 use std::process::ExitCode;
 
@@ -64,8 +71,9 @@ struct Options {
 
 fn usage() -> String {
     format!(
-        "usage: repro [{}|all] [--monte-carlo] [--cases N] [--seed N] [--threads N] [--metrics[=PATH]]",
-        EXPERIMENT_NAMES.join("|")
+        "usage: repro [{}|all] [--monte-carlo] [--cases N] [--seed N] [--threads N] [--metrics[=PATH]]\n       {}",
+        EXPERIMENT_NAMES.join("|"),
+        serve_usage()
     )
 }
 
@@ -140,7 +148,93 @@ fn parse_args() -> Result<Options, String> {
     })
 }
 
+fn serve_usage() -> String {
+    "usage: repro serve [--addr HOST:PORT] [--queue-capacity N] [--threads N] \
+     [--max-line-bytes N] [--deadline-ms N] [--metrics]"
+        .to_owned()
+}
+
+/// Parses `repro serve` flags into a [`hmdiv_serve::ServerConfig`].
+///
+/// Returns the config plus whether `--metrics` asked for the obs layer.
+fn parse_serve_args(args: &[String]) -> Result<(hmdiv_serve::ServerConfig, bool), String> {
+    let mut config = hmdiv_serve::ServerConfig {
+        addr: "127.0.0.1:7414".to_owned(),
+        ..hmdiv_serve::ServerConfig::default()
+    };
+    let mut metrics = false;
+    let mut args = args.iter();
+    let value = |flag: &str, args: &mut std::slice::Iter<'_, String>| {
+        args.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr", &mut args)?,
+            "--queue-capacity" => {
+                config.queue_capacity = value("--queue-capacity", &mut args)?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-capacity: {e}"))?;
+            }
+            "--threads" => {
+                config.threads = value("--threads", &mut args)?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if config.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
+            "--max-line-bytes" => {
+                config.max_line_bytes = value("--max-line-bytes", &mut args)?
+                    .parse()
+                    .map_err(|e| format!("bad --max-line-bytes: {e}"))?;
+            }
+            "--deadline-ms" => {
+                config.default_deadline_ms = Some(
+                    value("--deadline-ms", &mut args)?
+                        .parse()
+                        .map_err(|e| format!("bad --deadline-ms: {e}"))?,
+                );
+            }
+            "--metrics" => metrics = true,
+            "--help" | "-h" => return Err(serve_usage()),
+            other => return Err(format!("unknown serve flag {other}\n{}", serve_usage())),
+        }
+    }
+    Ok((config, metrics))
+}
+
+/// Runs the evaluation server until a `shutdown` verb arrives.
+fn serve_main(args: &[String]) -> ExitCode {
+    let (config, metrics) = match parse_serve_args(args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if metrics {
+        hmdiv_obs::set_enabled(true);
+    }
+    let server = match hmdiv_serve::Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("hmdiv-serve listening on {}", server.addr());
+    server.join();
+    println!("hmdiv-serve drained and stopped");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        return serve_main(&argv[1..]);
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(msg) => {

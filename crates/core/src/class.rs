@@ -177,6 +177,143 @@ impl ClassUniverse {
     pub fn classes(&self) -> &[ClassId] {
         &self.names
     }
+
+    /// A content hash over the interned names, in index order (FNV-1a 64).
+    ///
+    /// Two universes hash equal iff they intern the same names in the same
+    /// order — i.e. iff every dense index means the same class in both.
+    /// The hash travels with exported models ([`UniverseManifest`]) so a
+    /// deserialized model and a foreign profile can verify index-space
+    /// compatibility instead of re-interning and hoping.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for name in &self.names {
+            for b in name.name().as_bytes() {
+                h = fnv1a(h, *b);
+            }
+            // Separator outside UTF-8 so ["ab","c"] != ["a","bc"].
+            h = fnv1a(h, 0xFF);
+        }
+        h
+    }
+
+    /// Checks that `other` interns the same names in the same order, i.e.
+    /// that dense indices can flow between structures compiled against
+    /// either universe.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ModelError::UniverseMismatch`] naming the first divergence.
+    pub fn verify_compatible(&self, other: &ClassUniverse) -> Result<(), crate::ModelError> {
+        if self.names == other.names {
+            return Ok(());
+        }
+        let detail = if self.len() != other.len() {
+            format!("{} classes vs {}", self.len(), other.len())
+        } else {
+            self.names
+                .iter()
+                .zip(&other.names)
+                .enumerate()
+                .find(|(_, (a, b))| a != b)
+                .map(|(i, (a, b))| format!("index {i}: `{a}` vs `{b}`"))
+                .unwrap_or_else(|| "universes differ".to_owned())
+        };
+        Err(crate::ModelError::UniverseMismatch { detail })
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One FNV-1a 64 step.
+fn fnv1a(h: u64, byte: u8) -> u64 {
+    (h ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3)
+}
+
+/// A serialized [`ClassUniverse`]: the ordered name list plus its content
+/// hash, meant to travel alongside exported models and reports.
+///
+/// Restoring a manifest re-checks everything a consumer relies on — that
+/// the names are in sorted interning order, free of duplicates, and that
+/// the declared hash matches — so a model loaded from foreign bytes either
+/// proves its index space or fails with a typed error, rather than
+/// re-interning and silently reordering.
+///
+/// # Example
+///
+/// ```
+/// use hmdiv_core::{ClassUniverse, UniverseManifest};
+///
+/// let u = ClassUniverse::from_names(["difficult", "easy"]);
+/// let manifest = UniverseManifest::of(&u);
+/// assert_eq!(manifest.restore().unwrap(), u);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UniverseManifest {
+    classes: Vec<String>,
+    hash: u64,
+}
+
+impl UniverseManifest {
+    /// Captures a universe's name list and content hash.
+    #[must_use]
+    pub fn of(universe: &ClassUniverse) -> Self {
+        UniverseManifest {
+            classes: universe.iter().map(|c| c.name().to_owned()).collect(),
+            hash: universe.content_hash(),
+        }
+    }
+
+    /// Builds a manifest from already-serialized parts (e.g. wire input).
+    /// Validation happens in [`UniverseManifest::restore`].
+    #[must_use]
+    pub fn from_parts(classes: Vec<String>, hash: u64) -> Self {
+        UniverseManifest { classes, hash }
+    }
+
+    /// The class names in index order.
+    #[must_use]
+    pub fn classes(&self) -> &[String] {
+        &self.classes
+    }
+
+    /// The declared content hash.
+    #[must_use]
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Rebuilds the universe, verifying index-space integrity.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ModelError::UniverseMismatch`] if the names are unsorted or
+    /// duplicated (the declared index order is not the interning order) or
+    /// the declared hash does not match the recomputed one.
+    pub fn restore(&self) -> Result<ClassUniverse, crate::ModelError> {
+        for pair in self.classes.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(crate::ModelError::UniverseMismatch {
+                    detail: format!(
+                        "manifest classes not in sorted interning order: `{}` before `{}`",
+                        pair[0], pair[1]
+                    ),
+                });
+            }
+        }
+        let universe = ClassUniverse::from_names(self.classes.iter().map(String::as_str));
+        let recomputed = universe.content_hash();
+        if recomputed != self.hash {
+            return Err(crate::ModelError::UniverseMismatch {
+                detail: format!(
+                    "manifest hash {:016x} does not match recomputed {:016x}",
+                    self.hash, recomputed
+                ),
+            });
+        }
+        Ok(universe)
+    }
 }
 
 #[cfg(test)]
@@ -242,5 +379,63 @@ mod tests {
         let u = ClassUniverse::from_names(Vec::<ClassId>::new());
         assert!(u.is_empty());
         assert_eq!(u.index_of("x"), None);
+    }
+
+    #[test]
+    fn content_hash_depends_on_names_and_boundaries() {
+        let a = ClassUniverse::from_names(["easy", "difficult"]);
+        let b = ClassUniverse::from_names(["difficult", "easy"]);
+        assert_eq!(a.content_hash(), b.content_hash(), "same interned set");
+        let c = ClassUniverse::from_names(["easy", "difficul"]);
+        assert_ne!(a.content_hash(), c.content_hash());
+        // Concatenation across the separator must not collide.
+        let d = ClassUniverse::from_names(["ab", "c"]);
+        let e = ClassUniverse::from_names(["a", "bc"]);
+        assert_ne!(d.content_hash(), e.content_hash());
+    }
+
+    #[test]
+    fn verify_compatible_names_first_divergence() {
+        let a = ClassUniverse::from_names(["difficult", "easy"]);
+        assert!(a.verify_compatible(&a.clone()).is_ok());
+        let fewer = ClassUniverse::from_names(["easy"]);
+        assert!(matches!(
+            a.verify_compatible(&fewer),
+            Err(crate::ModelError::UniverseMismatch { detail }) if detail.contains("2 classes vs 1")
+        ));
+        let renamed = ClassUniverse::from_names(["difficult", "hard"]);
+        assert!(matches!(
+            a.verify_compatible(&renamed),
+            Err(crate::ModelError::UniverseMismatch { detail }) if detail.contains("index 1")
+        ));
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let u = ClassUniverse::from_names(["easy", "difficult", "average"]);
+        let m = UniverseManifest::of(&u);
+        assert_eq!(m.classes(), ["average", "difficult", "easy"]);
+        assert_eq!(m.hash(), u.content_hash());
+        assert_eq!(m.restore().unwrap(), u);
+    }
+
+    #[test]
+    fn manifest_rejects_unsorted_duplicated_and_tampered() {
+        let unsorted = UniverseManifest::from_parts(vec!["easy".into(), "difficult".into()], 0);
+        assert!(matches!(
+            unsorted.restore(),
+            Err(crate::ModelError::UniverseMismatch { detail }) if detail.contains("sorted")
+        ));
+        let duplicated = UniverseManifest::from_parts(vec!["easy".into(), "easy".into()], 0);
+        assert!(duplicated.restore().is_err());
+        let u = ClassUniverse::from_names(["difficult", "easy"]);
+        let tampered = UniverseManifest::from_parts(
+            vec!["difficult".into(), "easy".into()],
+            u.content_hash() ^ 1,
+        );
+        assert!(matches!(
+            tampered.restore(),
+            Err(crate::ModelError::UniverseMismatch { detail }) if detail.contains("hash")
+        ));
     }
 }

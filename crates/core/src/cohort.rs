@@ -138,12 +138,50 @@ impl ReaderCohort {
     /// [`ModelError::UnknownClass`] if the profile mentions a class outside
     /// any member's class universe.
     pub fn evaluate(&self, profile: &DemandProfile) -> Result<CohortSummary, ModelError> {
+        self.evaluate_par(profile, 1)
+    }
+
+    /// [`ReaderCohort::evaluate`] sharded across the `hmdiv_prob::par`
+    /// executor: reader index is the task id and per-reader failure
+    /// probabilities ride the in-order merge, so thousand-reader programmes
+    /// evaluate in parallel while the summary — every bit of it — matches
+    /// the sequential walk at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReaderCohort::evaluate`]; with several failing members, the
+    /// lowest-indexed member's error is returned.
+    pub fn evaluate_par(
+        &self,
+        profile: &DemandProfile,
+        threads: usize,
+    ) -> Result<CohortSummary, ModelError> {
+        let failures: Vec<Result<Probability, ModelError>> = hmdiv_prob::par::run_tasks_scoped(
+            "core.cohort",
+            0,
+            self.members.len() as u64,
+            threads,
+            Vec::new,
+            |id, _rng, acc: &mut Vec<Result<Probability, ModelError>>| {
+                let compiled = self.members[id as usize].model.compiled();
+                acc.push(
+                    compiled
+                        .bind_profile(profile)
+                        .map(|bound| compiled.system_failure(&bound)),
+                );
+            },
+        );
+        let failures = failures.into_iter().collect::<Result<Vec<_>, _>>()?;
+        self.summarise(&failures)
+    }
+
+    /// Assembles a summary from per-member failures in member order — the
+    /// accumulation order shared by the sequential and sharded paths.
+    fn summarise(&self, failures: &[Probability]) -> Result<CohortSummary, ModelError> {
         let total_w: f64 = self.members.iter().map(|m| m.weight).sum();
         let mut rows = Vec::with_capacity(self.members.len());
         let mut mean = 0.0;
-        for m in &self.members {
-            let compiled = m.model.compiled();
-            let failure = compiled.system_failure(&compiled.bind_profile(profile)?);
+        for (m, &failure) in self.members.iter().zip(failures) {
             let share = m.weight / total_w;
             mean += share * failure.value();
             rows.push(CohortRow {
@@ -307,6 +345,50 @@ mod tests {
         };
         assert_eq!(of("standard"), "difficult");
         assert_eq!(of("easy-coupled"), "easy");
+    }
+
+    #[test]
+    fn sharded_evaluation_is_thread_count_invariant() {
+        let big = ReaderCohort::new(
+            (0..37)
+                .map(|i| {
+                    let f = f64::from(i) / 40.0;
+                    CohortMember {
+                        name: format!("r{i:02}"),
+                        model: reader_model(
+                            0.08 + f * 0.2,
+                            0.1 + f * 0.3,
+                            0.3 + f * 0.2,
+                            0.5 + f * 0.4,
+                        ),
+                        weight: 1.0 + f,
+                    }
+                })
+                .collect(),
+        )
+        .unwrap();
+        let field = paper::field_profile().unwrap();
+        let reference = big.evaluate(&field).unwrap();
+        for threads in [2usize, 7] {
+            let sharded = big.evaluate_par(&field, threads).unwrap();
+            assert_eq!(sharded, reference, "threads={threads}");
+            assert_eq!(
+                sharded.mean.value().to_bits(),
+                reference.mean.value().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_evaluation_surfaces_typed_errors() {
+        let c = cohort();
+        let odd = DemandProfile::builder().class("odd", 1.0).build().unwrap();
+        for threads in [1usize, 3] {
+            assert!(matches!(
+                c.evaluate_par(&odd, threads),
+                Err(ModelError::UnknownClass { ref class }) if class.name() == "odd"
+            ));
+        }
     }
 
     #[test]

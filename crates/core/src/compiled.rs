@@ -297,6 +297,36 @@ impl CompiledModel {
         out
     }
 
+    /// [`CompiledModel::evaluate_profiles`] sharded across the
+    /// `hmdiv_prob::par` executor: profile index is the task id and dense
+    /// result vectors ride the in-order merge, so results are bit-identical
+    /// to the sequential batch at every thread count.
+    ///
+    /// `threads <= 1` (or a batch of fewer than two profiles) falls back to
+    /// the sequential path.
+    #[must_use]
+    pub fn evaluate_profiles_par(
+        &self,
+        profiles: &[CompiledProfile],
+        threads: usize,
+    ) -> Vec<Probability> {
+        if threads <= 1 || profiles.len() < 2 {
+            return self.evaluate_profiles(profiles);
+        }
+        let out = hmdiv_prob::par::run_tasks_scoped(
+            "core.compiled.batch",
+            0,
+            profiles.len() as u64,
+            threads,
+            Vec::new,
+            |id, _rng, acc: &mut Vec<Probability>| {
+                acc.push(self.system_failure(&profiles[id as usize]));
+            },
+        );
+        hmdiv_obs::counter_add("core.compiled.profile_evals", profiles.len() as u64);
+        out
+    }
+
     /// Batch evaluation: applies each scenario to a scratch copy of the
     /// parameter slots (batch patch/restore — the baseline is re-copied per
     /// scenario, never cloned as a map) and evaluates eq. (8) under the
@@ -322,6 +352,61 @@ impl CompiledModel {
         }
         hmdiv_obs::counter_add("core.compiled.scenario_evals", scenarios.len() as u64);
         Ok(out)
+    }
+
+    /// [`CompiledModel::evaluate_scenarios`] sharded across the
+    /// `hmdiv_prob::par` executor: scenario index is the task id, each
+    /// worker keeps one private scratch buffer, and per-scenario results
+    /// ride the in-order merge — bit-identical to the sequential batch at
+    /// every thread count, including which error surfaces first.
+    ///
+    /// `threads <= 1` (or a batch of fewer than two scenarios) falls back
+    /// to the sequential path.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledModel::evaluate_scenarios`]; when several scenarios are
+    /// invalid, the error of the lowest-indexed one is returned, matching
+    /// the sequential fail-fast order.
+    pub fn evaluate_scenarios_par(
+        &self,
+        scenarios: &[Scenario],
+        profile: &CompiledProfile,
+        threads: usize,
+    ) -> Result<Vec<Probability>, ModelError> {
+        if threads <= 1 || scenarios.len() < 2 {
+            return self.evaluate_scenarios(scenarios, profile);
+        }
+        /// Per-worker accumulator: the scratch buffer is worker-private
+        /// working state and deliberately not merged; only the in-order
+        /// per-scenario results are.
+        struct Shard {
+            scratch: Vec<ClassParams>,
+            out: Vec<Result<Probability, ModelError>>,
+        }
+        impl hmdiv_prob::par::Merge for Shard {
+            fn merge(&mut self, later: Self) {
+                self.out.merge(later.out);
+            }
+        }
+        let shard = hmdiv_prob::par::run_tasks_scoped(
+            "core.compiled.batch",
+            0,
+            scenarios.len() as u64,
+            threads,
+            || Shard {
+                scratch: Vec::new(),
+                out: Vec::new(),
+            },
+            |id, _rng, acc| {
+                let result = self
+                    .apply_scenario_into(&scenarios[id as usize], &mut acc.scratch)
+                    .map(|()| failure_over(&acc.scratch, profile));
+                acc.out.push(result);
+            },
+        );
+        hmdiv_obs::counter_add("core.compiled.scenario_evals", scenarios.len() as u64);
+        shard.out.into_iter().collect()
     }
 
     /// Applies a scenario's changes (and adaptation) to `scratch`, which is
@@ -650,6 +735,72 @@ mod tests {
         let out = compiled.evaluate_profiles(&bound);
         assert!((out[0].value() - 0.23524).abs() < 1e-9);
         assert!((out[1].value() - 0.18902).abs() < 1e-9);
+    }
+
+    #[test]
+    fn par_batches_bit_identical_at_any_thread_count() {
+        let model = paper::example_model().unwrap();
+        let compiled = CompiledModel::compile(model.params());
+        let bound: Vec<CompiledProfile> = [
+            paper::trial_profile().unwrap(),
+            paper::field_profile().unwrap(),
+        ]
+        .iter()
+        .map(|p| compiled.bind_profile(p).unwrap())
+        .collect();
+        let field = bound[1].clone();
+        let scenarios: Vec<Scenario> = (0..40)
+            .map(|i| {
+                Scenario::new().improve_machine(
+                    ClassId::new(if i % 2 == 0 { "easy" } else { "difficult" }),
+                    1.5 + f64::from(i) * 0.1,
+                )
+            })
+            .collect();
+        let seq_profiles = compiled.evaluate_profiles(&bound);
+        let seq_scenarios = compiled.evaluate_scenarios(&scenarios, &field).unwrap();
+        for threads in [1usize, 2, 7] {
+            let par_profiles = compiled.evaluate_profiles_par(&bound, threads);
+            let par_scenarios = compiled
+                .evaluate_scenarios_par(&scenarios, &field, threads)
+                .unwrap();
+            for (a, b) in seq_profiles.iter().zip(&par_profiles) {
+                assert_eq!(
+                    a.value().to_bits(),
+                    b.value().to_bits(),
+                    "threads={threads}"
+                );
+            }
+            for (a, b) in seq_scenarios.iter().zip(&par_scenarios) {
+                assert_eq!(
+                    a.value().to_bits(),
+                    b.value().to_bits(),
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_scenarios_report_lowest_indexed_error() {
+        let model = paper::example_model().unwrap();
+        let compiled = CompiledModel::compile(model.params());
+        let field = paper::field_profile().unwrap();
+        let bound = compiled.bind_profile(&field).unwrap();
+        let mut scenarios: Vec<Scenario> = (0..10)
+            .map(|_| Scenario::new().improve_machine(ClassId::new("easy"), 2.0))
+            .collect();
+        scenarios[7] = Scenario::new().improve_machine(ClassId::new("late-ghost"), 2.0);
+        scenarios[3] = Scenario::new().improve_machine(ClassId::new("early-ghost"), 2.0);
+        let sequential = compiled.evaluate_scenarios(&scenarios, &bound);
+        for threads in [2usize, 7] {
+            let par = compiled.evaluate_scenarios_par(&scenarios, &bound, threads);
+            assert_eq!(par, sequential, "threads={threads}");
+            assert!(matches!(
+                par,
+                Err(ModelError::UnknownClass { ref class }) if class.name() == "early-ghost"
+            ));
+        }
     }
 
     #[test]

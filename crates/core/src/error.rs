@@ -34,6 +34,13 @@ pub enum ModelError {
         /// The class added twice.
         class: ClassId,
     },
+    /// A serialized class universe failed its integrity check: names out of
+    /// interning order, duplicated, or a content-hash mismatch between two
+    /// universes that were expected to share an index space.
+    UniverseMismatch {
+        /// What diverged.
+        detail: String,
+    },
     /// An improvement factor or other scale was invalid.
     InvalidFactor {
         /// The offending value.
@@ -58,6 +65,9 @@ impl fmt::Display for ModelError {
                 )
             }
             ModelError::Empty { context } => write!(f, "{context} must not be empty"),
+            ModelError::UniverseMismatch { detail } => {
+                write!(f, "class universe mismatch: {detail}")
+            }
             ModelError::DuplicateClass { class } => {
                 write!(f, "demand class `{class}` specified more than once")
             }
@@ -99,6 +109,9 @@ mod tests {
             },
             ModelError::Empty {
                 context: "demand profile",
+            },
+            ModelError::UniverseMismatch {
+                detail: "2 classes vs 1".into(),
             },
             ModelError::DuplicateClass {
                 class: ClassId::new("easy"),

@@ -87,7 +87,7 @@ mod sequential;
 pub mod tradeoff;
 pub mod uncertainty;
 
-pub use class::{ClassId, ClassUniverse};
+pub use class::{ClassId, ClassUniverse, UniverseManifest};
 pub use compiled::{CompiledDetectionModel, CompiledModel, CompiledProfile};
 pub use error::ModelError;
 pub use parallel::{DetectionParams, ParallelDetectionModel};

@@ -153,6 +153,20 @@ pub fn observe_ns(name: &str, nanos: u64) {
     }
 }
 
+/// Records the elapsed time since `start` into the duration histogram
+/// `name` (no-op while disabled). Complements [`span`] when a timed region
+/// begins and ends on different threads — e.g. a request stamped on a
+/// connection thread and completed by a batch executor — where an RAII
+/// guard has no single owning scope.
+pub fn observe_since(name: &str, start: std::time::Instant) {
+    if enabled_for(name) {
+        global().observe_ns(
+            name,
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+    }
+}
+
 /// Snapshots the global registry.
 #[must_use]
 pub fn snapshot() -> Snapshot {

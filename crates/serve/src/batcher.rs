@@ -1,0 +1,640 @@
+//! The micro-batching executor: coalesces concurrent evaluation requests
+//! into dense batch calls.
+//!
+//! Connection threads [`submit`](Batcher::submit) work into a **bounded**
+//! queue and block on a [`Ticket`]; a single worker thread drains the
+//! whole queue each wakeup and groups what it found:
+//!
+//! * profile evaluations against the same compiled model become one
+//!   [`CompiledModel::evaluate_profiles_par`] call;
+//! * scenario batches against the same model *and* profile become one
+//!   [`CompiledModel::evaluate_scenarios_par`] call;
+//! * everything else ([`Work::Direct`]) runs inline.
+//!
+//! Under light load a request flows through alone (batch of one); under
+//! concurrent load batches form naturally from whatever queued while the
+//! previous flush ran — no timers, no added latency floor.
+//!
+//! **Bit-identity:** each profile/scenario is evaluated independently and
+//! the `_par` entry points are thread-count-invariant, so a batched result
+//! is bit-for-bit the result a direct in-process call would produce. A
+//! grouped scenario call that fails is re-run per job sequentially so each
+//! ticket gets *its own* typed error, not its neighbour's.
+//!
+//! **Backpressure:** when the queue is full, [`submit`](Batcher::submit)
+//! fails fast with [`ServeError::Overloaded`] instead of buffering without
+//! bound — memory stays flat under overload and the client learns to back
+//! off.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use hmdiv_core::extrapolate::Scenario;
+use hmdiv_core::{CompiledModel, CompiledProfile};
+use hmdiv_prob::Probability;
+
+use crate::error::ServeError;
+use crate::json::Json;
+
+/// A unit of work submitted to the executor.
+pub enum Work {
+    /// Evaluate eq. (8) for one bound profile — batchable per model.
+    Profile {
+        /// The compiled model (grouped by `Arc` identity).
+        model: Arc<CompiledModel>,
+        /// The bound profile to evaluate.
+        profile: CompiledProfile,
+    },
+    /// Evaluate a batch of what-if scenarios — batchable per
+    /// (model, profile) pair.
+    Scenarios {
+        /// The compiled model (grouped by `Arc` identity).
+        model: Arc<CompiledModel>,
+        /// The bound profile the scenarios are judged against.
+        profile: CompiledProfile,
+        /// The scenarios to evaluate, in order.
+        scenarios: Vec<Scenario>,
+    },
+    /// Arbitrary work that runs inline on the executor thread (importance
+    /// rankings, cohort evaluations, detection-model evaluations).
+    Direct(Box<dyn FnOnce() -> Result<Outcome, ServeError> + Send>),
+}
+
+impl std::fmt::Debug for Work {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Work::Profile { .. } => f.write_str("Work::Profile"),
+            Work::Scenarios { scenarios, .. } => {
+                write!(f, "Work::Scenarios({})", scenarios.len())
+            }
+            Work::Direct(_) => f.write_str("Work::Direct"),
+        }
+    }
+}
+
+/// What a completed unit of work yields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// A single failure probability.
+    One(Probability),
+    /// One failure probability per scenario, in submission order.
+    Many(Vec<Probability>),
+    /// A pre-rendered JSON result (from [`Work::Direct`]).
+    Value(Json),
+}
+
+type Reply = Result<Outcome, ServeError>;
+
+/// A claim on a submitted unit of work.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Reply>,
+}
+
+impl Ticket {
+    /// Blocks until the executor replies.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the work produced; [`ServeError::ShuttingDown`] if the
+    /// executor stopped before replying.
+    pub fn wait(self) -> Reply {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+}
+
+/// The reply half of a queued job.
+struct ReplyHandle {
+    enqueued: Instant,
+    tx: mpsc::Sender<Reply>,
+}
+
+/// One queued job.
+struct Pending {
+    work: Work,
+    deadline: Option<Instant>,
+    handle: ReplyHandle,
+}
+
+struct State {
+    queue: VecDeque<Pending>,
+    draining: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    bell: Condvar,
+    capacity: usize,
+    threads: usize,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The micro-batching executor.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Batcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Batcher")
+            .field("capacity", &self.shared.capacity)
+            .field("threads", &self.shared.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Batcher {
+    /// Starts the executor with a bounded queue of `capacity` jobs,
+    /// evaluating dense batches on `threads` shards.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the worker thread cannot be spawned.
+    pub fn start(capacity: usize, threads: usize) -> Result<Batcher, ServeError> {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                draining: false,
+            }),
+            bell: Condvar::new(),
+            capacity,
+            threads: threads.max(1),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("hmdiv-serve-batcher".into())
+            .spawn(move || run_worker(&worker_shared))?;
+        Ok(Batcher {
+            shared,
+            worker: Mutex::new(Some(worker)),
+        })
+    }
+
+    /// Submits work, failing fast when the executor cannot take it.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Overloaded`] when the bounded queue is full.
+    /// * [`ServeError::ShuttingDown`] when the executor is draining.
+    pub fn submit(&self, work: Work, deadline: Option<Instant>) -> Result<Ticket, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = self.shared.lock();
+            if st.draining {
+                return Err(ServeError::ShuttingDown);
+            }
+            if st.queue.len() >= self.shared.capacity {
+                hmdiv_obs::counter_add("serve.overloaded", 1);
+                return Err(ServeError::Overloaded {
+                    capacity: self.shared.capacity,
+                });
+            }
+            st.queue.push_back(Pending {
+                work,
+                deadline,
+                handle: ReplyHandle {
+                    enqueued: Instant::now(),
+                    tx,
+                },
+            });
+        }
+        self.shared.bell.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Jobs currently queued (for tests and the `metrics` verb; the bound
+    /// is enforced by [`submit`](Batcher::submit)).
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Stops accepting work, flushes everything already queued, and joins
+    /// the worker. Idempotent.
+    pub fn drain(&self) {
+        {
+            let mut st = self.shared.lock();
+            st.draining = true;
+        }
+        self.shared.bell.notify_all();
+        let handle = self
+            .worker
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        if let Some(worker) = handle {
+            // A panicked worker already replied `ShuttingDown` to waiters
+            // via dropped channels; nothing more to salvage here.
+            drop(worker.join());
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn run_worker(shared: &Shared) {
+    loop {
+        let batch: Vec<Pending> = {
+            let mut st = shared.lock();
+            while st.queue.is_empty() && !st.draining {
+                st = shared
+                    .bell
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            if st.queue.is_empty() {
+                return; // draining and nothing left
+            }
+            st.queue.drain(..).collect()
+        };
+        flush(batch, shared.threads);
+    }
+}
+
+/// Replies to one job, recording its queue-to-reply latency.
+fn reply(h: ReplyHandle, result: Reply) {
+    hmdiv_obs::observe_since("serve.request", h.enqueued);
+    // A receiver that hung up (client gone) is not an executor error.
+    drop(h.tx.send(result));
+}
+
+/// Dense-batch size below which a group is evaluated on the worker
+/// thread itself: spawning shard threads costs tens of microseconds,
+/// while small groups evaluate in far less than that. The `_par` entry
+/// points are thread-count-invariant, so this is purely a latency
+/// policy — results are bit-identical either way.
+const PAR_THRESHOLD: usize = 1024;
+
+/// Shard count for one dense group: serial under the threshold.
+fn group_threads(len: usize, threads: usize) -> usize {
+    if len < PAR_THRESHOLD {
+        1
+    } else {
+        threads
+    }
+}
+
+fn flush(batch: Vec<Pending>, threads: usize) {
+    hmdiv_obs::counter_add("serve.batch.flushes", 1);
+    hmdiv_obs::counter_add("serve.batch.jobs", batch.len() as u64);
+    #[allow(clippy::cast_precision_loss)]
+    hmdiv_obs::gauge_set("serve.batch.last_size", batch.len() as f64);
+
+    /// Profile jobs grouped by compiled-model identity.
+    type ProfileGroup = (Arc<CompiledModel>, Vec<(CompiledProfile, ReplyHandle)>);
+    /// Scenario jobs grouped by (compiled model, bound profile).
+    type ScenarioGroup = (
+        Arc<CompiledModel>,
+        CompiledProfile,
+        Vec<(Vec<Scenario>, ReplyHandle)>,
+    );
+    let now = Instant::now();
+    let mut profile_groups: Vec<ProfileGroup> = Vec::new();
+    let mut scenario_groups: Vec<ScenarioGroup> = Vec::new();
+
+    for p in batch {
+        if p.deadline.is_some_and(|d| now >= d) {
+            hmdiv_obs::counter_add("serve.deadline_exceeded", 1);
+            reply(p.handle, Err(ServeError::DeadlineExceeded));
+            continue;
+        }
+        match p.work {
+            Work::Profile { model, profile } => {
+                match profile_groups
+                    .iter_mut()
+                    .find(|(m, _)| Arc::ptr_eq(m, &model))
+                {
+                    Some((_, jobs)) => jobs.push((profile, p.handle)),
+                    None => profile_groups.push((model, vec![(profile, p.handle)])),
+                }
+            }
+            Work::Scenarios {
+                model,
+                profile,
+                scenarios,
+            } => {
+                match scenario_groups
+                    .iter_mut()
+                    .find(|(m, pr, _)| Arc::ptr_eq(m, &model) && *pr == profile)
+                {
+                    Some((_, _, jobs)) => jobs.push((scenarios, p.handle)),
+                    None => scenario_groups.push((model, profile, vec![(scenarios, p.handle)])),
+                }
+            }
+            Work::Direct(f) => {
+                let result = f();
+                reply(p.handle, result);
+            }
+        }
+    }
+
+    for (model, jobs) in profile_groups {
+        let profiles: Vec<CompiledProfile> = jobs.iter().map(|(pr, _)| pr.clone()).collect();
+        let failures =
+            model.evaluate_profiles_par(&profiles, group_threads(profiles.len(), threads));
+        for ((_, h), failure) in jobs.into_iter().zip(failures) {
+            reply(h, Ok(Outcome::One(failure)));
+        }
+    }
+
+    for (model, profile, jobs) in scenario_groups {
+        let mut all = Vec::with_capacity(jobs.iter().map(|(s, _)| s.len()).sum());
+        let mut ranges = Vec::with_capacity(jobs.len());
+        for (scenarios, _) in &jobs {
+            let start = all.len();
+            all.extend(scenarios.iter().cloned());
+            ranges.push(start..all.len());
+        }
+        match model.evaluate_scenarios_par(&all, &profile, group_threads(all.len(), threads)) {
+            Ok(failures) => {
+                for ((_, h), range) in jobs.into_iter().zip(ranges) {
+                    reply(h, Ok(Outcome::Many(failures[range].to_vec())));
+                }
+            }
+            Err(_) => {
+                // At least one job in the group is bad; re-run each alone
+                // (sequentially — correctness over speed on the error path)
+                // so every ticket gets its own typed error.
+                for (scenarios, h) in jobs {
+                    let result = model
+                        .evaluate_scenarios(&scenarios, &profile)
+                        .map(Outcome::Many)
+                        .map_err(ServeError::Model);
+                    reply(h, result);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmdiv_core::paper;
+    use hmdiv_core::ClassId;
+    use std::time::Duration;
+
+    fn model_and_profile() -> (Arc<CompiledModel>, CompiledProfile) {
+        let model = paper::example_model().unwrap();
+        let compiled = Arc::clone(model.compiled());
+        let profile = compiled
+            .bind_profile(&paper::field_profile().unwrap())
+            .unwrap();
+        (compiled, profile)
+    }
+
+    #[test]
+    fn single_profile_round_trips_bit_identically() {
+        let (model, profile) = model_and_profile();
+        let direct = model.system_failure(&profile);
+        let batcher = Batcher::start(8, 2).unwrap();
+        let ticket = batcher
+            .submit(
+                Work::Profile {
+                    model: Arc::clone(&model),
+                    profile,
+                },
+                None,
+            )
+            .unwrap();
+        match ticket.wait().unwrap() {
+            Outcome::One(p) => {
+                assert_eq!(p.value().to_bits(), direct.value().to_bits());
+            }
+            other => panic!("expected One, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grouped_scenarios_match_direct_evaluation() {
+        let (model, profile) = model_and_profile();
+        let scenarios: Vec<Scenario> = (1..=6)
+            .map(|i| Scenario::new().improve_machine(ClassId::new("difficult"), f64::from(i) * 2.0))
+            .collect();
+        let direct = model.evaluate_scenarios(&scenarios, &profile).unwrap();
+        let batcher = Batcher::start(16, 3).unwrap();
+        // Submit in two chunks against the same model+profile so the worker
+        // can coalesce them into one dense call.
+        let t1 = batcher
+            .submit(
+                Work::Scenarios {
+                    model: Arc::clone(&model),
+                    profile: profile.clone(),
+                    scenarios: scenarios[..3].to_vec(),
+                },
+                None,
+            )
+            .unwrap();
+        let t2 = batcher
+            .submit(
+                Work::Scenarios {
+                    model: Arc::clone(&model),
+                    profile: profile.clone(),
+                    scenarios: scenarios[3..].to_vec(),
+                },
+                None,
+            )
+            .unwrap();
+        let (r1, r2) = (t1.wait().unwrap(), t2.wait().unwrap());
+        let got: Vec<Probability> = match (r1, r2) {
+            (Outcome::Many(a), Outcome::Many(b)) => a.into_iter().chain(b).collect(),
+            other => panic!("expected Many+Many, got {other:?}"),
+        };
+        assert_eq!(got.len(), direct.len());
+        for (g, d) in got.iter().zip(&direct) {
+            assert_eq!(g.value().to_bits(), d.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn scenario_errors_attribute_to_the_right_ticket() {
+        let (model, profile) = model_and_profile();
+        let good = vec![Scenario::new().improve_machine_everywhere(2.0)];
+        let bad = vec![Scenario::new().improve_machine(ClassId::new("ghost"), 2.0)];
+        let batcher = Batcher::start(16, 2).unwrap();
+        let t_good = batcher
+            .submit(
+                Work::Scenarios {
+                    model: Arc::clone(&model),
+                    profile: profile.clone(),
+                    scenarios: good,
+                },
+                None,
+            )
+            .unwrap();
+        let t_bad = batcher
+            .submit(
+                Work::Scenarios {
+                    model: Arc::clone(&model),
+                    profile,
+                    scenarios: bad,
+                },
+                None,
+            )
+            .unwrap();
+        assert!(t_good.wait().is_ok(), "good job must not inherit the error");
+        assert!(matches!(
+            t_bad.wait(),
+            Err(ServeError::Model(
+                hmdiv_core::ModelError::UnknownClass { ref class }
+            )) if class.name() == "ghost"
+        ));
+    }
+
+    #[test]
+    fn expired_deadlines_are_rejected_without_evaluation() {
+        let (model, profile) = model_and_profile();
+        let batcher = Batcher::start(8, 1).unwrap();
+        // A deadline of "now" is already unmeetable by the time the worker
+        // wakes: deterministic expiry, no sleeps.
+        let ticket = batcher
+            .submit(Work::Profile { model, profile }, Some(Instant::now()))
+            .unwrap();
+        assert!(matches!(ticket.wait(), Err(ServeError::DeadlineExceeded)));
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded_and_stays_bounded() {
+        let batcher = Batcher::start(2, 1).unwrap();
+        // Rendezvous: a Direct job signals it started, then blocks until
+        // released — the worker is busy and the queue is empty.
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let blocker = batcher
+            .submit(
+                Work::Direct(Box::new(move || {
+                    started_tx.send(()).ok();
+                    release_rx.recv().ok();
+                    Ok(Outcome::Value(Json::Null))
+                })),
+                None,
+            )
+            .unwrap();
+        started_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("worker never started the blocker");
+        // Fill the queue to capacity while the worker is held.
+        let queued: Vec<Ticket> = (0..2)
+            .map(|_| {
+                batcher
+                    .submit(
+                        Work::Direct(Box::new(|| Ok(Outcome::Value(Json::Null)))),
+                        None,
+                    )
+                    .unwrap()
+            })
+            .collect();
+        assert!(batcher.queue_len() <= 2, "queue must stay within capacity");
+        // The next submit is shed, not buffered.
+        let rejected = batcher.submit(
+            Work::Direct(Box::new(|| Ok(Outcome::Value(Json::Null)))),
+            None,
+        );
+        assert!(matches!(
+            rejected,
+            Err(ServeError::Overloaded { capacity: 2 })
+        ));
+        // Release the worker: everything accepted completes.
+        release_tx.send(()).unwrap();
+        assert!(blocker.wait().is_ok());
+        for t in queued {
+            assert!(t.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn drain_flushes_queued_work_then_rejects_new_work() {
+        let (model, profile) = model_and_profile();
+        let batcher = Batcher::start(8, 2).unwrap();
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|_| {
+                batcher
+                    .submit(
+                        Work::Profile {
+                            model: Arc::clone(&model),
+                            profile: profile.clone(),
+                        },
+                        None,
+                    )
+                    .unwrap()
+            })
+            .collect();
+        batcher.drain();
+        for t in tickets {
+            assert!(t.wait().is_ok(), "in-flight work must complete on drain");
+        }
+        assert!(matches!(
+            batcher.submit(
+                Work::Profile {
+                    model: Arc::clone(&model),
+                    profile: profile.clone(),
+                },
+                None,
+            ),
+            Err(ServeError::ShuttingDown)
+        ));
+        batcher.drain(); // idempotent
+    }
+
+    #[test]
+    fn batched_load_is_bit_identical_across_mixed_models() {
+        // Two distinct models in one flush exercise the per-model grouping.
+        let (model_a, profile_a) = model_and_profile();
+        let model_b = {
+            let params = paper::example_model()
+                .unwrap()
+                .params()
+                .with_class_updated(&ClassId::new("easy"), |cp| cp.with_machine_improved(2.0))
+                .unwrap();
+            Arc::clone(hmdiv_core::SequentialModel::new(params).compiled())
+        };
+        let profile_b = model_b
+            .bind_profile(&paper::field_profile().unwrap())
+            .unwrap();
+        let direct_a = model_a.system_failure(&profile_a);
+        let direct_b = model_b.system_failure(&profile_b);
+        let batcher = Batcher::start(64, 4).unwrap();
+        let tickets: Vec<(Ticket, u64)> = (0..20)
+            .map(|i| {
+                let (m, pr, want) = if i % 2 == 0 {
+                    (&model_a, &profile_a, direct_a)
+                } else {
+                    (&model_b, &profile_b, direct_b)
+                };
+                (
+                    batcher
+                        .submit(
+                            Work::Profile {
+                                model: Arc::clone(m),
+                                profile: pr.clone(),
+                            },
+                            None,
+                        )
+                        .unwrap(),
+                    want.value().to_bits(),
+                )
+            })
+            .collect();
+        for (t, want) in tickets {
+            match t.wait().unwrap() {
+                Outcome::One(p) => assert_eq!(p.value().to_bits(), want),
+                other => panic!("expected One, got {other:?}"),
+            }
+        }
+    }
+}

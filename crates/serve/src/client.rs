@@ -1,0 +1,164 @@
+//! A small blocking client for the JSON-lines protocol.
+//!
+//! One request per call with [`Client::request`], or many at once with
+//! [`Client::pipeline`] — the latter writes every request before reading
+//! any response, which is what lets the server's executor coalesce them
+//! into dense batch evaluations.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::error::ServeError;
+use crate::json::{self, Json};
+
+/// A blocking connection to an evaluation server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on connection failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and waits for its response.
+    ///
+    /// `fields` are the verb's body members; `id` and `verb` are filled
+    /// in automatically. Returns the `result` object of a successful
+    /// response.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] carrying the server's wire error;
+    /// [`ServeError::Io`]/[`ServeError::Parse`] for transport failures.
+    pub fn request(&mut self, verb: &str, fields: Vec<(String, Json)>) -> Result<Json, ServeError> {
+        let mut results = self.pipeline(vec![(verb.to_owned(), fields)])?;
+        results.pop().ok_or_else(|| ServeError::Io {
+            detail: "server closed without responding".to_owned(),
+        })?
+    }
+
+    /// Sends every request before reading any response, then returns the
+    /// per-request outcomes in order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`]/[`ServeError::Parse`] for transport failures;
+    /// per-request server errors come back inside the result vector.
+    #[allow(clippy::type_complexity)]
+    pub fn pipeline(
+        &mut self,
+        requests: Vec<(String, Vec<(String, Json)>)>,
+    ) -> Result<Vec<Result<Json, ServeError>>, ServeError> {
+        let mut wire = String::new();
+        let count = requests.len();
+        for (verb, fields) in requests {
+            let mut members = vec![
+                ("id".to_owned(), Json::Num(self.next_id as f64)),
+                ("verb".to_owned(), Json::str(verb)),
+            ];
+            self.next_id += 1;
+            members.extend(fields);
+            Json::Obj(members).write(&mut wire);
+            wire.push('\n');
+        }
+        self.stream.write_all(wire.as_bytes())?;
+        self.stream.flush()?;
+        let mut results = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = self.read_line()?;
+            results.push(decode_response(&line));
+        }
+        Ok(results)
+    }
+
+    /// Reads one newline-terminated response line.
+    fn read_line(&mut self) -> Result<String, ServeError> {
+        let mut chunk = [0_u8; 8 * 1024];
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop();
+                return String::from_utf8(line).map_err(|_| ServeError::Parse {
+                    detail: "response line is not valid UTF-8".to_owned(),
+                });
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ServeError::Io {
+                    detail: "server closed the connection mid-response".to_owned(),
+                });
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// Decodes one response line into the `result` object or a typed error.
+fn decode_response(line: &str) -> Result<Json, ServeError> {
+    let response = json::parse(line).map_err(|e| ServeError::Parse {
+        detail: format!("bad response line: {e}"),
+    })?;
+    match response.get("ok").and_then(Json::as_bool) {
+        Some(true) => response
+            .get("result")
+            .cloned()
+            .ok_or_else(|| ServeError::Parse {
+                detail: "ok response without `result`".to_owned(),
+            }),
+        Some(false) => {
+            let error = response.get("error").ok_or_else(|| ServeError::Parse {
+                detail: "error response without `error`".to_owned(),
+            })?;
+            Err(ServeError::Remote {
+                code: error
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_owned(),
+                message: error
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+            })
+        }
+        None => Err(ServeError::Parse {
+            detail: "response without boolean `ok`".to_owned(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_success_and_wire_errors() {
+        let ok = decode_response(r#"{"id":1,"ok":true,"result":{"pong":true}}"#).unwrap();
+        assert_eq!(ok.get("pong").and_then(Json::as_bool), Some(true));
+        let err =
+            decode_response(r#"{"id":2,"ok":false,"error":{"code":"overloaded","message":"x"}}"#)
+                .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Remote { ref code, .. } if code == "overloaded"
+        ));
+        assert!(decode_response("garbage").is_err());
+        assert!(decode_response(r#"{"id":3}"#).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! `hmdiv-serve`: a zero-dependency batched evaluation server for the
+//! hmdiv model stack.
+//!
+//! The paper's models are cheap to evaluate one at a time but are used in
+//! bulk — design sweeps, cohort studies, what-if grids. This crate turns
+//! the workspace into a long-running service without adding a single
+//! external dependency: a thread-per-connection TCP server over
+//! [`std::net`] speaking a JSON-lines protocol, a content-hash-addressed
+//! [`Registry`] of loaded models with pre-warmed compiled forms, and a
+//! micro-batching [`Batcher`] that coalesces concurrent evaluation
+//! requests into dense batch calls on the deterministic parallel
+//! executor.
+//!
+//! Results are **bit-identical** to direct in-process evaluation: the
+//! order-preserving [`json`] object model keeps profile binding order,
+//! `f64` values render in shortest round-trip form, and the batch entry
+//! points are thread-count-invariant.
+//!
+//! Robustness is first-class: per-request deadlines, a bounded queue with
+//! an explicit `overloaded` rejection instead of unbounded buffering,
+//! typed wire errors for every model-layer failure, and graceful
+//! shutdown that drains in-flight work.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hmdiv_serve::{Client, Json, Server, ServerConfig};
+//!
+//! # fn main() -> Result<(), hmdiv_serve::ServeError> {
+//! let server = Server::start(ServerConfig::default())?;
+//! let mut client = Client::connect(server.addr())?;
+//!
+//! let loaded = client.request(
+//!     "load",
+//!     vec![(
+//!         "classes".into(),
+//!         hmdiv_serve::json::parse(
+//!             r#"{"easy":      {"p_mf":0.07,"p_hf_given_ms":0.14,"p_hf_given_mf":0.18},
+//!                 "difficult": {"p_mf":0.41,"p_hf_given_ms":0.40,"p_hf_given_mf":0.90}}"#,
+//!         )
+//!         .expect("static JSON"),
+//!     )],
+//! )?;
+//! let model_id = loaded.get("model_id").and_then(Json::as_str).unwrap().to_owned();
+//!
+//! let result = client.request(
+//!     "evaluate",
+//!     vec![
+//!         ("model".into(), Json::str(model_id)),
+//!         (
+//!             "profile".into(),
+//!             hmdiv_serve::json::parse(r#"{"easy":0.9,"difficult":0.1}"#).expect("static JSON"),
+//!         ),
+//!     ],
+//! )?;
+//! let failure = result.get("failure").and_then(Json::as_f64).unwrap();
+//! assert!((failure - 0.18902).abs() < 1e-9); // the paper's field estimate
+//!
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod batcher;
+pub mod client;
+pub mod error;
+pub mod json;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod shutdown;
+
+pub use batcher::{Batcher, Outcome, Ticket, Work};
+pub use client::Client;
+pub use error::ServeError;
+pub use json::Json;
+pub use registry::{Artifact, ArtifactRow, LoadReceipt, Registry};
+pub use server::{Server, ServerConfig};
+pub use shutdown::ShutdownSignal;

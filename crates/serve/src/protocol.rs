@@ -1,0 +1,488 @@
+//! The JSON-lines wire protocol: request envelopes, typed bodies, and
+//! response rendering.
+//!
+//! Every request is one line of JSON, every response one line back:
+//!
+//! ```text
+//! → {"id":1,"verb":"evaluate","model":"m…","profile":{"easy":0.9,"difficult":0.1}}
+//! ← {"id":1,"ok":true,"result":{"failure":0.18902}}
+//! ← {"id":2,"ok":false,"error":{"code":"unknown_class","message":"…"}}
+//! ```
+//!
+//! The envelope fields are `id` (any JSON value, echoed verbatim), `verb`,
+//! and an optional `deadline_ms`; the remaining members are the verb's
+//! body. Demand profiles are JSON objects whose **member order is the
+//! profile's class order** — [`crate::json`] preserves it, so eq. (8)
+//! accumulates in exactly the order a direct in-process caller would use,
+//! and server results are bit-identical to local evaluation.
+//!
+//! `u64` content hashes travel as 16-digit hex strings (JSON numbers are
+//! doubles and cannot carry 64 bits).
+
+use hmdiv_core::extrapolate::Scenario;
+use hmdiv_core::{
+    ClassId, ClassParams, DemandProfile, DetectionParams, ModelParams, UniverseManifest,
+};
+use hmdiv_prob::Probability;
+
+use crate::error::ServeError;
+use crate::json::{self, Json};
+
+/// A parsed request envelope; the body keeps the raw members for the
+/// verb-specific extractors below.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: Json,
+    /// The verb.
+    pub verb: String,
+    /// Optional per-request deadline in milliseconds from receipt.
+    pub deadline_ms: Option<u64>,
+    /// The full request object (envelope fields included).
+    pub body: Json,
+}
+
+/// Parses one request line into an envelope.
+///
+/// # Errors
+///
+/// * [`ServeError::Parse`] if the line is not valid JSON.
+/// * [`ServeError::BadRequest`] if it is not an object with a string
+///   `verb`, or `deadline_ms` is present but not a whole number.
+pub fn parse_request(line: &str) -> Result<Envelope, ServeError> {
+    let body = json::parse(line).map_err(|e| ServeError::Parse {
+        detail: e.to_string(),
+    })?;
+    if body.as_obj().is_none() {
+        return Err(ServeError::BadRequest {
+            detail: "request must be a JSON object".into(),
+        });
+    }
+    let verb = body
+        .get("verb")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest {
+            detail: "missing string field `verb`".into(),
+        })?
+        .to_owned();
+    let id = body.get("id").cloned().unwrap_or(Json::Null);
+    let deadline_ms = match body.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(v.as_u64().ok_or_else(|| ServeError::BadRequest {
+            detail: "`deadline_ms` must be a non-negative integer".into(),
+        })?),
+    };
+    Ok(Envelope {
+        id,
+        verb,
+        deadline_ms,
+        body,
+    })
+}
+
+/// Renders a success response line (newline included).
+#[must_use]
+pub fn ok_line(id: &Json, result: Json) -> String {
+    let mut out = String::new();
+    Json::Obj(vec![
+        ("id".to_owned(), id.clone()),
+        ("ok".to_owned(), Json::Bool(true)),
+        ("result".to_owned(), result),
+    ])
+    .write(&mut out);
+    out.push('\n');
+    out
+}
+
+/// Renders an error response line (newline included).
+#[must_use]
+pub fn err_line(id: &Json, error: &ServeError) -> String {
+    let mut out = String::new();
+    Json::Obj(vec![
+        ("id".to_owned(), id.clone()),
+        ("ok".to_owned(), Json::Bool(false)),
+        ("error".to_owned(), error.to_wire()),
+    ])
+    .write(&mut out);
+    out.push('\n');
+    out
+}
+
+/// A required field of the request body.
+pub(crate) fn required<'a>(body: &'a Json, key: &str) -> Result<&'a Json, ServeError> {
+    body.get(key).ok_or_else(|| ServeError::BadRequest {
+        detail: format!("missing field `{key}`"),
+    })
+}
+
+/// A required string field.
+pub fn required_str<'a>(body: &'a Json, key: &str) -> Result<&'a str, ServeError> {
+    required(body, key)?
+        .as_str()
+        .ok_or_else(|| ServeError::BadRequest {
+            detail: format!("field `{key}` must be a string"),
+        })
+}
+
+/// A required number field.
+pub(crate) fn required_f64(body: &Json, key: &str) -> Result<f64, ServeError> {
+    required(body, key)?
+        .as_f64()
+        .ok_or_else(|| ServeError::BadRequest {
+            detail: format!("field `{key}` must be a number"),
+        })
+}
+
+/// A required probability field (validated into `[0, 1]`).
+fn required_prob(body: &Json, key: &str) -> Result<Probability, ServeError> {
+    Probability::new(required_f64(body, key)?)
+        .map_err(|e| ServeError::Model(hmdiv_core::ModelError::from(e)))
+}
+
+/// Extracts a demand profile from the request's `profile` member: a JSON
+/// object mapping class name to weight, **in class order**.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] on shape violations; [`ServeError::Model`]
+/// for empty/duplicate/invalid-weight profiles (typed `ModelError`s).
+pub fn parse_profile(body: &Json) -> Result<DemandProfile, ServeError> {
+    let members = required(body, "profile")?
+        .as_obj()
+        .ok_or_else(|| ServeError::BadRequest {
+            detail: "`profile` must be an object of class: weight".into(),
+        })?;
+    let mut pairs = Vec::with_capacity(members.len());
+    for (class, weight) in members {
+        let w = weight.as_f64().ok_or_else(|| ServeError::BadRequest {
+            detail: format!("profile weight for `{class}` must be a number"),
+        })?;
+        pairs.push((ClassId::new(class), w));
+    }
+    DemandProfile::from_weights(pairs).map_err(ServeError::Model)
+}
+
+/// Extracts a sequential parameter table from the request's `classes`
+/// member: `{name: {"p_mf":…, "p_hf_given_ms":…, "p_hf_given_mf":…}}`.
+///
+/// # Errors
+///
+/// As [`parse_profile`], with probability validation per parameter.
+pub fn parse_model_params(body: &Json) -> Result<ModelParams, ServeError> {
+    let members = required(body, "classes")?
+        .as_obj()
+        .ok_or_else(|| ServeError::BadRequest {
+            detail: "`classes` must be an object of class: parameter triple".into(),
+        })?;
+    let mut builder = ModelParams::builder();
+    for (class, triple) in members {
+        let cp = ClassParams::new(
+            required_prob(triple, "p_mf")?,
+            required_prob(triple, "p_hf_given_ms")?,
+            required_prob(triple, "p_hf_given_mf")?,
+        );
+        builder = builder.class(class.as_str(), cp);
+    }
+    builder.build().map_err(ServeError::Model)
+}
+
+/// Extracts a parallel-detection parameter table from `classes`:
+/// `{name: {"p_mf":…, "p_h_miss":…, "p_h_misclass":…}}`.
+///
+/// # Errors
+///
+/// As [`parse_model_params`].
+pub fn parse_detection_params(body: &Json) -> Result<Vec<(ClassId, DetectionParams)>, ServeError> {
+    let members = required(body, "classes")?
+        .as_obj()
+        .ok_or_else(|| ServeError::BadRequest {
+            detail: "`classes` must be an object of class: parameter triple".into(),
+        })?;
+    let mut out = Vec::with_capacity(members.len());
+    for (class, triple) in members {
+        out.push((
+            ClassId::new(class),
+            DetectionParams::new(
+                required_prob(triple, "p_mf")?,
+                required_prob(triple, "p_h_miss")?,
+                required_prob(triple, "p_h_misclass")?,
+            ),
+        ));
+    }
+    Ok(out)
+}
+
+/// Extracts the optional `universe` member: `{"classes": [names…],
+/// "hash": "16-hex"}` — the serialized [`UniverseManifest`] a caller pins
+/// the model's index space with.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] on shape violations. Integrity (ordering,
+/// duplicates, hash) is checked by `UniverseManifest::restore` at load.
+pub fn parse_manifest(body: &Json) -> Result<Option<UniverseManifest>, ServeError> {
+    let Some(universe) = body.get("universe") else {
+        return Ok(None);
+    };
+    let classes = universe
+        .get("classes")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeError::BadRequest {
+            detail: "`universe.classes` must be an array of names".into(),
+        })?;
+    let names = classes
+        .iter()
+        .map(|c| c.as_str().map(str::to_owned))
+        .collect::<Option<Vec<String>>>()
+        .ok_or_else(|| ServeError::BadRequest {
+            detail: "`universe.classes` entries must be strings".into(),
+        })?;
+    let hash = parse_hash(required_str(universe, "hash")?)?;
+    Ok(Some(UniverseManifest::from_parts(names, hash)))
+}
+
+/// Parses a 16-digit hex content hash.
+fn parse_hash(text: &str) -> Result<u64, ServeError> {
+    u64::from_str_radix(text, 16).map_err(|_| ServeError::BadRequest {
+        detail: format!("`hash` must be a hex u64, got `{text}`"),
+    })
+}
+
+/// Renders a content hash the way the protocol expects it.
+#[must_use]
+pub fn render_hash(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+/// Extracts one scenario: an array of change objects, each tagged by `op`.
+///
+/// Supported ops mirror [`hmdiv_core::extrapolate::Change`]:
+/// `improve_machine`, `improve_machine_everywhere`, `set_machine_failure`,
+/// `set_reader`, `scale_reader_everywhere`.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] on shape violations or unknown ops.
+pub fn parse_scenario(value: &Json) -> Result<Scenario, ServeError> {
+    let changes = value.as_arr().ok_or_else(|| ServeError::BadRequest {
+        detail: "a scenario must be an array of change objects".into(),
+    })?;
+    let mut scenario = Scenario::new();
+    for change in changes {
+        let op = required_str(change, "op")?;
+        scenario = match op {
+            "improve_machine" => scenario.improve_machine(
+                ClassId::new(required_str(change, "class")?),
+                required_f64(change, "factor")?,
+            ),
+            "improve_machine_everywhere" => {
+                scenario.improve_machine_everywhere(required_f64(change, "factor")?)
+            }
+            "set_machine_failure" => scenario.set_machine_failure(
+                ClassId::new(required_str(change, "class")?),
+                required_prob(change, "p_mf")?,
+            ),
+            "set_reader" => scenario.set_reader(
+                ClassId::new(required_str(change, "class")?),
+                required_prob(change, "p_hf_given_ms")?,
+                required_prob(change, "p_hf_given_mf")?,
+            ),
+            "scale_reader_everywhere" => {
+                scenario.scale_reader_everywhere(required_f64(change, "factor")?)
+            }
+            other => {
+                return Err(ServeError::BadRequest {
+                    detail: format!("unknown scenario op `{other}`"),
+                })
+            }
+        };
+    }
+    Ok(scenario)
+}
+
+/// Extracts the `scenarios` member: an array of scenarios.
+///
+/// # Errors
+///
+/// As [`parse_scenario`]; an empty batch is rejected.
+pub fn parse_scenarios(body: &Json) -> Result<Vec<Scenario>, ServeError> {
+    let items = required(body, "scenarios")?
+        .as_arr()
+        .ok_or_else(|| ServeError::BadRequest {
+            detail: "`scenarios` must be an array of scenarios".into(),
+        })?;
+    if items.is_empty() {
+        return Err(ServeError::BadRequest {
+            detail: "`scenarios` must not be empty".into(),
+        });
+    }
+    items.iter().map(parse_scenario).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trip_and_defaults() {
+        let env = parse_request(r#"{"id":7,"verb":"ping"}"#).unwrap();
+        assert_eq!(env.verb, "ping");
+        assert_eq!(env.id, Json::Num(7.0));
+        assert_eq!(env.deadline_ms, None);
+        let env = parse_request(r#"{"verb":"ping","deadline_ms":250}"#).unwrap();
+        assert_eq!(env.id, Json::Null);
+        assert_eq!(env.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn envelope_rejections_are_typed() {
+        assert!(matches!(
+            parse_request("not json"),
+            Err(ServeError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_request("[1,2]"),
+            Err(ServeError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"id":1}"#),
+            Err(ServeError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"verb":"ping","deadline_ms":-1}"#),
+            Err(ServeError::BadRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn response_lines_are_golden() {
+        assert_eq!(
+            ok_line(
+                &Json::Num(1.0),
+                Json::Obj(vec![("pong".into(), Json::Bool(true))])
+            ),
+            "{\"id\":1,\"ok\":true,\"result\":{\"pong\":true}}\n"
+        );
+        assert_eq!(
+            err_line(&Json::Num(2.0), &ServeError::DeadlineExceeded),
+            "{\"id\":2,\"ok\":false,\"error\":{\"code\":\"deadline_exceeded\",\
+             \"message\":\"deadline expired before evaluation\"}}\n"
+        );
+    }
+
+    #[test]
+    fn profile_preserves_wire_order() {
+        let body = json::parse(r#"{"profile":{"easy":0.9,"difficult":0.1}}"#).unwrap();
+        let profile = parse_profile(&body).unwrap();
+        let order: Vec<&str> = profile.classes().iter().map(ClassId::name).collect();
+        assert_eq!(order, ["easy", "difficult"], "wire order, not sorted");
+        // Reversed wire order yields the reversed profile order.
+        let body = json::parse(r#"{"profile":{"difficult":0.1,"easy":0.9}}"#).unwrap();
+        let profile = parse_profile(&body).unwrap();
+        let order: Vec<&str> = profile.classes().iter().map(ClassId::name).collect();
+        assert_eq!(order, ["difficult", "easy"]);
+    }
+
+    #[test]
+    fn profile_errors_are_model_typed() {
+        let dup = json::parse(r#"{"profile":{"easy":0.5,"easy":0.5}}"#).unwrap();
+        assert!(matches!(
+            parse_profile(&dup),
+            Err(ServeError::Model(
+                hmdiv_core::ModelError::DuplicateClass { .. }
+            ))
+        ));
+        let empty = json::parse(r#"{"profile":{}}"#).unwrap();
+        assert!(matches!(
+            parse_profile(&empty),
+            Err(ServeError::Model(hmdiv_core::ModelError::Empty { .. }))
+        ));
+        let shape = json::parse(r#"{"profile":[1]}"#).unwrap();
+        assert!(matches!(
+            parse_profile(&shape),
+            Err(ServeError::BadRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn model_params_parse_the_paper_table() {
+        let body = json::parse(
+            r#"{"classes":{
+                "easy":{"p_mf":0.07,"p_hf_given_ms":0.14,"p_hf_given_mf":0.18},
+                "difficult":{"p_mf":0.41,"p_hf_given_ms":0.4,"p_hf_given_mf":0.9}
+            }}"#,
+        )
+        .unwrap();
+        let params = parse_model_params(&body).unwrap();
+        assert_eq!(
+            &params,
+            hmdiv_core::paper::example_model().unwrap().params()
+        );
+        let invalid = json::parse(
+            r#"{"classes":{"easy":{"p_mf":1.5,"p_hf_given_ms":0.1,"p_hf_given_mf":0.2}}}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            parse_model_params(&invalid),
+            Err(ServeError::Model(hmdiv_core::ModelError::Prob(_)))
+        ));
+    }
+
+    #[test]
+    fn manifest_round_trips_through_the_wire_shape() {
+        let universe = hmdiv_core::ClassUniverse::from_names(["difficult", "easy"]);
+        let manifest = UniverseManifest::of(&universe);
+        let wire = format!(
+            r#"{{"universe":{{"classes":["difficult","easy"],"hash":"{}"}}}}"#,
+            render_hash(manifest.hash())
+        );
+        let body = json::parse(&wire).unwrap();
+        let parsed = parse_manifest(&body).unwrap().unwrap();
+        assert_eq!(parsed, manifest);
+        assert_eq!(parsed.restore().unwrap(), universe);
+        // Absent member is simply None.
+        assert_eq!(parse_manifest(&json::parse("{}").unwrap()).unwrap(), None);
+        // Bad hex is a bad request, not a panic.
+        let bad = json::parse(r#"{"universe":{"classes":["a"],"hash":"zz"}}"#).unwrap();
+        assert!(matches!(
+            parse_manifest(&bad),
+            Err(ServeError::BadRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn scenarios_parse_every_op() {
+        let body = json::parse(
+            r#"{"scenarios":[
+                [{"op":"improve_machine","class":"difficult","factor":10}],
+                [{"op":"improve_machine_everywhere","factor":2}],
+                [{"op":"set_machine_failure","class":"easy","p_mf":0.01}],
+                [{"op":"set_reader","class":"easy","p_hf_given_ms":0.1,"p_hf_given_mf":0.2}],
+                [{"op":"scale_reader_everywhere","factor":1.5}],
+                []
+            ]}"#,
+        )
+        .unwrap();
+        let scenarios = parse_scenarios(&body).unwrap();
+        assert_eq!(scenarios.len(), 6);
+        assert_eq!(scenarios[5], Scenario::new());
+        assert_eq!(scenarios[0].changes().len(), 1);
+        let unknown = json::parse(r#"{"scenarios":[[{"op":"warp","factor":2}]]}"#).unwrap();
+        assert!(matches!(
+            parse_scenarios(&unknown),
+            Err(ServeError::BadRequest { detail }) if detail.contains("warp")
+        ));
+        let empty = json::parse(r#"{"scenarios":[]}"#).unwrap();
+        assert!(parse_scenarios(&empty).is_err());
+    }
+
+    #[test]
+    fn detection_params_parse() {
+        let body =
+            json::parse(r#"{"classes":{"easy":{"p_mf":0.07,"p_h_miss":0.2,"p_h_misclass":0.05}}}"#)
+                .unwrap();
+        let parsed = parse_detection_params(&body).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0.name(), "easy");
+    }
+}

@@ -1,0 +1,426 @@
+//! The model registry: a content-hash-addressed store of loaded artifacts.
+//!
+//! Identical parameter tables load to the *same* id — loading is
+//! idempotent, so clients can re-send `load` on reconnect without growing
+//! the store. Ids are derived with FNV-1a over a canonical byte encoding
+//! of the artifact (kind tag, universe content hash, every parameter's
+//! `f64::to_bits`), so the id commits to the exact numerics: two models
+//! that differ in the 52nd mantissa bit get different ids.
+//!
+//! Every artifact's dense [`CompiledModel`](hmdiv_core::CompiledModel)
+//! form is pre-warmed at load, so the first `evaluate` on a fresh model
+//! pays no compile latency inside the batch executor. If the caller
+//! supplies a serialized universe manifest, compatibility is verified at
+//! load and a [`hmdiv_core::ModelError::UniverseMismatch`] is reported
+//! before the model is admitted.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use hmdiv_core::cohort::{CohortMember, ReaderCohort};
+use hmdiv_core::{
+    ClassId, DetectionParams, ModelParams, ParallelDetectionModel, SequentialModel,
+    UniverseManifest,
+};
+
+use crate::error::ServeError;
+
+/// FNV-1a offset basis (the same constants the core universe hash uses;
+/// kept local so the registry id scheme is self-contained).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Incremental FNV-1a hasher over canonical artifact bytes.
+#[derive(Debug)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new(kind: u8) -> Self {
+        let mut h = Fnv(FNV_OFFSET);
+        h.byte(kind);
+        h
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.byte(b);
+        }
+        // Separator so `("ab", "c")` and `("a", "bc")` hash differently.
+        self.byte(0xFF);
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A loaded artifact: the registry's unit of storage.
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    /// A sequential "machine first, human checks" model.
+    Sequential(Arc<SequentialModel>),
+    /// A parallel-detection model.
+    Detection(Arc<ParallelDetectionModel>),
+    /// A weighted reader cohort.
+    Cohort(Arc<ReaderCohort>),
+}
+
+impl Artifact {
+    /// The artifact's kind tag, as reported by the `models` verb.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Artifact::Sequential(_) => "sequential",
+            Artifact::Detection(_) => "detection",
+            Artifact::Cohort(_) => "cohort",
+        }
+    }
+}
+
+/// What a successful `load` reports back to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadReceipt {
+    /// The content-addressed artifact id (`m…` for models, `c…` for
+    /// cohorts).
+    pub id: String,
+    /// The class names of the artifact's universe, in index order.
+    pub classes: Vec<String>,
+    /// The universe content hash.
+    pub universe_hash: u64,
+}
+
+/// One row of the `models` listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactRow {
+    /// The artifact id.
+    pub id: String,
+    /// The kind tag (`sequential`, `detection`, `cohort`).
+    pub kind: &'static str,
+    /// Number of classes in the artifact's universe.
+    pub classes: usize,
+    /// The universe content hash.
+    pub universe_hash: u64,
+}
+
+/// The content-addressed artifact store shared by all connections.
+#[derive(Debug, Default)]
+pub struct Registry {
+    store: Mutex<BTreeMap<String, Artifact>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn store(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Artifact>> {
+        // A poisoned lock means another connection thread panicked while
+        // holding it; the map itself (Arc inserts only) is still coherent,
+        // so recover rather than cascade the panic through every client.
+        self.store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Loads (or re-finds) a sequential model, pre-warming its compiled
+    /// form.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Model`] with `UniverseMismatch` when `manifest` is
+    /// given and does not match the model's interned universe.
+    pub fn load_sequential(
+        &self,
+        params: ModelParams,
+        manifest: Option<&UniverseManifest>,
+    ) -> Result<LoadReceipt, ServeError> {
+        let model = SequentialModel::new(params);
+        let compiled = Arc::clone(model.compiled());
+        verify_manifest(manifest, compiled.universe())?;
+        let mut h = Fnv::new(b'S');
+        h.u64(compiled.universe().content_hash());
+        for cp in compiled.params_slice() {
+            h.f64(cp.p_mf().value());
+            h.f64(cp.p_hf_given_ms().value());
+            h.f64(cp.p_hf_given_mf().value());
+        }
+        let id = format!("m{:016x}", h.finish());
+        let receipt = LoadReceipt {
+            id: id.clone(),
+            classes: compiled
+                .universe()
+                .classes()
+                .iter()
+                .map(|c| c.name().to_owned())
+                .collect(),
+            universe_hash: compiled.universe().content_hash(),
+        };
+        self.store()
+            .entry(id)
+            .or_insert_with(|| Artifact::Sequential(Arc::new(model)));
+        Ok(receipt)
+    }
+
+    /// Loads (or re-finds) a parallel-detection model.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Model`] for table validation failures
+    /// (empty/duplicate) and manifest mismatches.
+    pub fn load_detection(
+        &self,
+        classes: Vec<(ClassId, DetectionParams)>,
+        manifest: Option<&UniverseManifest>,
+    ) -> Result<LoadReceipt, ServeError> {
+        let mut builder = ParallelDetectionModel::builder();
+        for (class, dp) in classes {
+            builder = builder.class(class, dp);
+        }
+        let model = builder.build().map_err(ServeError::Model)?;
+        let compiled = Arc::clone(model.compiled());
+        verify_manifest(manifest, compiled.universe())?;
+        let mut h = Fnv::new(b'D');
+        h.u64(compiled.universe().content_hash());
+        for index in 0..compiled.universe().len() as u32 {
+            let dp = compiled.params_at(index);
+            h.f64(dp.p_mf.value());
+            h.f64(dp.p_h_miss.value());
+            h.f64(dp.p_h_misclass.value());
+        }
+        let id = format!("m{:016x}", h.finish());
+        let receipt = LoadReceipt {
+            id: id.clone(),
+            classes: compiled
+                .universe()
+                .classes()
+                .iter()
+                .map(|c| c.name().to_owned())
+                .collect(),
+            universe_hash: compiled.universe().content_hash(),
+        };
+        self.store()
+            .entry(id)
+            .or_insert_with(|| Artifact::Detection(Arc::new(model)));
+        Ok(receipt)
+    }
+
+    /// Loads (or re-finds) a reader cohort, pre-warming every member's
+    /// compiled model.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Model`] for cohort validation failures and manifest
+    /// mismatches (checked against every member's universe).
+    pub fn load_cohort(
+        &self,
+        members: Vec<CohortMember>,
+        manifest: Option<&UniverseManifest>,
+    ) -> Result<LoadReceipt, ServeError> {
+        let cohort = ReaderCohort::new(members).map_err(ServeError::Model)?;
+        let mut h = Fnv::new(b'C');
+        for m in cohort.members() {
+            let compiled = m.model.compiled();
+            verify_manifest(manifest, compiled.universe())?;
+            h.bytes(m.name.as_bytes());
+            h.f64(m.weight);
+            h.u64(compiled.universe().content_hash());
+            for cp in compiled.params_slice() {
+                h.f64(cp.p_mf().value());
+                h.f64(cp.p_hf_given_ms().value());
+                h.f64(cp.p_hf_given_mf().value());
+            }
+        }
+        // `ReaderCohort::new` rejects empty member lists, so index 0 exists.
+        let first = cohort.members()[0].model.compiled();
+        let id = format!("c{:016x}", h.finish());
+        let receipt = LoadReceipt {
+            id: id.clone(),
+            classes: first
+                .universe()
+                .classes()
+                .iter()
+                .map(|c| c.name().to_owned())
+                .collect(),
+            universe_hash: first.universe().content_hash(),
+        };
+        self.store()
+            .entry(id)
+            .or_insert_with(|| Artifact::Cohort(Arc::new(cohort)));
+        Ok(receipt)
+    }
+
+    /// Fetches an artifact by id (cheap: clones the inner `Arc`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownArtifact`] if nothing is loaded under `id`.
+    pub fn get(&self, id: &str) -> Result<Artifact, ServeError> {
+        self.store()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownArtifact { id: id.to_owned() })
+    }
+
+    /// Lists all loaded artifacts in id order.
+    #[must_use]
+    pub fn list(&self) -> Vec<ArtifactRow> {
+        self.store()
+            .iter()
+            .map(|(id, artifact)| {
+                let (classes, universe_hash) = match artifact {
+                    Artifact::Sequential(m) => {
+                        let u = m.compiled().universe();
+                        (u.len(), u.content_hash())
+                    }
+                    Artifact::Detection(m) => {
+                        let u = m.compiled().universe();
+                        (u.len(), u.content_hash())
+                    }
+                    Artifact::Cohort(c) => {
+                        let u = c.members()[0].model.compiled().universe();
+                        (u.len(), u.content_hash())
+                    }
+                };
+                ArtifactRow {
+                    id: id.clone(),
+                    kind: artifact.kind(),
+                    classes,
+                    universe_hash,
+                }
+            })
+            .collect()
+    }
+
+    /// Number of loaded artifacts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.store().len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.store().is_empty()
+    }
+}
+
+fn verify_manifest(
+    manifest: Option<&UniverseManifest>,
+    universe: &hmdiv_core::ClassUniverse,
+) -> Result<(), ServeError> {
+    if let Some(m) = manifest {
+        let pinned = m.restore().map_err(ServeError::Model)?;
+        pinned
+            .verify_compatible(universe)
+            .map_err(ServeError::Model)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmdiv_core::paper;
+
+    fn paper_params() -> ModelParams {
+        paper::example_model().unwrap().params().clone()
+    }
+
+    #[test]
+    fn loading_is_idempotent_and_content_addressed() {
+        let reg = Registry::new();
+        let a = reg.load_sequential(paper_params(), None).unwrap();
+        let b = reg.load_sequential(paper_params(), None).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+        assert!(a.id.starts_with('m'));
+        assert_eq!(a.classes, ["difficult", "easy"]);
+        // A single-bit parameter change produces a different id.
+        let tweaked = paper_params()
+            .with_class_updated(&ClassId::new("easy"), |cp| {
+                Ok(cp.with_p_mf(hmdiv_prob::Probability::new(f64::from_bits(
+                    cp.p_mf().value().to_bits() + 1,
+                ))?))
+            })
+            .unwrap();
+        let c = reg.load_sequential(tweaked, None).unwrap();
+        assert_ne!(a.id, c.id);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn manifest_gate_rejects_mismatched_universes() {
+        let reg = Registry::new();
+        let wrong = UniverseManifest::of(&hmdiv_core::ClassUniverse::from_names(["other"]));
+        let err = reg
+            .load_sequential(paper_params(), Some(&wrong))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Model(hmdiv_core::ModelError::UniverseMismatch { .. })
+        ));
+        assert!(reg.is_empty(), "rejected loads must not be admitted");
+        // The right manifest is accepted.
+        let model = paper::example_model().unwrap();
+        let right = UniverseManifest::of(model.compiled().universe());
+        assert!(reg.load_sequential(paper_params(), Some(&right)).is_ok());
+    }
+
+    #[test]
+    fn kinds_do_not_collide_and_listing_reports_them() {
+        let reg = Registry::new();
+        let seq = reg.load_sequential(paper_params(), None).unwrap();
+        let det = reg
+            .load_detection(
+                vec![(
+                    ClassId::new("easy"),
+                    DetectionParams::new(
+                        hmdiv_prob::Probability::new(0.07).unwrap(),
+                        hmdiv_prob::Probability::new(0.2).unwrap(),
+                        hmdiv_prob::Probability::new(0.05).unwrap(),
+                    ),
+                )],
+                None,
+            )
+            .unwrap();
+        let coh = reg
+            .load_cohort(
+                vec![CohortMember {
+                    name: "r1".into(),
+                    model: paper::example_model().unwrap(),
+                    weight: 1.0,
+                }],
+                None,
+            )
+            .unwrap();
+        assert_ne!(seq.id, det.id);
+        assert!(coh.id.starts_with('c'));
+        let rows = reg.list();
+        assert_eq!(rows.len(), 3);
+        let kinds: Vec<&str> = rows.iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&"sequential"));
+        assert!(kinds.contains(&"detection"));
+        assert!(kinds.contains(&"cohort"));
+        assert!(matches!(
+            reg.get("m0000000000000000"),
+            Err(ServeError::UnknownArtifact { .. })
+        ));
+        assert!(reg.get(&seq.id).is_ok());
+    }
+}

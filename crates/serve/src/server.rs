@@ -1,0 +1,749 @@
+//! The TCP server: accept loop, thread-per-connection line handling, and
+//! verb routing into the registry and the batch executor.
+//!
+//! Each connection thread reads newline-delimited requests. It blocks for
+//! the *first* line, then scoops every line the client already pipelined
+//! without blocking, routes them all — enqueueing evaluation work into the
+//! shared [`Batcher`] **before** waiting for any result — and writes the
+//! responses back in request order with one flush. A client that
+//! pipelines N requests therefore gets them coalesced into dense batch
+//! evaluations, and concurrent clients coalesce with each other through
+//! the shared queue.
+//!
+//! Graceful shutdown: the `shutdown` verb (or
+//! [`Server::request_shutdown`]) latches the shutdown signal. The accept
+//! loop stops taking connections, connection threads finish their current
+//! batch of lines and close, and the executor drains everything already
+//! queued before the server joins.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hmdiv_core::cohort::CohortMember;
+use hmdiv_core::extrapolate::Scenario;
+use hmdiv_core::SequentialModel;
+
+use crate::batcher::{Batcher, Outcome, Ticket, Work};
+use crate::error::ServeError;
+use crate::json::{self, Json};
+use crate::protocol::{self, Envelope};
+use crate::registry::{Artifact, LoadReceipt, Registry};
+use crate::shutdown::ShutdownSignal;
+
+/// How long a blocked read waits before re-checking the shutdown signal.
+const READ_POLL: Duration = Duration::from_millis(100);
+/// How long the accept loop naps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Bound on jobs queued in the executor; submissions beyond it are
+    /// rejected with the `overloaded` wire error.
+    pub queue_capacity: usize,
+    /// Shard count for dense batch evaluation (results are identical at
+    /// any value).
+    pub threads: usize,
+    /// Longest accepted request line; longer lines get the
+    /// `oversized_line` error and the connection closes.
+    pub max_line_bytes: usize,
+    /// Deadline applied to requests that do not carry their own
+    /// `deadline_ms`.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            queue_capacity: 1024,
+            threads: 4,
+            max_line_bytes: 1 << 20,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// Everything a connection thread needs, shared behind one `Arc`.
+struct Ctx {
+    signal: Arc<ShutdownSignal>,
+    registry: Arc<Registry>,
+    batcher: Batcher,
+    threads: usize,
+    max_line_bytes: usize,
+    default_deadline_ms: Option<u64>,
+}
+
+/// A running evaluation server.
+pub struct Server {
+    addr: SocketAddr,
+    signal: Arc<ShutdownSignal>,
+    registry: Arc<Registry>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds, spawns the accept loop and the batch executor, and returns
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if binding or thread spawning fails.
+    pub fn start(config: ServerConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let signal = Arc::new(ShutdownSignal::new());
+        let registry = Arc::new(Registry::new());
+        let batcher = Batcher::start(config.queue_capacity, config.threads)?;
+        let ctx = Arc::new(Ctx {
+            signal: Arc::clone(&signal),
+            registry: Arc::clone(&registry),
+            batcher,
+            threads: config.threads,
+            max_line_bytes: config.max_line_bytes,
+            default_deadline_ms: config.default_deadline_ms,
+        });
+        let accept = std::thread::Builder::new()
+            .name("hmdiv-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &ctx))?;
+        Ok(Server {
+            addr,
+            signal,
+            registry,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared model registry (for in-process preloading).
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Latches the shutdown signal without waiting for the drain.
+    pub fn request_shutdown(&self) {
+        self.signal.request();
+    }
+
+    /// Blocks until the server has shut down (via the `shutdown` verb or
+    /// [`Server::request_shutdown`]) and every in-flight request has
+    /// drained.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            drop(accept.join());
+        }
+    }
+
+    /// Requests shutdown and waits for the drain.
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.join();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.signal.request();
+        if let Some(accept) = self.accept.take() {
+            drop(accept.join());
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !ctx.signal.is_requested() {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                hmdiv_obs::counter_add("serve.connections", 1);
+                let conn_ctx = Arc::clone(ctx);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("hmdiv-serve-conn-{peer}"))
+                    .spawn(move || handle_connection(stream, &conn_ctx));
+                match spawned {
+                    Ok(handle) => conns.push(handle),
+                    // Thread exhaustion: drop the stream (connection reset)
+                    // rather than taking the whole server down.
+                    Err(_) => hmdiv_obs::counter_add("serve.conn_spawn_failures", 1),
+                }
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                ctx.signal.wait_timeout(ACCEPT_POLL);
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. EMFILE); back off briefly.
+                ctx.signal.wait_timeout(ACCEPT_POLL);
+            }
+        }
+    }
+    // Drain order matters: connections first (they finish the lines they
+    // already read and wait on their tickets), then the executor (which
+    // flushes whatever is still queued).
+    for handle in conns {
+        drop(handle.join());
+    }
+    ctx.batcher.drain();
+}
+
+/// Buffers raw socket bytes and yields complete newline-terminated lines.
+struct LineReader {
+    buf: Vec<u8>,
+    limit: usize,
+}
+
+impl LineReader {
+    fn new(limit: usize) -> Self {
+        LineReader {
+            buf: Vec::new(),
+            limit,
+        }
+    }
+
+    fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete line, or `None` if more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::OversizedLine`] once a line provably exceeds the
+    /// limit; [`ServeError::Parse`] for non-UTF-8 bytes.
+    fn next_line(&mut self) -> Result<Option<String>, ServeError> {
+        match self.buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if pos > self.limit {
+                    return Err(ServeError::OversizedLine { limit: self.limit });
+                }
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop(); // the \n
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                let text = String::from_utf8(line).map_err(|_| ServeError::Parse {
+                    detail: "request line is not valid UTF-8".to_owned(),
+                })?;
+                Ok(Some(text))
+            }
+            None if self.buf.len() > self.limit => {
+                Err(ServeError::OversizedLine { limit: self.limit })
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
+    // Nagle would defeat micro-batching's latency win on small lines.
+    drop(stream.set_nodelay(true));
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let mut reader = LineReader::new(ctx.max_line_bytes);
+    let mut chunk = vec![0_u8; 16 * 1024];
+    loop {
+        // Phase 1: block (in READ_POLL slices, re-checking the shutdown
+        // signal) until one complete line is in.
+        let first = loop {
+            match reader.next_line() {
+                Ok(Some(line)) => break line,
+                Ok(None) => {}
+                Err(e) => {
+                    // Framing is broken; report once and close.
+                    drop(stream.write_all(protocol::err_line(&Json::Null, &e).as_bytes()));
+                    return;
+                }
+            }
+            if ctx.signal.is_requested() {
+                return;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return, // EOF
+                Ok(n) => reader.push(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                Err(_) => return,
+            }
+        };
+        let received = Instant::now();
+        // Phase 2: scoop whatever the client already pipelined, without
+        // blocking — these lines will coalesce into one executor flush.
+        if stream.set_nonblocking(true).is_ok() {
+            loop {
+                match stream.read(&mut chunk) {
+                    Ok(0) => break, // peer half-closed; serve what we have
+                    Ok(n) => reader.push(&chunk[..n]),
+                    Err(_) => break, // WouldBlock or transient: stop scooping
+                }
+            }
+            drop(stream.set_nonblocking(false));
+        }
+        let mut lines = vec![first];
+        let mut fatal: Option<ServeError> = None;
+        loop {
+            match reader.next_line() {
+                Ok(Some(line)) => lines.push(line),
+                Ok(None) => break,
+                Err(e) => {
+                    fatal = Some(e);
+                    break;
+                }
+            }
+        }
+        // Phase 3+4: route everything (filling the executor queue), then
+        // collect and write all responses in order with a single flush.
+        let mut out = process_lines(&lines, received, ctx);
+        if let Some(ref e) = fatal {
+            out.push_str(&protocol::err_line(&Json::Null, e));
+        }
+        if stream.write_all(out.as_bytes()).is_err() {
+            return;
+        }
+        drop(stream.flush());
+        if fatal.is_some() {
+            return;
+        }
+    }
+}
+
+/// How a queued outcome renders into the verb's result object.
+enum Render {
+    /// `{"failure": p}` from [`Outcome::One`].
+    Failure,
+    /// `{"failures": [p…]}` from [`Outcome::Many`].
+    Failures,
+    /// `{"before", "after", "improvement"}` from a two-element
+    /// [`Outcome::Many`].
+    Extrapolate,
+    /// The [`Outcome::Value`] JSON as-is.
+    Value,
+}
+
+/// A routed request: either answered inline or pending in the executor.
+enum Routed {
+    Ready(Json),
+    Queued { ticket: Ticket, render: Render },
+}
+
+/// Verbs the server understands (unknown verbs share one metrics bucket
+/// to keep counter cardinality bounded).
+const VERBS: [&str; 11] = [
+    "ping",
+    "metrics",
+    "models",
+    "shutdown",
+    "load",
+    "load_cohort",
+    "evaluate",
+    "scenarios",
+    "extrapolate",
+    "importance",
+    "cohort",
+];
+
+fn process_lines(lines: &[String], received: Instant, ctx: &Ctx) -> String {
+    let mut slots: Vec<(Json, Result<Routed, ServeError>)> = Vec::with_capacity(lines.len());
+    for line in lines {
+        match protocol::parse_request(line) {
+            Ok(env) => {
+                if VERBS.contains(&env.verb.as_str()) {
+                    hmdiv_obs::counter_add(&format!("serve.verb.{}", env.verb), 1);
+                } else {
+                    hmdiv_obs::counter_add("serve.verb.unknown", 1);
+                }
+                let id = env.id.clone();
+                let routed = route(&env, received, ctx);
+                slots.push((id, routed));
+            }
+            Err(e) => {
+                // Best effort: echo the id even when the envelope is bad.
+                let id = json::parse(line)
+                    .ok()
+                    .and_then(|j| j.get("id").cloned())
+                    .unwrap_or(Json::Null);
+                slots.push((id, Err(e)));
+            }
+        }
+    }
+    let mut out = String::new();
+    for (id, routed) in slots {
+        let line = match routed {
+            Ok(Routed::Ready(result)) => protocol::ok_line(&id, result),
+            Ok(Routed::Queued { ticket, render }) => match ticket.wait() {
+                Ok(outcome) => match render_outcome(&render, outcome) {
+                    Ok(result) => protocol::ok_line(&id, result),
+                    Err(e) => protocol::err_line(&id, &e),
+                },
+                Err(e) => protocol::err_line(&id, &e),
+            },
+            Err(e) => {
+                hmdiv_obs::counter_add("serve.errors", 1);
+                protocol::err_line(&id, &e)
+            }
+        };
+        out.push_str(&line);
+    }
+    out
+}
+
+fn render_outcome(render: &Render, outcome: Outcome) -> Result<Json, ServeError> {
+    match (render, outcome) {
+        (Render::Failure, Outcome::One(p)) => Ok(Json::Obj(vec![(
+            "failure".to_owned(),
+            Json::Num(p.value()),
+        )])),
+        (Render::Failures, Outcome::Many(failures)) => Ok(Json::Obj(vec![(
+            "failures".to_owned(),
+            Json::Arr(failures.iter().map(|p| Json::Num(p.value())).collect()),
+        )])),
+        (Render::Extrapolate, Outcome::Many(pair)) if pair.len() == 2 => {
+            let (before, after) = (pair[0].value(), pair[1].value());
+            Ok(Json::Obj(vec![
+                ("before".to_owned(), Json::Num(before)),
+                ("after".to_owned(), Json::Num(after)),
+                ("improvement".to_owned(), Json::Num(before - after)),
+            ]))
+        }
+        (Render::Value, Outcome::Value(v)) => Ok(v),
+        _ => Err(ServeError::Io {
+            detail: "executor returned a mismatched outcome shape".to_owned(),
+        }),
+    }
+}
+
+fn receipt_json(receipt: &LoadReceipt) -> Json {
+    Json::Obj(vec![
+        ("model_id".to_owned(), Json::str(receipt.id.as_str())),
+        (
+            "classes".to_owned(),
+            Json::Arr(
+                receipt
+                    .classes
+                    .iter()
+                    .map(|c| Json::str(c.as_str()))
+                    .collect(),
+            ),
+        ),
+        (
+            "universe_hash".to_owned(),
+            Json::str(protocol::render_hash(receipt.universe_hash)),
+        ),
+    ])
+}
+
+fn route(env: &Envelope, received: Instant, ctx: &Ctx) -> Result<Routed, ServeError> {
+    let deadline = env
+        .deadline_ms
+        .or(ctx.default_deadline_ms)
+        .map(|ms| received + Duration::from_millis(ms));
+    let body = &env.body;
+    match env.verb.as_str() {
+        "ping" => Ok(Routed::Ready(Json::Obj(vec![(
+            "pong".to_owned(),
+            Json::Bool(true),
+        )]))),
+        "metrics" => {
+            let snapshot = hmdiv_obs::snapshot();
+            Ok(Routed::Ready(Json::Obj(vec![(
+                "prometheus".to_owned(),
+                Json::str(hmdiv_obs::export::to_prometheus(&snapshot)),
+            )])))
+        }
+        "models" => {
+            let rows = ctx
+                .registry
+                .list()
+                .into_iter()
+                .map(|row| {
+                    Json::Obj(vec![
+                        ("id".to_owned(), Json::str(row.id)),
+                        ("kind".to_owned(), Json::str(row.kind)),
+                        ("classes".to_owned(), Json::Num(row.classes as f64)),
+                        (
+                            "universe_hash".to_owned(),
+                            Json::str(protocol::render_hash(row.universe_hash)),
+                        ),
+                    ])
+                })
+                .collect();
+            Ok(Routed::Ready(Json::Obj(vec![(
+                "models".to_owned(),
+                Json::Arr(rows),
+            )])))
+        }
+        "shutdown" => {
+            ctx.signal.request();
+            Ok(Routed::Ready(Json::Obj(vec![(
+                "draining".to_owned(),
+                Json::Bool(true),
+            )])))
+        }
+        "load" => {
+            let manifest = protocol::parse_manifest(body)?;
+            let kind = body
+                .get("kind")
+                .and_then(Json::as_str)
+                .unwrap_or("sequential");
+            let receipt = match kind {
+                "sequential" => ctx
+                    .registry
+                    .load_sequential(protocol::parse_model_params(body)?, manifest.as_ref())?,
+                "detection" => ctx
+                    .registry
+                    .load_detection(protocol::parse_detection_params(body)?, manifest.as_ref())?,
+                other => {
+                    return Err(ServeError::BadRequest {
+                        detail: format!("unknown model kind `{other}`"),
+                    })
+                }
+            };
+            Ok(Routed::Ready(receipt_json(&receipt)))
+        }
+        "load_cohort" => {
+            let manifest = protocol::parse_manifest(body)?;
+            let members = protocol::required(body, "members")?
+                .as_arr()
+                .ok_or_else(|| ServeError::BadRequest {
+                    detail: "`members` must be an array".to_owned(),
+                })?;
+            let mut parsed = Vec::with_capacity(members.len());
+            for member in members {
+                parsed.push(CohortMember {
+                    name: protocol::required_str(member, "name")?.to_owned(),
+                    weight: protocol::required_f64(member, "weight")?,
+                    model: SequentialModel::new(protocol::parse_model_params(member)?),
+                });
+            }
+            let receipt = ctx.registry.load_cohort(parsed, manifest.as_ref())?;
+            Ok(Routed::Ready(receipt_json(&receipt)))
+        }
+        "evaluate" => {
+            let artifact = ctx.registry.get(protocol::required_str(body, "model")?)?;
+            let profile = protocol::parse_profile(body)?;
+            match artifact {
+                Artifact::Sequential(model) => {
+                    let compiled = Arc::clone(model.compiled());
+                    let bound = compiled.bind_profile(&profile).map_err(ServeError::Model)?;
+                    let ticket = ctx.batcher.submit(
+                        Work::Profile {
+                            model: compiled,
+                            profile: bound,
+                        },
+                        deadline,
+                    )?;
+                    Ok(Routed::Queued {
+                        ticket,
+                        render: Render::Failure,
+                    })
+                }
+                Artifact::Detection(model) => {
+                    let compiled = Arc::clone(model.compiled());
+                    let ticket = ctx.batcher.submit(
+                        Work::Direct(Box::new(move || {
+                            let bound =
+                                compiled.bind_profile(&profile).map_err(ServeError::Model)?;
+                            Ok(Outcome::One(compiled.system_failure(&bound)))
+                        })),
+                        deadline,
+                    )?;
+                    Ok(Routed::Queued {
+                        ticket,
+                        render: Render::Failure,
+                    })
+                }
+                Artifact::Cohort(_) => Err(ServeError::BadRequest {
+                    detail: "cohort artifacts are evaluated with the `cohort` verb".to_owned(),
+                }),
+            }
+        }
+        "scenarios" => {
+            let (compiled, bound) = sequential_binding(body, ctx)?;
+            let scenarios = protocol::parse_scenarios(body)?;
+            let ticket = ctx.batcher.submit(
+                Work::Scenarios {
+                    model: compiled,
+                    profile: bound,
+                    scenarios,
+                },
+                deadline,
+            )?;
+            Ok(Routed::Queued {
+                ticket,
+                render: Render::Failures,
+            })
+        }
+        "extrapolate" => {
+            let (compiled, bound) = sequential_binding(body, ctx)?;
+            let scenario = protocol::parse_scenario(protocol::required(body, "scenario")?)?;
+            let ticket = ctx.batcher.submit(
+                Work::Scenarios {
+                    model: compiled,
+                    profile: bound,
+                    scenarios: vec![Scenario::new(), scenario],
+                },
+                deadline,
+            )?;
+            Ok(Routed::Queued {
+                ticket,
+                render: Render::Extrapolate,
+            })
+        }
+        "importance" => {
+            let artifact = ctx.registry.get(protocol::required_str(body, "model")?)?;
+            let Artifact::Sequential(model) = artifact else {
+                return Err(ServeError::BadRequest {
+                    detail: "`importance` needs a sequential model".to_owned(),
+                });
+            };
+            let ticket = ctx.batcher.submit(
+                Work::Direct(Box::new(move || {
+                    let lines = hmdiv_core::importance::machine_response_lines(&model)
+                        .into_iter()
+                        .map(|line| {
+                            Json::Obj(vec![
+                                ("class".to_owned(), Json::str(line.class().name())),
+                                (
+                                    "lower_bound".to_owned(),
+                                    Json::Num(line.lower_bound().value()),
+                                ),
+                                (
+                                    "coherence_index".to_owned(),
+                                    Json::Num(line.coherence_index()),
+                                ),
+                                (
+                                    "current_p_mf".to_owned(),
+                                    Json::Num(line.current_p_mf().value()),
+                                ),
+                            ])
+                        })
+                        .collect();
+                    Ok(Outcome::Value(Json::Obj(vec![(
+                        "lines".to_owned(),
+                        Json::Arr(lines),
+                    )])))
+                })),
+                deadline,
+            )?;
+            Ok(Routed::Queued {
+                ticket,
+                render: Render::Value,
+            })
+        }
+        "cohort" => {
+            let artifact = ctx.registry.get(protocol::required_str(body, "cohort")?)?;
+            let Artifact::Cohort(cohort) = artifact else {
+                return Err(ServeError::BadRequest {
+                    detail: "`cohort` needs a cohort artifact (id `c…`)".to_owned(),
+                });
+            };
+            let profile = protocol::parse_profile(body)?;
+            let threads = ctx.threads;
+            let ticket = ctx.batcher.submit(
+                Work::Direct(Box::new(move || {
+                    let summary = cohort
+                        .evaluate_par(&profile, threads)
+                        .map_err(ServeError::Model)?;
+                    let rows = summary
+                        .rows
+                        .iter()
+                        .map(|row| {
+                            Json::Obj(vec![
+                                ("name".to_owned(), Json::str(row.name.as_str())),
+                                ("share".to_owned(), Json::Num(row.share)),
+                                ("failure".to_owned(), Json::Num(row.failure.value())),
+                            ])
+                        })
+                        .collect();
+                    Ok(Outcome::Value(Json::Obj(vec![
+                        ("mean".to_owned(), Json::Num(summary.mean.value())),
+                        ("best".to_owned(), Json::Num(summary.best.value())),
+                        ("worst".to_owned(), Json::Num(summary.worst.value())),
+                        ("spread".to_owned(), Json::Num(summary.spread())),
+                        ("rows".to_owned(), Json::Arr(rows)),
+                    ])))
+                })),
+                deadline,
+            )?;
+            Ok(Routed::Queued {
+                ticket,
+                render: Render::Value,
+            })
+        }
+        other => Err(ServeError::UnknownVerb {
+            verb: other.to_owned(),
+        }),
+    }
+}
+
+/// Resolves a sequential model id and binds the request's profile to it.
+fn sequential_binding(
+    body: &Json,
+    ctx: &Ctx,
+) -> Result<(Arc<hmdiv_core::CompiledModel>, hmdiv_core::CompiledProfile), ServeError> {
+    let artifact = ctx.registry.get(protocol::required_str(body, "model")?)?;
+    let Artifact::Sequential(model) = artifact else {
+        return Err(ServeError::BadRequest {
+            detail: "this verb needs a sequential model".to_owned(),
+        });
+    };
+    let profile = protocol::parse_profile(body)?;
+    let compiled = Arc::clone(model.compiled());
+    let bound = compiled.bind_profile(&profile).map_err(ServeError::Model)?;
+    Ok((compiled, bound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_reader_frames_and_enforces_the_limit() {
+        let mut r = LineReader::new(16);
+        r.push(b"one\ntwo\r\npar");
+        assert_eq!(r.next_line().unwrap().as_deref(), Some("one"));
+        assert_eq!(r.next_line().unwrap().as_deref(), Some("two"));
+        assert_eq!(r.next_line().unwrap(), None);
+        r.push(b"tial\n");
+        assert_eq!(r.next_line().unwrap().as_deref(), Some("partial"));
+        // A line that provably exceeds the limit errors even unterminated.
+        let mut r = LineReader::new(8);
+        r.push(b"0123456789abcdef");
+        assert!(matches!(
+            r.next_line(),
+            Err(ServeError::OversizedLine { limit: 8 })
+        ));
+        // Non-UTF-8 is a parse error, not a panic.
+        let mut r = LineReader::new(64);
+        r.push(&[0xFF, 0xFE, b'\n']);
+        assert!(matches!(r.next_line(), Err(ServeError::Parse { .. })));
+    }
+
+    #[test]
+    fn default_config_is_documented_shape() {
+        let c = ServerConfig::default();
+        assert_eq!(c.addr, "127.0.0.1:0");
+        assert_eq!(c.queue_capacity, 1024);
+        assert_eq!(c.max_line_bytes, 1 << 20);
+        assert!(c.default_deadline_ms.is_none());
+    }
+}

@@ -42,6 +42,15 @@ pub fn render_table1(
             cp.p_hf_given_ms().value(),
         );
     }
+    // The universe manifest travels with every exported table so a foreign
+    // consumer can verify index-space compatibility instead of re-interning.
+    let manifest = hmdiv_core::UniverseManifest::of(model.compiled().universe());
+    let _ = writeln!(
+        out,
+        "universe: {} classes, hash {:016x}",
+        manifest.classes().len(),
+        manifest.hash()
+    );
     Ok(out)
 }
 

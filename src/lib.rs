@@ -21,6 +21,9 @@
 //!   validation.
 //! * [`obs`] — zero-dependency metrics and span tracing (off by default;
 //!   enable with `HMDIV_OBS=1` or [`obs::set_enabled`]).
+//! * [`serve`] — a zero-dependency batched evaluation server: JSON-lines
+//!   over TCP, a content-hash-addressed model registry, and a
+//!   micro-batching executor with bit-identical results.
 //!
 //! ## Quickstart
 //!
@@ -46,5 +49,6 @@ pub use hmdiv_core as core;
 pub use hmdiv_obs as obs;
 pub use hmdiv_prob as prob;
 pub use hmdiv_rbd as rbd;
+pub use hmdiv_serve as serve;
 pub use hmdiv_sim as sim;
 pub use hmdiv_trial as trial;
