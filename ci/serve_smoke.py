@@ -2,9 +2,11 @@
 """CI smoke test for the hmdiv-serve JSON-lines protocol.
 
 Drives a scripted session against a running `repro serve` instance:
-load -> evaluate -> scenarios -> metrics -> shutdown, asserting the
-paper's field estimate comes back bit-exactly and writing the server's
-Prometheus metrics snapshot to the given path.
+load -> evaluate -> scenarios -> analyze -> metrics -> shutdown,
+asserting the paper's field estimate comes back bit-exactly, that the
+static-analysis admission gate rejects a malformed cohort with its
+stable HM0xx wire code, and writing the server's Prometheus metrics
+snapshot to the given path.
 
 Usage: serve_smoke.py HOST PORT METRICS_OUT
 """
@@ -28,7 +30,8 @@ class Session:
         self.buf = b""
         self.next_id = 1
 
-    def request(self, verb, **fields):
+    def request_raw(self, verb, **fields):
+        """One round trip, returning the full response envelope."""
         req = {"id": self.next_id, "verb": verb, **fields}
         self.next_id += 1
         self.sock.sendall(json.dumps(req).encode() + b"\n")
@@ -38,7 +41,10 @@ class Session:
                 raise RuntimeError("server closed the connection mid-response")
             self.buf += chunk
         line, self.buf = self.buf.split(b"\n", 1)
-        response = json.loads(line)
+        return json.loads(line)
+
+    def request(self, verb, **fields):
+        response = self.request_raw(verb, **fields)
         if not response.get("ok"):
             raise RuntimeError(f"{verb} failed: {response.get('error')}")
         return response["result"]
@@ -74,6 +80,34 @@ def main():
     failures = sweep["failures"]
     assert len(failures) == 3 and all(p < failure for p in failures), sweep
     print(f"scenario sweep: {failures}")
+
+    report = s.request("analyze", model=model_id)
+    assert report["errors"] == 0 and report["summary"] == "clean", report
+    print("static analysis of the paper model: clean")
+
+    # Admission gate: a cohort whose members intern different class
+    # universes is refused at load, and the wire error code is the
+    # analyzer's stable HM030 diagnostic code.
+    rejected = s.request_raw(
+        "load_cohort",
+        members=[
+            {"name": "r1", "weight": 1, "classes": PAPER_CLASSES},
+            {
+                "name": "r2",
+                "weight": 1,
+                "classes": {
+                    "alien": {
+                        "p_mf": 0.1,
+                        "p_hf_given_ms": 0.2,
+                        "p_hf_given_mf": 0.3,
+                    }
+                },
+            },
+        ],
+    )
+    assert rejected.get("ok") is False, rejected
+    assert rejected["error"]["code"] == "HM030", rejected
+    print(f"malformed cohort rejected: [{rejected['error']['code']}]")
 
     prometheus = s.request("metrics")["prometheus"]
     assert "hmdiv_serve_verb_evaluate" in prometheus, prometheus

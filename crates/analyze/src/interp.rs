@@ -1,0 +1,388 @@
+//! Interval abstract interpretation of compiled structure functions.
+//!
+//! Every operator a postfix program can contain — series (conjunction),
+//! parallel (disjunction), k-of-n — is *monotone nondecreasing* in each
+//! child's reliability, and the exact evaluator's factoring over repeated
+//! components (a convex mixture weighted by the conditioned component's
+//! reliability, with the "works" branch never below the "fails" branch)
+//! preserves that monotonicity. System reliability is therefore monotone
+//! nonincreasing in every component's *failure* probability, so sound
+//! bounds come from two concrete evaluations: the lower reliability bound
+//! uses every component's failure-probability upper endpoint, the upper
+//! bound uses every lower endpoint. Both runs reuse
+//! [`CompiledBlock::reliability`] — the abstract semantics is the concrete
+//! semantics at the interval corners, so the bounds inherit the exact
+//! evaluator's factoring and its bit-for-bit arithmetic.
+//!
+//! The same machinery drives a relevance check: Birnbaum importance
+//! `B_i = R(q, q_i = 0) − R(q, q_i = 1)` evaluated at the interior point
+//! `q = 0.5` is strictly positive for every component the structure
+//! function depends on, and zero exactly for dead ones. A monotone
+//! structure function with no dead components is *coherent* (Barlow &
+//! Proschan's sense), which is what licenses reading the paper's
+//! importance measures off it.
+
+use hmdiv_prob::Probability;
+use hmdiv_rbd::compiled::CompiledBlock;
+use hmdiv_rbd::RbdError;
+
+use crate::diag::{codes, Report};
+use crate::verifier::{verify, PostfixProgram};
+
+/// The pass name used in diagnostics from this module.
+const PASS: &str = "interval";
+
+/// Birnbaum importance below this is treated as zero (dead component).
+/// Relevant components at `q = 0.5` contribute at least `2^-(n-1)`, far
+/// above this for any diagram the exact evaluator accepts.
+const RELEVANCE_EPS: f64 = 1e-12;
+
+/// A closed interval of probabilities. Plain data; validity (finite,
+/// `0 ≤ lo ≤ hi ≤ 1`) is checked by the analysis, which reports
+/// violations as [`codes::BAD_INTERVAL`] rather than panicking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The full unit interval `[0,1]` — the "know nothing" element.
+    pub const UNIT: Interval = Interval { lo: 0.0, hi: 1.0 };
+
+    /// An interval from endpoints.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        Interval { lo, hi }
+    }
+
+    /// The degenerate interval `[p,p]`.
+    #[must_use]
+    pub fn point(p: f64) -> Self {
+        Interval { lo: p, hi: p }
+    }
+
+    /// Whether the interval is a valid sub-interval of `[0,1]`.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.lo.is_finite()
+            && self.hi.is_finite()
+            && self.lo >= 0.0
+            && self.hi <= 1.0
+            && self.lo <= self.hi
+    }
+
+    /// Whether `v` lies within the interval (inclusive).
+    #[must_use]
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+}
+
+/// The outcome of statically analysing one structure function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructureAnalysis {
+    /// Sound bounds on system *reliability*, or `None` if the program or
+    /// its intervals were invalid.
+    pub bounds: Option<Interval>,
+    /// Names of components the structure function does not depend on.
+    pub dead: Vec<String>,
+    /// Everything the verifier and the interpreter found.
+    pub report: Report,
+}
+
+/// Verifies a compiled structure function and bounds its reliability.
+///
+/// `failure_bounds[i]` is the failure-probability interval for the
+/// component at interned index `i` (the convention of
+/// [`CompiledBlock::reliability`], which consumes failure probabilities).
+///
+/// # Panics
+///
+/// Panics if `failure_bounds.len() != compiled.component_count()`, like
+/// every dense-slice API on [`CompiledBlock`].
+#[must_use]
+pub fn analyze_block(compiled: &CompiledBlock, failure_bounds: &[Interval]) -> StructureAnalysis {
+    let _span = hmdiv_obs::span("analyze.interval");
+    assert_eq!(
+        failure_bounds.len(),
+        compiled.component_count(),
+        "interval vector length must equal component count"
+    );
+    let mut report = verify(&PostfixProgram::from(compiled));
+    for (i, iv) in failure_bounds.iter().enumerate() {
+        if !iv.is_valid() {
+            report.emit(
+                &codes::BAD_INTERVAL,
+                PASS,
+                format!(
+                    "component `{}`: [{}, {}] is not a sub-interval of [0,1]",
+                    compiled.component_names()[i],
+                    iv.lo,
+                    iv.hi
+                ),
+            );
+        }
+    }
+    if report.has_errors() {
+        return StructureAnalysis {
+            bounds: None,
+            dead: Vec::new(),
+            report,
+        };
+    }
+
+    // Corner evaluations: reliability is monotone nonincreasing in each
+    // failure probability, so the all-hi corner is the reliability floor
+    // and the all-lo corner the ceiling.
+    let at_corner = |pick: fn(&Interval) -> f64| -> Result<Probability, RbdError> {
+        let q: Vec<Probability> = failure_bounds
+            .iter()
+            .map(|iv| Probability::clamped(pick(iv)))
+            .collect();
+        compiled.reliability(&q)
+    };
+    let (bounds, widened) = match (at_corner(|iv| iv.hi), at_corner(|iv| iv.lo)) {
+        (Ok(r_lo), Ok(r_hi)) => {
+            let iv = Interval::new(r_lo.value(), r_hi.value());
+            report.emit(
+                &codes::RELIABILITY_BOUNDS,
+                PASS,
+                format!("system reliability in [{:.9}, {:.9}]", iv.lo, iv.hi),
+            );
+            (iv, false)
+        }
+        _ => {
+            // Exact factoring refused (too many repeated components); the
+            // sound answer at this point is the whole unit interval.
+            report.emit(
+                &codes::BOUNDS_WIDENED,
+                PASS,
+                format!(
+                    "{} repeated components exceed the exact-factoring limit; bounds widened to [0,1]",
+                    compiled.repeated_indices().len()
+                ),
+            );
+            (Interval::UNIT, true)
+        }
+    };
+
+    let dead = if widened {
+        Vec::new() // relevance needs the exact evaluator; skip when it refused
+    } else {
+        dead_components(compiled, &mut report)
+    };
+    if dead.is_empty() && !report.has_errors() && !widened {
+        report.emit(
+            &codes::COHERENT_STRUCTURE,
+            PASS,
+            "all operators are monotone and every component is relevant".to_owned(),
+        );
+    }
+    StructureAnalysis {
+        bounds: Some(bounds),
+        dead,
+        report,
+    }
+}
+
+/// Components with zero Birnbaum importance at the interior point
+/// `q = 0.5`, which for a monotone structure is exactly the set the
+/// structure function ignores.
+fn dead_components(compiled: &CompiledBlock, report: &mut Report) -> Vec<String> {
+    let n = compiled.component_count();
+    let half = vec![Probability::HALF; n];
+    let mut dead = Vec::new();
+    for i in 0..n {
+        let mut q = half.clone();
+        q[i] = Probability::ZERO;
+        let r_perfect = compiled.reliability(&q);
+        q[i] = Probability::ONE;
+        let r_failed = compiled.reliability(&q);
+        let (Ok(r_perfect), Ok(r_failed)) = (r_perfect, r_failed) else {
+            return Vec::new(); // exact evaluator refused; no relevance verdict
+        };
+        let birnbaum = r_perfect.value() - r_failed.value();
+        if birnbaum.abs() <= RELEVANCE_EPS {
+            let name = compiled.component_names()[i].clone();
+            report.emit(
+                &codes::DEAD_COMPONENT,
+                PASS,
+                format!("component `{name}` has zero Birnbaum importance; the structure function does not depend on it"),
+            );
+            dead.push(name);
+        }
+    }
+    dead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmdiv_rbd::Block;
+
+    fn fig2() -> CompiledBlock {
+        CompiledBlock::compile(&Block::series(vec![
+            Block::parallel(vec![Block::component("Hd"), Block::component("Md")]),
+            Block::component("Hc"),
+        ]))
+        .unwrap()
+    }
+
+    #[test]
+    fn point_intervals_bound_tightly() {
+        let compiled = fig2();
+        // Interned order Hc, Hd, Md.
+        let iv = [
+            Interval::point(0.1),
+            Interval::point(0.2),
+            Interval::point(0.07),
+        ];
+        let analysis = analyze_block(&compiled, &iv);
+        let bounds = analysis.bounds.unwrap();
+        let expected = (1.0 - 0.2 * 0.07) * (1.0 - 0.1);
+        assert!((bounds.lo - expected).abs() < 1e-15);
+        assert!((bounds.hi - expected).abs() < 1e-15);
+        assert!(analysis.dead.is_empty());
+        let codes: Vec<&str> = analysis
+            .report
+            .diagnostics()
+            .iter()
+            .map(|d| d.code)
+            .collect();
+        assert_eq!(codes, ["HM011", "HM014"]);
+    }
+
+    #[test]
+    fn wide_intervals_nest_point_results() {
+        let compiled = fig2();
+        let wide = [
+            Interval::new(0.05, 0.3),
+            Interval::new(0.1, 0.4),
+            Interval::new(0.0, 0.2),
+        ];
+        let analysis = analyze_block(&compiled, &wide);
+        let bounds = analysis.bounds.unwrap();
+        // Any concrete point inside the box evaluates within the bounds.
+        for (qa, qb, qc) in [(0.05, 0.1, 0.0), (0.3, 0.4, 0.2), (0.17, 0.25, 0.11)] {
+            let q = [
+                Probability::clamped(qa),
+                Probability::clamped(qb),
+                Probability::clamped(qc),
+            ];
+            let r = compiled.reliability(&q).unwrap().value();
+            assert!(
+                bounds.lo - 1e-12 <= r && r <= bounds.hi + 1e-12,
+                "{r} outside [{}, {}]",
+                bounds.lo,
+                bounds.hi
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_intervals_are_rejected() {
+        let compiled = fig2();
+        for bad in [
+            Interval::new(0.5, 0.2),
+            Interval::new(-0.1, 0.5),
+            Interval::new(0.0, 1.5),
+            Interval::new(f64::NAN, 0.5),
+        ] {
+            let iv = [Interval::point(0.1), bad, Interval::point(0.1)];
+            let analysis = analyze_block(&compiled, &iv);
+            assert!(analysis.bounds.is_none());
+            assert_eq!(analysis.report.first_error().unwrap().code, "HM010");
+        }
+    }
+
+    #[test]
+    fn dead_component_is_flagged() {
+        // series(a, parallel(a, b)): works iff a works, so b is dead.
+        let compiled = CompiledBlock::compile(&Block::series(vec![
+            Block::component("a"),
+            Block::parallel(vec![Block::component("a"), Block::component("b")]),
+        ]))
+        .unwrap();
+        let analysis = analyze_block(&compiled, &[Interval::point(0.2), Interval::point(0.3)]);
+        assert_eq!(analysis.dead, ["b"]);
+        let codes: Vec<&str> = analysis
+            .report
+            .diagnostics()
+            .iter()
+            .map(|d| d.code)
+            .collect();
+        assert!(codes.contains(&"HM013"), "{codes:?}");
+        assert!(!codes.contains(&"HM014"), "{codes:?}");
+        // The bounds still agree with the exact evaluation R = r_a.
+        let bounds = analysis.bounds.unwrap();
+        assert!((bounds.lo - 0.8).abs() < 1e-15);
+        assert!((bounds.hi - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn repeated_components_stay_sound() {
+        // parallel(series(a,b), series(a,c)): a repeated, all relevant.
+        let compiled = CompiledBlock::compile(&Block::parallel(vec![
+            Block::series(vec![Block::component("a"), Block::component("b")]),
+            Block::series(vec![Block::component("a"), Block::component("c")]),
+        ]))
+        .unwrap();
+        let iv = [
+            Interval::new(0.1, 0.5),
+            Interval::new(0.2, 0.3),
+            Interval::new(0.0, 0.9),
+        ];
+        let analysis = analyze_block(&compiled, &iv);
+        let bounds = analysis.bounds.unwrap();
+        assert!(analysis.dead.is_empty());
+        for (qa, qb, qc) in [(0.1, 0.2, 0.0), (0.5, 0.3, 0.9), (0.3, 0.25, 0.45)] {
+            let q = [
+                Probability::clamped(qa),
+                Probability::clamped(qb),
+                Probability::clamped(qc),
+            ];
+            let r = compiled.reliability(&q).unwrap().value();
+            assert!(bounds.lo - 1e-12 <= r && r <= bounds.hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn oversized_factoring_widens_to_unit() {
+        // More than MAX_REPEATED shared components: exact evaluation
+        // refuses, so the analysis must widen rather than fail.
+        let shared: Vec<Block> = (0..25)
+            .map(|i| Block::component(format!("c{i:02}")))
+            .collect();
+        let left = Block::series(shared.clone());
+        let right = Block::series(shared);
+        let compiled = CompiledBlock::compile(&Block::parallel(vec![left, right])).unwrap();
+        let iv = vec![Interval::point(0.1); compiled.component_count()];
+        let analysis = analyze_block(&compiled, &iv);
+        assert_eq!(analysis.bounds.unwrap(), Interval::UNIT);
+        assert!(!analysis.report.has_errors());
+        let codes: Vec<&str> = analysis
+            .report
+            .diagnostics()
+            .iter()
+            .map(|d| d.code)
+            .collect();
+        assert!(codes.contains(&"HM012"), "{codes:?}");
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let compiled = fig2();
+        let iv = [
+            Interval::new(0.0, 0.4),
+            Interval::new(0.1, 0.2),
+            Interval::point(0.3),
+        ];
+        let a = analyze_block(&compiled, &iv);
+        let b = analyze_block(&compiled, &iv);
+        assert_eq!(a, b);
+        assert_eq!(a.report.render_json(), b.report.render_json());
+    }
+}

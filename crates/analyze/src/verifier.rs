@@ -1,0 +1,281 @@
+//! Bytecode-style verifier for postfix structure-function programs.
+//!
+//! [`hmdiv_rbd::compiled::CompiledBlock`] guarantees by construction that
+//! its program is well-formed; this verifier re-establishes that guarantee
+//! for programs of *any* provenance (deserialized artifacts, corrupted
+//! registries, hand-built test programs) without evaluating them. It
+//! simulates the evaluation stack symbolically: every instruction's effect
+//! on stack depth is checked, group arities must be positive, k-of-n
+//! thresholds must satisfy `0 < k \u{2264} n`, component indices must be in
+//! range, and the program must leave exactly one result.
+
+use hmdiv_rbd::compiled::{CompiledBlock, Op};
+
+use crate::diag::{codes, Report};
+
+/// The pass name used in diagnostics from this module.
+const PASS: &str = "verifier";
+
+/// One instruction of a postfix structure-function program, mirroring
+/// [`hmdiv_rbd::compiled::Op`] so the verifier can check programs that no
+/// compiler vouches for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostfixOp {
+    /// Push the state of the component with this index.
+    Comp(u32),
+    /// Pop this many values; push their conjunction.
+    Series(u32),
+    /// Pop this many values; push their disjunction.
+    Parallel(u32),
+    /// Pop `n` values; push "at least `k` work".
+    KOfN {
+        /// Minimum number of working children.
+        k: u32,
+        /// Number of children.
+        n: u32,
+    },
+}
+
+impl From<&Op> for PostfixOp {
+    fn from(op: &Op) -> Self {
+        match *op {
+            Op::Comp(i) => PostfixOp::Comp(i),
+            Op::Series(n) => PostfixOp::Series(n),
+            Op::Parallel(n) => PostfixOp::Parallel(n),
+            Op::KOfN { k, n } => PostfixOp::KOfN { k, n },
+        }
+    }
+}
+
+/// A postfix program together with its declared component count — the
+/// unit of verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PostfixProgram {
+    ops: Vec<PostfixOp>,
+    component_count: u32,
+}
+
+impl PostfixProgram {
+    /// Wraps a raw instruction stream. No validation happens here; that is
+    /// [`verify`]'s job.
+    #[must_use]
+    pub fn new(ops: Vec<PostfixOp>, component_count: u32) -> Self {
+        PostfixProgram {
+            ops,
+            component_count,
+        }
+    }
+
+    /// The instruction stream.
+    #[must_use]
+    pub fn ops(&self) -> &[PostfixOp] {
+        &self.ops
+    }
+
+    /// The declared number of components (the state-vector length).
+    #[must_use]
+    pub fn component_count(&self) -> u32 {
+        self.component_count
+    }
+}
+
+impl From<&CompiledBlock> for PostfixProgram {
+    fn from(compiled: &CompiledBlock) -> Self {
+        #[allow(clippy::cast_possible_truncation)] // compile() enforces the u32 bound
+        PostfixProgram::new(
+            compiled.ops().iter().map(PostfixOp::from).collect(),
+            compiled.component_count() as u32,
+        )
+    }
+}
+
+/// Verifies a postfix program without executing it.
+///
+/// On a clean program the report is empty except possibly for
+/// [`codes::UNREFERENCED_COMPONENT`] warnings. Any error-severity finding
+/// means evaluating the program would panic, read out of bounds, or
+/// produce a meaningless result.
+#[must_use]
+pub fn verify(program: &PostfixProgram) -> Report {
+    let _span = hmdiv_obs::span("analyze.verify");
+    let mut report = Report::new();
+    let mut depth: usize = 0;
+    let mut referenced = vec![false; program.component_count as usize];
+    for (pc, op) in program.ops.iter().enumerate() {
+        match *op {
+            PostfixOp::Comp(i) => {
+                if (i as usize) < referenced.len() {
+                    referenced[i as usize] = true;
+                } else {
+                    report.emit(
+                        &codes::COMPONENT_OUT_OF_RANGE,
+                        PASS,
+                        format!(
+                            "op {pc}: component index {i} outside range 0..{}",
+                            program.component_count
+                        ),
+                    );
+                }
+                depth += 1;
+            }
+            PostfixOp::Series(n) | PostfixOp::Parallel(n) | PostfixOp::KOfN { n, .. } => {
+                let kind = match op {
+                    PostfixOp::Series(_) => "series",
+                    PostfixOp::Parallel(_) => "parallel",
+                    _ => "k-of-n",
+                };
+                if n == 0 {
+                    report.emit(
+                        &codes::ZERO_ARITY_GROUP,
+                        PASS,
+                        format!("op {pc}: {kind} group with zero children"),
+                    );
+                    // A zero-arity group would push a vacuous result; model
+                    // its net effect (+1) so later depths stay meaningful.
+                    depth += 1;
+                    continue;
+                }
+                if let PostfixOp::KOfN { k, n } = *op {
+                    if k == 0 || k > n {
+                        report.emit(
+                            &codes::BAD_THRESHOLD,
+                            PASS,
+                            format!("op {pc}: threshold k={k} invalid for n={n}"),
+                        );
+                    }
+                }
+                if (n as usize) > depth {
+                    report.emit(
+                        &codes::STACK_UNDERFLOW,
+                        PASS,
+                        format!(
+                            "op {pc}: {kind} group pops {n} values but only {depth} are on the stack"
+                        ),
+                    );
+                    depth = 1; // as if the group consumed everything and pushed its result
+                } else {
+                    depth = depth - n as usize + 1;
+                }
+            }
+        }
+    }
+    if depth != 1 {
+        report.emit(
+            &codes::BAD_RESULT_ARITY,
+            PASS,
+            if program.ops.is_empty() {
+                "program is empty".to_owned()
+            } else {
+                format!("program leaves {depth} values on the stack, expected exactly 1")
+            },
+        );
+    }
+    for (i, seen) in referenced.iter().enumerate() {
+        if !seen {
+            report.emit(
+                &codes::UNREFERENCED_COMPONENT,
+                PASS,
+                format!("component {i} is declared but never read"),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmdiv_rbd::Block;
+
+    fn verify_ops(ops: Vec<PostfixOp>, components: u32) -> Report {
+        verify(&PostfixProgram::new(ops, components))
+    }
+
+    #[test]
+    fn compiled_blocks_verify_clean() {
+        for block in [
+            Block::component("solo"),
+            Block::series(vec![
+                Block::parallel(vec![Block::component("Hd"), Block::component("Md")]),
+                Block::component("Hc"),
+            ]),
+            Block::k_of_n(
+                2,
+                vec![
+                    Block::component("x"),
+                    Block::component("y"),
+                    Block::component("z"),
+                ],
+            ),
+        ] {
+            let compiled = CompiledBlock::compile(&block).unwrap();
+            let report = verify(&PostfixProgram::from(&compiled));
+            assert!(report.is_empty(), "{block}: {}", report.render_text());
+        }
+    }
+
+    #[test]
+    fn stack_underflow_is_detected() {
+        let report = verify_ops(vec![PostfixOp::Comp(0), PostfixOp::Series(2)], 1);
+        assert_eq!(report.first_error().unwrap().code, "HM001");
+    }
+
+    #[test]
+    fn leftover_values_are_detected() {
+        let report = verify_ops(vec![PostfixOp::Comp(0), PostfixOp::Comp(0)], 1);
+        assert_eq!(report.first_error().unwrap().code, "HM002");
+        let empty = verify_ops(vec![], 0);
+        assert_eq!(empty.first_error().unwrap().code, "HM002");
+    }
+
+    #[test]
+    fn zero_arity_groups_are_detected() {
+        let report = verify_ops(vec![PostfixOp::Parallel(0)], 0);
+        assert_eq!(report.first_error().unwrap().code, "HM003");
+    }
+
+    #[test]
+    fn bad_thresholds_are_detected() {
+        let zero = verify_ops(vec![PostfixOp::Comp(0), PostfixOp::KOfN { k: 0, n: 1 }], 1);
+        assert_eq!(zero.first_error().unwrap().code, "HM004");
+        let over = verify_ops(
+            vec![
+                PostfixOp::Comp(0),
+                PostfixOp::Comp(0),
+                PostfixOp::KOfN { k: 3, n: 2 },
+            ],
+            1,
+        );
+        assert_eq!(over.first_error().unwrap().code, "HM004");
+    }
+
+    #[test]
+    fn out_of_range_components_are_detected() {
+        let report = verify_ops(vec![PostfixOp::Comp(7)], 2);
+        assert_eq!(report.first_error().unwrap().code, "HM005");
+    }
+
+    #[test]
+    fn unreferenced_components_warn_but_do_not_error() {
+        let report = verify_ops(vec![PostfixOp::Comp(0)], 2);
+        assert!(!report.has_errors());
+        assert_eq!(report.worst().unwrap().code, "HM006");
+    }
+
+    #[test]
+    fn multiple_faults_all_reported() {
+        let report = verify_ops(
+            vec![
+                PostfixOp::Comp(9),
+                PostfixOp::KOfN { k: 5, n: 2 },
+                PostfixOp::Series(0),
+            ],
+            1,
+        );
+        let codes: Vec<&str> = report.diagnostics().iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"HM005"), "{codes:?}");
+        assert!(codes.contains(&"HM004"), "{codes:?}");
+        assert!(codes.contains(&"HM001"), "{codes:?}");
+        assert!(codes.contains(&"HM003"), "{codes:?}");
+    }
+}

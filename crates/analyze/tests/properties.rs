@@ -1,0 +1,166 @@
+//! Property-based parity between the static analyzer and the runtime:
+//!
+//! * models the analyzer passes clean never produce NaN or out-of-`[0,1]`
+//!   failure probabilities from the batch evaluators;
+//! * artifacts the analyzer rejects also fail at runtime with the
+//!   corresponding typed `ModelError`;
+//! * the interval abstract interpreter's static bounds always contain the
+//!   true system reliability for any point inside the per-component
+//!   intervals.
+// Integration tests are test code: the house `unwrap_used` ban (clippy.toml)
+// exempts tests, but clippy only auto-detects `#[cfg(test)]` modules.
+#![allow(clippy::unwrap_used)]
+
+use hmdiv_analyze::{analyze_block, analyze_cohort, analyze_model, Interval};
+use hmdiv_core::cohort::{CohortMember, ReaderCohort};
+use hmdiv_core::extrapolate::Scenario;
+use hmdiv_core::{ClassId, ClassParams, DemandProfile, ModelError, ModelParams, SequentialModel};
+use hmdiv_prob::Probability;
+use hmdiv_rbd::compiled::CompiledBlock;
+use hmdiv_rbd::Block;
+use proptest::prelude::*;
+
+fn p(v: f64) -> Probability {
+    Probability::new(v).unwrap()
+}
+
+#[derive(Debug, Clone)]
+struct RandomSystem {
+    model: SequentialModel,
+    profile: DemandProfile,
+}
+
+/// A random two-class model plus profile over the full closed parameter
+/// range — including the boundary values the analyzer flags with
+/// warnings, which must still evaluate cleanly.
+fn arb_system() -> impl Strategy<Value = RandomSystem> {
+    (proptest::collection::vec(0.0..=1.0f64, 6), 0.01..=0.99f64).prop_map(|(v, w)| {
+        let model = SequentialModel::new(
+            ModelParams::builder()
+                .class("a", ClassParams::new(p(v[0]), p(v[1]), p(v[2])))
+                .class("b", ClassParams::new(p(v[3]), p(v[4]), p(v[5])))
+                .build()
+                .unwrap(),
+        );
+        let profile = DemandProfile::builder()
+            .class("a", w)
+            .class("b", 1.0 - w)
+            .build()
+            .unwrap();
+        RandomSystem { model, profile }
+    })
+}
+
+/// Random diagram over a small shared component alphabet.
+fn arb_block(depth: u32) -> BoxedStrategy<Block> {
+    let leaf = (0u8..5).prop_map(|i| Block::component(format!("c{i}")));
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = arb_block(depth - 1);
+    prop_oneof![
+        3 => leaf,
+        2 => proptest::collection::vec(inner.clone(), 1..4).prop_map(Block::series),
+        2 => proptest::collection::vec(inner.clone(), 1..4).prop_map(Block::parallel),
+        1 => (proptest::collection::vec(inner, 1..4), any::<proptest::sample::Index>()).prop_map(
+            |(blocks, idx)| {
+                let k = idx.index(blocks.len()) + 1;
+                Block::k_of_n(k, blocks)
+            }
+        ),
+    ]
+    .boxed()
+}
+
+/// Per-component `[lo, hi]` failure intervals plus a true point inside
+/// each, for the 5-name alphabet of [`arb_block`].
+fn arb_intervals() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
+    proptest::collection::vec((0.0..=1.0f64, 0.0..=1.0f64, 0.0..=1.0f64), 5).prop_map(|v| {
+        v.into_iter()
+            .map(|(a, b, t)| {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                (lo, hi, lo + t * (hi - lo))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn clean_models_evaluate_inside_the_unit_interval(sys in arb_system(), factor in 1.0..=20.0f64) {
+        let compiled = sys.model.compiled();
+        let bound = compiled.bind_profile(&sys.profile).unwrap();
+        let report = analyze_model(compiled, Some(&bound));
+        prop_assume!(!report.has_errors());
+
+        for failure in compiled.evaluate_profiles(std::slice::from_ref(&bound)) {
+            let value = failure.value();
+            prop_assert!(value.is_finite() && (0.0..=1.0).contains(&value), "{value}");
+        }
+        let scenarios = [
+            Scenario::new(),
+            Scenario::new().improve_machine(ClassId::new("a"), factor),
+            Scenario::new().improve_machine_everywhere(factor),
+        ];
+        for failure in compiled.evaluate_scenarios(&scenarios, &bound).unwrap() {
+            let value = failure.value();
+            prop_assert!(value.is_finite() && (0.0..=1.0).contains(&value), "{value}");
+        }
+    }
+
+    #[test]
+    fn rejected_cohorts_also_fail_at_runtime(sys in arb_system(), other in arb_system(), weight in 0.1..=5.0f64) {
+        // A second member whose universe interns different class names.
+        let alien = SequentialModel::new(
+            ModelParams::builder()
+                .class("x", *other.model.params().class_by_name("a").unwrap())
+                .class("y", *other.model.params().class_by_name("b").unwrap())
+                .build()
+                .unwrap(),
+        );
+        let cohort = ReaderCohort::new(vec![
+            CohortMember { name: "r1".into(), weight, model: sys.model.clone() },
+            CohortMember { name: "r2".into(), weight, model: alien.clone() },
+        ])
+        .unwrap();
+        let report = analyze_cohort(&cohort);
+        prop_assert!(report.has_errors());
+        prop_assert_eq!(report.first_error().unwrap().code, "HM030");
+
+        // Runtime parity: a profile valid for member 1 fails on member 2
+        // with the typed unknown-class error the diagnostic predicts.
+        let err = alien.system_failure(&sys.profile).unwrap_err();
+        prop_assert!(matches!(err, ModelError::UnknownClass { .. }), "{err}");
+    }
+
+    #[test]
+    fn static_bounds_contain_every_true_evaluation(block in arb_block(2), ivs in arb_intervals()) {
+        let compiled = CompiledBlock::compile(&block).unwrap();
+        let names = compiled.component_names();
+        let by_index = |name: &str| {
+            let i: usize = name.strip_prefix('c').unwrap().parse().unwrap();
+            ivs[i]
+        };
+        let bounds: Vec<Interval> = names
+            .iter()
+            .map(|n| { let (lo, hi, _) = by_index(n); Interval::new(lo, hi) })
+            .collect();
+        let analysis = analyze_block(&compiled, &bounds);
+        prop_assert!(!analysis.report.has_errors(), "{}", analysis.report.render_text());
+        let bounds = analysis.bounds.unwrap();
+
+        let truth: Vec<Probability> = names
+            .iter()
+            .map(|n| { let (_, _, t) = by_index(n); Probability::clamped(t) })
+            .collect();
+        let r = compiled.reliability(&truth).unwrap().value();
+        prop_assert!(
+            bounds.lo - 1e-12 <= r && r <= bounds.hi + 1e-12,
+            "true reliability {r} outside static [{}, {}] for {block}",
+            bounds.lo,
+            bounds.hi
+        );
+    }
+}

@@ -65,7 +65,12 @@ fn bench_compiled_vs_interpreted(c: &mut Criterion) {
     let probs: BTreeMap<String, f64> = sys
         .component_names()
         .iter()
-        .map(|&n| (n.to_string(), failure_of(n).unwrap().value()))
+        .map(|&n| {
+            (
+                n.to_string(),
+                failure_of(n).expect("named component").value(),
+            )
+        })
         .collect();
     let samples = 100_000u64;
     let mut group = c.benchmark_group("mc_sampler");

@@ -6,6 +6,7 @@
 //! repro [EXPERIMENT...] [--monte-carlo] [--cases N] [--seed N] [--threads N] [--metrics[=PATH]]
 //! repro serve [--addr HOST:PORT] [--queue-capacity N] [--threads N]
 //!             [--max-line-bytes N] [--deadline-ms N] [--metrics]
+//! repro check [--json] ARTIFACT.json...
 //! ```
 //!
 //! Experiments: `table1`, `table2`, `table3`, `fig4`, `eq10`, `tradeoff`,
@@ -23,6 +24,11 @@
 //! blocks until a client sends the `shutdown` verb (or the process is
 //! killed). `--metrics` enables the `hmdiv-obs` layer so the server's
 //! `metrics` verb returns live counters.
+//!
+//! `repro check` runs the `hmdiv-analyze` static passes over artifact
+//! files (see `hmdiv_bench::check` for the accepted shapes) and exits
+//! nonzero when any artifact fails to build or carries an error-severity
+//! diagnostic — the CI gate for model parameter files.
 
 use std::process::ExitCode;
 
@@ -71,9 +77,10 @@ struct Options {
 
 fn usage() -> String {
     format!(
-        "usage: repro [{}|all] [--monte-carlo] [--cases N] [--seed N] [--threads N] [--metrics[=PATH]]\n       {}",
+        "usage: repro [{}|all] [--monte-carlo] [--cases N] [--seed N] [--threads N] [--metrics[=PATH]]\n       {}\n       {}",
         EXPERIMENT_NAMES.join("|"),
-        serve_usage()
+        serve_usage(),
+        check_usage()
     )
 }
 
@@ -152,6 +159,75 @@ fn serve_usage() -> String {
     "usage: repro serve [--addr HOST:PORT] [--queue-capacity N] [--threads N] \
      [--max-line-bytes N] [--deadline-ms N] [--metrics]"
         .to_owned()
+}
+
+fn check_usage() -> String {
+    "usage: repro check [--json] ARTIFACT.json...".to_owned()
+}
+
+/// Statically analyzes artifact files; exits nonzero when any artifact
+/// fails to build or carries an error-severity diagnostic.
+fn check_main(args: &[String]) -> ExitCode {
+    let mut json_output = false;
+    let mut paths = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json_output = true,
+            "--help" | "-h" => {
+                eprintln!("{}", check_usage());
+                return ExitCode::FAILURE;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown check flag {other}\n{}", check_usage());
+                return ExitCode::FAILURE;
+            }
+            path => paths.push(path),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("{}", check_usage());
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in paths {
+        let verdict = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {path}: {e}"))
+            .and_then(|source| hmdiv_bench::check::check_source(&source));
+        match verdict {
+            Ok(outcome) => {
+                if json_output {
+                    println!("{}", outcome.report.render_json());
+                } else {
+                    println!(
+                        "{path}: {} artifact — {}",
+                        outcome.kind,
+                        outcome.report.summary_line()
+                    );
+                    if let Some(bounds) = outcome.bounds {
+                        println!(
+                            "  system reliability in [{:.6}, {:.6}]",
+                            bounds.lo, bounds.hi
+                        );
+                    }
+                    for diagnostic in outcome.report.diagnostics() {
+                        println!("  {diagnostic}");
+                    }
+                }
+                if !outcome.passed() {
+                    failed = true;
+                }
+            }
+            Err(msg) => {
+                eprintln!("{path}: FAILED — {msg}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// Parses `repro serve` flags into a [`hmdiv_serve::ServerConfig`].
@@ -234,6 +310,9 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("serve") {
         return serve_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("check") {
+        return check_main(&argv[1..]);
     }
     let opts = match parse_args() {
         Ok(o) => o,

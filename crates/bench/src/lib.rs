@@ -5,6 +5,8 @@
 
 use hmdiv_core::{paper, ClassId, DemandProfile, ModelError, SequentialModel};
 
+pub mod check;
+
 /// A named experiment row: paper value vs regenerated value.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Row {

@@ -20,6 +20,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(easy.name(), "easy");
 /// assert_eq!(easy, ClassId::from("easy"));
 /// ```
+// Derived `PartialOrd` expands to `partial_cmp`, which clippy.toml disallows
+// for hand-written float comparisons; the derive itself is fine.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(from = "String", into = "String")]
 pub struct ClassId(Arc<str>);

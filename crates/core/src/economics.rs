@@ -160,8 +160,7 @@ pub fn price_configurations(
     }
     out.sort_by(|a, b| {
         a.cost_per_case
-            .partial_cmp(&b.cost_per_case)
-            .expect("costs are finite")
+            .total_cmp(&b.cost_per_case)
             .then_with(|| a.name.cmp(&b.name))
     });
     Ok(out)

@@ -81,7 +81,7 @@ impl ClassParamBox {
         candidates
             .iter()
             .map(ClassParams::class_failure)
-            .max_by(|a, b| a.partial_cmp(b).expect("finite"))
+            .max_by(|a, b| a.value().total_cmp(&b.value()))
             .expect("non-empty")
     }
 
@@ -95,7 +95,7 @@ impl ClassParamBox {
         candidates
             .iter()
             .map(ClassParams::class_failure)
-            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+            .min_by(|a, b| a.value().total_cmp(&b.value()))
             .expect("non-empty")
     }
 }

@@ -261,7 +261,7 @@ impl TradeoffStudy {
             pts.push((p.fp_rate.value(), 1.0 - p.fn_rate.value()));
         }
         pts.push((1.0, 1.0));
-        pts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
         let mut auc = 0.0;
         for w in pts.windows(2) {
             auc += (w[1].0 - w[0].0) * (w[0].1 + w[1].1) / 2.0;

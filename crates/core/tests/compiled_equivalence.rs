@@ -7,6 +7,9 @@
 //! consumption order (classes sorted by name) as walking the `BTreeMap`
 //! tables directly. Each test here re-rolls the pre-compiled map-based
 //! computation by hand and compares `f64::to_bits`.
+// Integration tests are test code: the house `unwrap_used` ban (clippy.toml)
+// exempts tests, but clippy only auto-detects `#[cfg(test)]` modules.
+#![allow(clippy::unwrap_used)]
 
 use hmdiv_core::design::rank_improvement_targets;
 use hmdiv_core::extrapolate::Scenario;

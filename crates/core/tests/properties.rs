@@ -1,6 +1,9 @@
 //! Property-based tests of the core models at the crate level:
 //! aggregation invariants, adaptation sanity, multi-reader orderings, and
 //! trade-off monotonicity over random parameterisations.
+// Integration tests are test code: the house `unwrap_used` ban (clippy.toml)
+// exempts tests, but clippy only auto-detects `#[cfg(test)]` modules.
+#![allow(clippy::unwrap_used)]
 
 use hmdiv_core::adaptation::AdaptationResponse;
 use hmdiv_core::aggregation::{coarsen, merge_classes};

@@ -68,7 +68,7 @@ impl Bootstrap {
             }
             values.push(statistic(&resample));
         }
-        values.sort_by(|a, b| a.partial_cmp(b).expect("bootstrap statistic produced NaN"));
+        values.sort_by(f64::total_cmp);
         Ok(Bootstrap { replicates: values })
     }
 
@@ -139,7 +139,7 @@ impl Bootstrap {
             },
         );
         let mut values = acc.values;
-        values.sort_by(|a, b| a.partial_cmp(b).expect("bootstrap statistic produced NaN"));
+        values.sort_by(f64::total_cmp);
         Ok(Bootstrap { replicates: values })
     }
 

@@ -26,6 +26,9 @@ use crate::{ProbError, Probability};
 /// # Ok(())
 /// # }
 /// ```
+// Derived `PartialOrd` expands to `partial_cmp`, which clippy.toml disallows
+// for hand-written float comparisons; the derive itself is fine.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
 pub struct Odds(f64);
 

@@ -35,6 +35,9 @@ use crate::ProbError;
 /// # Ok(())
 /// # }
 /// ```
+// Derived `PartialOrd` expands to `partial_cmp`, which clippy.toml disallows
+// for hand-written float comparisons; the derive itself is fine.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
 #[serde(try_from = "f64", into = "f64")]
 pub struct Probability(f64);

@@ -45,8 +45,12 @@ use crate::{Block, RbdError};
 /// One postfix instruction. Children of a group are evaluated (pushed)
 /// before the group instruction consumes them, so a single left-to-right
 /// pass over the program evaluates the diagram.
+///
+/// The program is exposed read-only through [`CompiledBlock::ops`] so that
+/// external passes (the `hmdiv-analyze` verifier and abstract interpreter)
+/// can reason about the exact instruction stream the evaluators execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Op {
+pub enum Op {
     /// Push the state of the component with this interned index.
     Comp(u32),
     /// Pop this many values; push their conjunction.
@@ -86,7 +90,9 @@ impl CompiledBlock {
     ///
     /// # Errors
     ///
-    /// Propagates validation errors from [`Block::validate`].
+    /// Propagates validation errors from [`Block::validate`], and returns
+    /// [`RbdError::Oversized`] if the diagram exceeds the compiler's `u32`
+    /// index/arity representation.
     pub fn compile(block: &Block) -> Result<Self, RbdError> {
         let _span = hmdiv_obs::span("rbd.compile");
         block.validate()?;
@@ -95,17 +101,19 @@ impl CompiledBlock {
             .into_iter()
             .map(str::to_owned)
             .collect();
-        assert!(
-            u32::try_from(names.len()).is_ok(),
-            "more than u32::MAX distinct components"
-        );
+        if u32::try_from(names.len()).is_err() {
+            return Err(RbdError::Oversized {
+                what: "distinct components",
+                len: names.len(),
+            });
+        }
         let index: BTreeMap<&str, u32> = names
             .iter()
             .enumerate()
             .map(|(i, n)| (n.as_str(), i as u32))
             .collect();
         let mut ops = Vec::with_capacity(block.leaf_count() * 2);
-        emit(block, &index, &mut ops);
+        emit(block, &index, &mut ops)?;
         let mut depth = 0usize;
         let mut max_stack = 0usize;
         for op in &ops {
@@ -156,6 +164,14 @@ impl CompiledBlock {
     #[must_use]
     pub fn repeated_indices(&self) -> &[u32] {
         &self.repeated
+    }
+
+    /// The postfix program, read-only. This is the exact instruction stream
+    /// every evaluation mode executes; static-analysis passes consume it to
+    /// verify well-formedness and to bound reliability abstractly.
+    #[must_use]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
     }
 
     /// The deepest evaluation stack the program needs; pre-size scratch
@@ -360,31 +376,42 @@ impl CompiledBlock {
 }
 
 /// Emits the postfix program for `block`, children before their group.
-fn emit(block: &Block, index: &BTreeMap<&str, u32>, ops: &mut Vec<Op>) {
+/// Group arities must fit the `u32` instruction encoding; oversized groups
+/// are a typed error rather than a silent truncation.
+fn emit(block: &Block, index: &BTreeMap<&str, u32>, ops: &mut Vec<Op>) -> Result<(), RbdError> {
+    let arity = |blocks: &[Block], what| {
+        u32::try_from(blocks.len()).map_err(|_| RbdError::Oversized {
+            what,
+            len: blocks.len(),
+        })
+    };
     match block {
         Block::Component(name) => ops.push(Op::Comp(index[name.as_str()])),
         Block::Series(blocks) => {
+            let n = arity(blocks, "series group")?;
             for b in blocks {
-                emit(b, index, ops);
+                emit(b, index, ops)?;
             }
-            ops.push(Op::Series(blocks.len() as u32));
+            ops.push(Op::Series(n));
         }
         Block::Parallel(blocks) => {
+            let n = arity(blocks, "parallel group")?;
             for b in blocks {
-                emit(b, index, ops);
+                emit(b, index, ops)?;
             }
-            ops.push(Op::Parallel(blocks.len() as u32));
+            ops.push(Op::Parallel(n));
         }
         Block::KOfN { k, blocks } => {
+            // `validate` guarantees 0 < k ≤ n, so a threshold that fits the
+            // arity check below also fits `u32`.
+            let n = arity(blocks, "k-of-n group")?;
             for b in blocks {
-                emit(b, index, ops);
+                emit(b, index, ops)?;
             }
-            ops.push(Op::KOfN {
-                k: *k as u32,
-                n: blocks.len() as u32,
-            });
+            ops.push(Op::KOfN { k: *k as u32, n });
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -510,5 +537,55 @@ mod tests {
     fn invalid_diagrams_are_rejected_at_compile_time() {
         let invalid = Block::series(vec![]);
         assert!(CompiledBlock::compile(&invalid).is_err());
+    }
+
+    /// Degenerate diagrams never reach the postfix emitter: each edge case
+    /// fails compilation with its typed error, even when nested.
+    #[test]
+    fn edge_case_diagrams_fail_with_typed_errors() {
+        let zero_k = Block::k_of_n(0, vec![Block::component("a")]);
+        assert_eq!(
+            CompiledBlock::compile(&zero_k).unwrap_err(),
+            RbdError::InvalidThreshold { k: 0, n: 1 }
+        );
+        let k_over_n = Block::k_of_n(3, vec![Block::component("a"), Block::component("b")]);
+        assert_eq!(
+            CompiledBlock::compile(&k_over_n).unwrap_err(),
+            RbdError::InvalidThreshold { k: 3, n: 2 }
+        );
+        for (block, kind) in [
+            (Block::series(vec![]), "series"),
+            (Block::parallel(vec![]), "parallel"),
+            (Block::k_of_n(1, vec![]), "k-of-n"),
+        ] {
+            assert_eq!(
+                CompiledBlock::compile(&block).unwrap_err(),
+                RbdError::EmptyGroup { kind }
+            );
+        }
+        let nested = Block::series(vec![
+            Block::component("ok"),
+            Block::parallel(vec![Block::k_of_n(9, vec![Block::component("x")])]),
+        ]);
+        assert_eq!(
+            CompiledBlock::compile(&nested).unwrap_err(),
+            RbdError::InvalidThreshold { k: 9, n: 1 }
+        );
+    }
+
+    #[test]
+    fn ops_are_exposed_read_only() {
+        let compiled = CompiledBlock::compile(&fig2()).unwrap();
+        // Interned order Hc=0, Hd=1, Md=2; postfix: Hd Md par(2) Hc ser(2).
+        assert_eq!(
+            compiled.ops(),
+            [
+                Op::Comp(1),
+                Op::Comp(2),
+                Op::Parallel(2),
+                Op::Comp(0),
+                Op::Series(2),
+            ]
+        );
     }
 }

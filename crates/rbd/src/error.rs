@@ -34,6 +34,13 @@ pub enum RbdError {
         /// The supported maximum.
         max: usize,
     },
+    /// The diagram exceeds the compiler's `u32` index/arity encoding.
+    Oversized {
+        /// What overflowed ("distinct components", "series group", …).
+        what: &'static str,
+        /// The offending size.
+        len: usize,
+    },
 }
 
 impl fmt::Display for RbdError {
@@ -51,6 +58,9 @@ impl fmt::Display for RbdError {
                 f,
                 "diagram has {repeated} repeated components, exact evaluation supports at most {max}"
             ),
+            RbdError::Oversized { what, len } => {
+                write!(f, "{what} has {len} entries, exceeding the u32 encoding")
+            }
         }
     }
 }

@@ -137,12 +137,7 @@ where
         let m = measures_for(&compiled, &q, idx as u32)?;
         out.push((name.clone(), m));
     }
-    out.sort_by(|(na, a), (nb, b)| {
-        b.birnbaum
-            .partial_cmp(&a.birnbaum)
-            .expect("birnbaum importance is finite")
-            .then_with(|| na.cmp(nb))
-    });
+    out.sort_by(|(na, a), (nb, b)| b.birnbaum.total_cmp(&a.birnbaum).then_with(|| na.cmp(nb)));
     Ok(out)
 }
 

@@ -1,5 +1,8 @@
 //! Property-based tests of the RBD substrate over randomly generated
 //! diagrams.
+// Integration tests are test code: the house `unwrap_used` ban (clippy.toml)
+// exempts tests, but clippy only auto-detects `#[cfg(test)]` modules.
+#![allow(clippy::unwrap_used)]
 
 use std::collections::BTreeMap;
 

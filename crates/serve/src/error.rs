@@ -42,6 +42,15 @@ pub enum ServeError {
     },
     /// A model-layer failure (class resolution, validation, …).
     Model(ModelError),
+    /// Static analysis refused the artifact at load: the wire code *is*
+    /// the stable `HM0xx` diagnostic code, so clients can react to the
+    /// specific fault without string matching.
+    Rejected {
+        /// The `HM0xx` code of the first error-severity diagnostic.
+        code: String,
+        /// That diagnostic's message.
+        detail: String,
+    },
     /// The bounded request queue is full; the client should back off and
     /// retry. This is the explicit backpressure signal — the server sheds
     /// load instead of buffering without bound.
@@ -95,6 +104,7 @@ impl ServeError {
                 // to the generic model code rather than breaking the wire.
                 _ => "model_error",
             },
+            ServeError::Rejected { code, .. } => code,
             ServeError::Overloaded { .. } => "overloaded",
             ServeError::DeadlineExceeded => "deadline_exceeded",
             ServeError::ShuttingDown => "shutting_down",
@@ -124,6 +134,9 @@ impl fmt::Display for ServeError {
                 write!(f, "no model or cohort loaded under id `{id}`")
             }
             ServeError::Model(e) => write!(f, "{e}"),
+            ServeError::Rejected { code, detail } => {
+                write!(f, "artifact rejected by static analysis [{code}]: {detail}")
+            }
             ServeError::Overloaded { capacity } => {
                 write!(f, "request queue full ({capacity} pending); retry later")
             }

@@ -13,6 +13,13 @@
 //! supplies a serialized universe manifest, compatibility is verified at
 //! load and a [`hmdiv_core::ModelError::UniverseMismatch`] is reported
 //! before the model is admitted.
+//!
+//! Every load also runs the `hmdiv-analyze` static analyzer over the
+//! artifact's compiled form. An error-severity finding refuses admission
+//! with [`ServeError::Rejected`], whose wire code is the stable `HM0xx`
+//! diagnostic code — bad models are rejected at `load`, not discovered
+//! mid-batch at `evaluate`. Warnings and notes never block a load; the
+//! `analyze` verb reports them on demand.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -89,6 +96,30 @@ impl Artifact {
             Artifact::Cohort(_) => "cohort",
         }
     }
+
+    /// Runs the static analyzer over the artifact's compiled form. Pure:
+    /// the same artifact always yields the same report.
+    #[must_use]
+    pub fn analyze(&self) -> hmdiv_analyze::Report {
+        match self {
+            Artifact::Sequential(m) => hmdiv_analyze::analyze_sequential(m),
+            Artifact::Detection(m) => hmdiv_analyze::analyze_detection(m.compiled()),
+            Artifact::Cohort(c) => hmdiv_analyze::analyze_cohort(c),
+        }
+    }
+}
+
+/// Turns an analyzer report into an admission decision: the first
+/// error-severity diagnostic refuses the artifact with its `HM0xx` code
+/// on the wire.
+fn admit(report: &hmdiv_analyze::Report) -> Result<(), ServeError> {
+    match report.first_error() {
+        Some(d) => Err(ServeError::Rejected {
+            code: d.code.to_owned(),
+            detail: d.message.clone(),
+        }),
+        None => Ok(()),
+    }
 }
 
 /// What a successful `load` reports back to the client.
@@ -153,6 +184,7 @@ impl Registry {
         let model = SequentialModel::new(params);
         let compiled = Arc::clone(model.compiled());
         verify_manifest(manifest, compiled.universe())?;
+        admit(&hmdiv_analyze::analyze_model(&compiled, None))?;
         let mut h = Fnv::new(b'S');
         h.u64(compiled.universe().content_hash());
         for cp in compiled.params_slice() {
@@ -195,6 +227,7 @@ impl Registry {
         let model = builder.build().map_err(ServeError::Model)?;
         let compiled = Arc::clone(model.compiled());
         verify_manifest(manifest, compiled.universe())?;
+        admit(&hmdiv_analyze::analyze_detection(&compiled))?;
         let mut h = Fnv::new(b'D');
         h.u64(compiled.universe().content_hash());
         for index in 0..compiled.universe().len() as u32 {
@@ -233,6 +266,7 @@ impl Registry {
         manifest: Option<&UniverseManifest>,
     ) -> Result<LoadReceipt, ServeError> {
         let cohort = ReaderCohort::new(members).map_err(ServeError::Model)?;
+        admit(&hmdiv_analyze::analyze_cohort(&cohort))?;
         let mut h = Fnv::new(b'C');
         for m in cohort.members() {
             let compiled = m.model.compiled();
@@ -380,6 +414,50 @@ mod tests {
         let model = paper::example_model().unwrap();
         let right = UniverseManifest::of(model.compiled().universe());
         assert!(reg.load_sequential(paper_params(), Some(&right)).is_ok());
+    }
+
+    #[test]
+    fn analyzer_gate_rejects_mismatched_cohort_universes() {
+        let reg = Registry::new();
+        let alien = ModelParams::builder()
+            .class(
+                ClassId::new("alien"),
+                hmdiv_core::ClassParams::new(
+                    hmdiv_prob::Probability::new(0.1).unwrap(),
+                    hmdiv_prob::Probability::new(0.2).unwrap(),
+                    hmdiv_prob::Probability::new(0.3).unwrap(),
+                ),
+            )
+            .build()
+            .unwrap();
+        let err = reg
+            .load_cohort(
+                vec![
+                    CohortMember {
+                        name: "r1".into(),
+                        model: paper::example_model().unwrap(),
+                        weight: 1.0,
+                    },
+                    CohortMember {
+                        name: "r2".into(),
+                        model: SequentialModel::new(alien),
+                        weight: 1.0,
+                    },
+                ],
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err.code(), "HM030", "{err}");
+        assert!(reg.is_empty(), "rejected loads must not be admitted");
+    }
+
+    #[test]
+    fn clean_artifacts_analyze_without_errors_and_still_load() {
+        let reg = Registry::new();
+        let receipt = reg.load_sequential(paper_params(), None).unwrap();
+        let artifact = reg.get(&receipt.id).unwrap();
+        let report = artifact.analyze();
+        assert!(!report.has_errors(), "{}", report.render_text());
     }
 
     #[test]

@@ -347,13 +347,14 @@ enum Routed {
 
 /// Verbs the server understands (unknown verbs share one metrics bucket
 /// to keep counter cardinality bounded).
-const VERBS: [&str; 11] = [
+const VERBS: [&str; 12] = [
     "ping",
     "metrics",
     "models",
     "shutdown",
     "load",
     "load_cohort",
+    "analyze",
     "evaluate",
     "scenarios",
     "extrapolate",
@@ -429,6 +430,30 @@ fn render_outcome(render: &Render, outcome: Outcome) -> Result<Json, ServeError>
             detail: "executor returned a mismatched outcome shape".to_owned(),
         }),
     }
+}
+
+/// Renders an analyzer report as the `analyze` verb's result object.
+fn report_json(report: &hmdiv_analyze::Report) -> Json {
+    let diags = report
+        .diagnostics()
+        .iter()
+        .map(|d| {
+            Json::Obj(vec![
+                ("code".to_owned(), Json::str(d.code)),
+                ("severity".to_owned(), Json::str(d.severity.label())),
+                ("pass".to_owned(), Json::str(d.pass)),
+                ("message".to_owned(), Json::str(d.message.as_str())),
+            ])
+        })
+        .collect();
+    let (errors, warnings, notes) = report.counts();
+    Json::Obj(vec![
+        ("diagnostics".to_owned(), Json::Arr(diags)),
+        ("errors".to_owned(), Json::Num(errors as f64)),
+        ("warnings".to_owned(), Json::Num(warnings as f64)),
+        ("notes".to_owned(), Json::Num(notes as f64)),
+        ("summary".to_owned(), Json::str(report.summary_line())),
+    ])
 }
 
 fn receipt_json(receipt: &LoadReceipt) -> Json {
@@ -536,6 +561,13 @@ fn route(env: &Envelope, received: Instant, ctx: &Ctx) -> Result<Routed, ServeEr
             }
             let receipt = ctx.registry.load_cohort(parsed, manifest.as_ref())?;
             Ok(Routed::Ready(receipt_json(&receipt)))
+        }
+        "analyze" => {
+            // Loaded artifacts passed admission, so this reports the
+            // warnings and notes the gate let through. Pure and fast, so
+            // answered inline rather than queued.
+            let artifact = ctx.registry.get(protocol::required_str(body, "model")?)?;
+            Ok(Routed::Ready(report_json(&artifact.analyze())))
         }
         "evaluate" => {
             let artifact = ctx.registry.get(protocol::required_str(body, "model")?)?;

@@ -338,6 +338,95 @@ fn wire_errors_carry_stable_codes() {
 }
 
 #[test]
+fn analyze_verb_reports_and_load_rejects_with_hm_codes() {
+    let server = start();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let model_id = load_paper_model(&mut client);
+
+    // The paper model is clean: the on-demand report carries no findings.
+    let report = client
+        .request(
+            "analyze",
+            vec![("model".into(), Json::str(model_id.as_str()))],
+        )
+        .unwrap();
+    assert_eq!(report.get("errors").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(report.get("summary").and_then(Json::as_str), Some("clean"));
+    assert_eq!(
+        report
+            .get("diagnostics")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .len(),
+        0
+    );
+
+    // A model with an inverted coherence index loads (warn-severity) and
+    // the report surfaces the HM025 diagnostic.
+    let receipt = client
+        .request(
+            "load",
+            vec![(
+                "classes".into(),
+                json::parse(r#"{"odd":{"p_mf":0.3,"p_hf_given_ms":0.4,"p_hf_given_mf":0.1}}"#)
+                    .unwrap(),
+            )],
+        )
+        .unwrap();
+    let odd_id = receipt
+        .get("model_id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_owned();
+    let report = client
+        .request("analyze", vec![("model".into(), Json::str(odd_id))])
+        .unwrap();
+    let diags = report.get("diagnostics").and_then(Json::as_arr).unwrap();
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.get("code").and_then(Json::as_str) == Some("HM025")),
+        "got: {diags:?}"
+    );
+    assert_eq!(report.get("errors").and_then(Json::as_f64), Some(0.0));
+
+    // A cohort whose members intern different universes is refused at
+    // load with the stable HM0xx code as the wire error code.
+    let err = client
+        .request(
+            "load_cohort",
+            vec![(
+                "members".into(),
+                json::parse(
+                    r#"[{"name":"r1","weight":1,
+                         "classes":{"easy":{"p_mf":0.07,"p_hf_given_ms":0.14,"p_hf_given_mf":0.18}}},
+                        {"name":"r2","weight":1,
+                         "classes":{"alien":{"p_mf":0.1,"p_hf_given_ms":0.2,"p_hf_given_mf":0.3}}}]"#,
+                )
+                .unwrap(),
+            )],
+        )
+        .unwrap_err();
+    let ServeError::Remote { code, message } = err else {
+        panic!("expected Remote error");
+    };
+    assert_eq!(code, "HM030");
+    assert!(message.contains("universe"), "got: {message}");
+    // The rejected cohort was not admitted.
+    let listing = client.request("models", vec![]).unwrap();
+    let kinds: Vec<&str> = listing
+        .get("models")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|r| r.get("kind").and_then(Json::as_str))
+        .collect();
+    assert!(!kinds.contains(&"cohort"), "got: {kinds:?}");
+
+    server.shutdown();
+}
+
+#[test]
 fn malformed_json_is_rejected_but_the_connection_survives() {
     let server = start();
     let mut raw = TcpStream::connect(server.addr()).unwrap();

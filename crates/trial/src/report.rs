@@ -51,6 +51,23 @@ pub fn render_table1(
         manifest.classes().len(),
         manifest.hash()
     );
+    // Same verdict the serve admission gate computes, so an exported table
+    // records whether its parameters carried diagnostics.
+    let compiled = model.compiled();
+    let mut report = hmdiv_analyze::analyze_model(compiled, None);
+    for (profile, label) in [(trial, "trial profile: "), (field, "field profile: ")] {
+        let bound = compiled.bind_profile(profile)?;
+        report.merge_prefixed(
+            hmdiv_analyze::params::check_profile(compiled.universe(), &bound),
+            label,
+        );
+    }
+    let _ = writeln!(out, "static analysis: {}", report.summary_line());
+    for diagnostic in report.diagnostics() {
+        if diagnostic.severity > hmdiv_analyze::Severity::Info {
+            let _ = writeln!(out, "  {diagnostic}");
+        }
+    }
     Ok(out)
 }
 
@@ -133,6 +150,25 @@ mod tests {
         assert!(s.contains("0.07"), "{s}");
         assert!(s.contains("0.41"), "{s}");
         assert!(s.contains("0.90"), "{s}");
+        assert!(s.contains("static analysis: clean"), "{s}");
+    }
+
+    #[test]
+    fn table1_footer_surfaces_warnings() {
+        use hmdiv_core::{ClassParams, ModelParams, SequentialModel};
+        use hmdiv_prob::Probability;
+        let p = |v: f64| Probability::new(v).unwrap();
+        // PHf|Mf < PHf|Ms inverts the coherence index -> HM025 warning.
+        let model = SequentialModel::new(
+            ModelParams::builder()
+                .class("odd", ClassParams::new(p(0.3), p(0.4), p(0.1)))
+                .build()
+                .unwrap(),
+        );
+        let profile = DemandProfile::builder().class("odd", 1.0).build().unwrap();
+        let s = render_table1(&model, &profile, &profile).unwrap();
+        assert!(s.contains("HM025"), "{s}");
+        assert!(!s.contains("clean"), "{s}");
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Property-based tests of the trial harness over random ground truths:
 //! the estimate → predict loop must be consistent for ANY generating model,
 //! and the planner's guarantees must hold wherever they are claimed.
+// Integration tests are test code: the house `unwrap_used` ban (clippy.toml)
+// exempts tests, but clippy only auto-detects `#[cfg(test)]` modules.
+#![allow(clippy::unwrap_used)]
 
 use hmdiv_core::{ClassParams, DemandProfile, ModelParams, SequentialModel};
 use hmdiv_prob::estimate::CiMethod;

@@ -24,6 +24,10 @@
 //! * [`serve`] — a zero-dependency batched evaluation server: JSON-lines
 //!   over TCP, a content-hash-addressed model registry, and a
 //!   micro-batching executor with bit-identical results.
+//! * [`analyze`] — static analysis of compiled artifacts: a postfix
+//!   bytecode verifier, an interval abstract interpreter bounding system
+//!   reliability, and parameter-domain diagnostics with stable `HM0xx`
+//!   codes; the admission gate behind `serve`'s registry and `repro check`.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +49,7 @@
 //! # }
 //! ```
 
+pub use hmdiv_analyze as analyze;
 pub use hmdiv_core as core;
 pub use hmdiv_obs as obs;
 pub use hmdiv_prob as prob;

@@ -1,5 +1,8 @@
 //! Cross-model consistency: the paper's two models, the RBD substrate, and
 //! the team model must agree wherever their assumptions coincide.
+// Integration tests are test code: the house `unwrap_used` ban (clippy.toml)
+// exempts tests, but clippy only auto-detects `#[cfg(test)]` modules.
+#![allow(clippy::unwrap_used)]
 
 use hmdiv::core::multi_reader::{CombinationRule, ReaderSkill, TeamModel};
 use hmdiv::core::{

@@ -9,6 +9,9 @@
 //! model *underpredicts* the double-reading FN rate because of it, and
 //! shows the correlated evaluation with the measured phi closes most of the
 //! gap.
+// Integration tests are test code: the house `unwrap_used` ban (clippy.toml)
+// exempts tests, but clippy only auto-detects `#[cfg(test)]` modules.
+#![allow(clippy::unwrap_used)]
 
 use hmdiv::core::multi_reader::pair_failure_with_correlation;
 use hmdiv::core::ClassId;

@@ -1,6 +1,9 @@
 //! Property-based integration tests over randomly generated models and
 //! profiles: the paper's identities must hold for *every* parameterisation,
 //! not just the worked example.
+// Integration tests are test code: the house `unwrap_used` ban (clippy.toml)
+// exempts tests, but clippy only auto-detects `#[cfg(test)]` modules.
+#![allow(clippy::unwrap_used)]
 
 use hmdiv::core::decomposition::decompose;
 use hmdiv::core::extrapolate::Scenario;

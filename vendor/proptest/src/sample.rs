@@ -10,6 +10,9 @@ use crate::strategy::Strategy;
 ///
 /// Generate one with `any::<Index>()` and resolve it against a concrete
 /// collection with [`Index::index`].
+// Derived `PartialOrd` expands to `partial_cmp`, which clippy.toml disallows
+// for hand-written float comparisons; the derive itself is fine.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Index(usize);
 
