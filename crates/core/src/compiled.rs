@@ -24,6 +24,16 @@
 //! makes compiled results bit-identical — pinned by
 //! `crates/core/tests/compiled_equivalence.rs`.
 //!
+//! The batch entry points are **lane-blocked**: [`SCENARIO_LANES`] (or
+//! [`PROFILE_LANES`]) *independent* evaluations advance per inner-loop
+//! iteration over the dense slots, with fixed-width lane arrays the
+//! compiler can autovectorize on stable rustc and a scalar remainder tail.
+//! Lanes are whole evaluations, never pieces of one — each lane's
+//! floating-point accumulation order is exactly the scalar order, so the
+//! bit-identity contract survives the blocking. A lane block of scenarios
+//! is patched into a strided scratch region (`[class][lane]` layout) by one
+//! multi-patch sweep, then evaluated by one fused pass over the profile.
+//!
 //! Class-resolution failures surface uniformly as
 //! [`ModelError::UnknownClass`].
 
@@ -31,11 +41,24 @@ use std::sync::Arc;
 
 use hmdiv_prob::Probability;
 
+use crate::adaptation::AdaptationResponse;
 use crate::extrapolate::{Change, Scenario};
 use crate::{
     ClassParams, ClassUniverse, DemandProfile, DetectionParams, ModelError, ModelParams,
     ParallelDetectionModel,
 };
+
+/// Independent scenario evaluations advanced per lane-blocked inner-loop
+/// iteration. Eight `f64` lanes fill one 512-bit (or two 256-bit) vector
+/// register rows, and a scenario block's strided scratch region stays small
+/// (`classes × 8` values).
+pub const SCENARIO_LANES: usize = 8;
+
+/// Independent profile evaluations advanced per lane-blocked inner-loop
+/// iteration. Profile lanes gather through per-lane index vectors (no
+/// shared scratch rows), so a narrower width keeps the working set of
+/// four index/weight slice pairs in registers.
+pub const PROFILE_LANES: usize = 4;
 
 /// A demand profile resolved against a [`ClassUniverse`]: dense indices plus
 /// weights, in the profile's insertion order.
@@ -126,6 +149,11 @@ pub struct CompiledModel {
     p_mf: Vec<f64>,
     p_hf_given_ms: Vec<f64>,
     p_hf_given_mf: Vec<f64>,
+    /// `PHf(x)` per universe index: exactly the value
+    /// `params[i].class_failure().value()` would produce, kept in sync by
+    /// [`CompiledModel::patch`]. The lane kernels read this column instead
+    /// of re-mixing the conditionals per evaluation.
+    class_failure: Vec<f64>,
 }
 
 impl CompiledModel {
@@ -142,6 +170,7 @@ impl CompiledModel {
         let mut p_mf = Vec::with_capacity(params.len());
         let mut p_hf_given_ms = Vec::with_capacity(params.len());
         let mut p_hf_given_mf = Vec::with_capacity(params.len());
+        let mut class_failure = Vec::with_capacity(params.len());
         // `ModelParams::iter` walks the BTreeMap in sorted order, which is
         // exactly the universe's index order — the vectors stay aligned.
         for (_, cp) in params.iter() {
@@ -149,6 +178,7 @@ impl CompiledModel {
             p_mf.push(cp.p_mf().value());
             p_hf_given_ms.push(cp.p_hf_given_ms().value());
             p_hf_given_mf.push(cp.p_hf_given_mf().value());
+            class_failure.push(cp.class_failure().value());
         }
         hmdiv_obs::counter_add("core.compile.classes", params.len() as u64);
         drop(span);
@@ -158,6 +188,7 @@ impl CompiledModel {
             p_mf,
             p_hf_given_ms,
             p_hf_given_mf,
+            class_failure,
         }
     }
 
@@ -209,6 +240,13 @@ impl CompiledModel {
         &self.p_hf_given_mf
     }
 
+    /// `PHf(x)` per universe index — the class-failure column the lane
+    /// kernels read (bit-for-bit `params_at(i).class_failure().value()`).
+    #[must_use]
+    pub fn class_failure_slice(&self) -> &[f64] {
+        &self.class_failure
+    }
+
     /// Binds a demand profile to this model's universe.
     ///
     /// # Errors
@@ -220,10 +258,15 @@ impl CompiledModel {
     }
 
     /// Eq. (8) over a bound profile — the same sum, in the same order, as
-    /// the map-based [`crate::SequentialModel::system_failure`].
+    /// the map-based [`crate::SequentialModel::system_failure`], reading the
+    /// precomputed class-failure column.
     #[must_use]
     pub fn system_failure(&self, profile: &CompiledProfile) -> Probability {
-        failure_over(&self.params, profile)
+        let mut total = 0.0;
+        for (idx, w) in profile.iter() {
+            total += w * self.class_failure[idx as usize];
+        }
+        Probability::clamped(total)
     }
 
     /// The marginal machine failure `PMf = E_x[PMf(x)]` over a bound
@@ -287,20 +330,57 @@ impl CompiledModel {
         Ok(Probability::clamped(joint / marginal))
     }
 
-    /// Batch evaluation: eq. (8) for each bound profile.
+    /// Batch evaluation: eq. (8) for each bound profile, lane-blocked
+    /// [`PROFILE_LANES`] evaluations at a time with a scalar tail.
     ///
-    /// Records a `core.compiled.profile_evals` counter (once per batch).
+    /// Records `core.compiled.profile_evals` plus the
+    /// `core.compiled.lane_blocks` / `core.compiled.lane_tail` kernel
+    /// dispatch counters (once per batch).
     #[must_use]
     pub fn evaluate_profiles(&self, profiles: &[CompiledProfile]) -> Vec<Probability> {
-        let out = profiles.iter().map(|p| self.system_failure(p)).collect();
+        let mut out = Vec::with_capacity(profiles.len());
+        let mut blocks = profiles.chunks_exact(PROFILE_LANES);
+        for block in &mut blocks {
+            out.extend(self.profile_block_failures(block));
+        }
+        let tail = blocks.remainder();
+        out.extend(tail.iter().map(|p| self.system_failure(p)));
+        hmdiv_obs::counter_add(
+            "core.compiled.lane_blocks",
+            (profiles.len() / PROFILE_LANES) as u64,
+        );
+        hmdiv_obs::counter_add("core.compiled.lane_tail", tail.len() as u64);
         hmdiv_obs::counter_add("core.compiled.profile_evals", profiles.len() as u64);
         out
     }
 
+    /// One full lane block of bound profiles: the first `min(len)` entries
+    /// of all lanes advance in a joint loop (one multiply-add per lane per
+    /// iteration), then each lane finishes its remaining entries alone.
+    /// Every lane accumulates its own entries in its own insertion order —
+    /// exactly the scalar [`CompiledModel::system_failure`] order — so the
+    /// block is bit-identical to four scalar calls.
+    fn profile_block_failures(&self, block: &[CompiledProfile]) -> [Probability; PROFILE_LANES] {
+        debug_assert_eq!(block.len(), PROFILE_LANES);
+        let joint = block.iter().map(CompiledProfile::len).min().unwrap_or(0);
+        let mut acc = [0.0_f64; PROFILE_LANES];
+        for j in 0..joint {
+            for (a, p) in acc.iter_mut().zip(block) {
+                *a += p.weights[j] * self.class_failure[p.indices[j] as usize];
+            }
+        }
+        for (a, p) in acc.iter_mut().zip(block) {
+            for j in joint..p.len() {
+                *a += p.weights[j] * self.class_failure[p.indices[j] as usize];
+            }
+        }
+        acc.map(Probability::clamped)
+    }
+
     /// [`CompiledModel::evaluate_profiles`] sharded across the
-    /// `hmdiv_prob::par` executor: profile index is the task id and dense
-    /// result vectors ride the in-order merge, so results are bit-identical
-    /// to the sequential batch at every thread count.
+    /// `hmdiv_prob::par` executor: the lane-block index is the task id and
+    /// dense result vectors ride the in-order merge, so results are
+    /// bit-identical to the sequential batch at every thread count.
     ///
     /// `threads <= 1` (or a batch of fewer than two profiles) falls back to
     /// the sequential path.
@@ -313,26 +393,48 @@ impl CompiledModel {
         if threads <= 1 || profiles.len() < 2 {
             return self.evaluate_profiles(profiles);
         }
+        let blocks = profiles.len().div_ceil(PROFILE_LANES);
+        // Pre-size each worker's results for its contiguous share of the
+        // batch, so pushes never reallocate mid-run.
+        let per_worker = blocks.div_ceil(threads) * PROFILE_LANES;
         let out = hmdiv_prob::par::run_tasks_scoped(
             "core.compiled.batch",
             0,
-            profiles.len() as u64,
+            blocks as u64,
             threads,
-            Vec::new,
+            || Vec::with_capacity(per_worker),
             |id, _rng, acc: &mut Vec<Probability>| {
-                acc.push(self.system_failure(&profiles[id as usize]));
+                let start = id as usize * PROFILE_LANES;
+                let block = &profiles[start..profiles.len().min(start + PROFILE_LANES)];
+                if block.len() == PROFILE_LANES {
+                    acc.extend(self.profile_block_failures(block));
+                } else {
+                    acc.extend(block.iter().map(|p| self.system_failure(p)));
+                }
             },
+        );
+        hmdiv_obs::counter_add(
+            "core.compiled.lane_blocks",
+            (profiles.len() / PROFILE_LANES) as u64,
+        );
+        hmdiv_obs::counter_add(
+            "core.compiled.lane_tail",
+            (profiles.len() % PROFILE_LANES) as u64,
         );
         hmdiv_obs::counter_add("core.compiled.profile_evals", profiles.len() as u64);
         out
     }
 
-    /// Batch evaluation: applies each scenario to a scratch copy of the
-    /// parameter slots (batch patch/restore — the baseline is re-copied per
-    /// scenario, never cloned as a map) and evaluates eq. (8) under the
-    /// bound profile.
+    /// Batch evaluation: applies each scenario to the dense slots (batch
+    /// patch/restore — the baseline is never cloned as a map) and evaluates
+    /// eq. (8) under the bound profile, lane-blocked [`SCENARIO_LANES`]
+    /// scenarios at a time with a scalar tail. A block's scenarios are
+    /// multi-patched into a strided scratch region and evaluated by one
+    /// fused pass; see [`LaneScratch`].
     ///
-    /// Records a `core.compiled.scenario_evals` counter (once per batch).
+    /// Records `core.compiled.scenario_evals` plus the
+    /// `core.compiled.lane_blocks` / `core.compiled.lane_tail` kernel
+    /// dispatch counters (once per batch, on success).
     ///
     /// # Errors
     ///
@@ -344,21 +446,157 @@ impl CompiledModel {
         scenarios: &[Scenario],
         profile: &CompiledProfile,
     ) -> Result<Vec<Probability>, ModelError> {
-        let mut scratch = Vec::with_capacity(self.params.len());
+        let mut lanes = LaneScratch::for_model(self);
         let mut out = Vec::with_capacity(scenarios.len());
-        for scenario in scenarios {
-            self.apply_scenario_into(scenario, &mut scratch)?;
-            out.push(failure_over(&scratch, profile));
+        let mut blocks = scenarios.chunks_exact(SCENARIO_LANES);
+        for block in &mut blocks {
+            out.extend(self.scenario_block_failures(block, profile, &mut lanes)?);
         }
+        let tail = blocks.remainder();
+        for scenario in tail {
+            self.apply_scenario_into(scenario, &mut lanes.scratch)?;
+            out.push(failure_over(&lanes.scratch, profile));
+        }
+        hmdiv_obs::counter_add(
+            "core.compiled.lane_blocks",
+            (scenarios.len() / SCENARIO_LANES) as u64,
+        );
+        hmdiv_obs::counter_add("core.compiled.lane_tail", tail.len() as u64);
         hmdiv_obs::counter_add("core.compiled.scenario_evals", scenarios.len() as u64);
         Ok(out)
     }
 
+    /// Evaluates one full lane block of scenarios against a bound profile.
+    ///
+    /// The multi-patch sweep first broadcasts the baseline class-failure
+    /// column across every lane of the rows the profile reads, then each
+    /// lane overwrites only the cells its scenario changes: targeted-change
+    /// scenarios without adaptation go through a sparse overlay (no
+    /// baseline copy, no per-slot adaptation pass), everything else through
+    /// the general [`CompiledModel::apply_scenario_into`] path. One fused
+    /// pass then walks the profile once, advancing all lanes per entry.
+    ///
+    /// Lanes are independent evaluations: each lane's additions happen in
+    /// its own profile order, so every lane is bit-identical to the scalar
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-indexed lane's error, matching sequential fail-fast
+    /// order.
+    fn scenario_block_failures(
+        &self,
+        block: &[Scenario],
+        profile: &CompiledProfile,
+        lanes: &mut LaneScratch,
+    ) -> Result<[Probability; SCENARIO_LANES], ModelError> {
+        debug_assert_eq!(block.len(), SCENARIO_LANES);
+        if lanes.cf_block.len() != self.params.len() * SCENARIO_LANES {
+            lanes
+                .cf_block
+                .resize(self.params.len() * SCENARIO_LANES, 0.0);
+        }
+        for &idx in profile.indices() {
+            let i = idx as usize;
+            lanes.cf_block[i * SCENARIO_LANES..][..SCENARIO_LANES].fill(self.class_failure[i]);
+        }
+        for (lane, scenario) in block.iter().enumerate() {
+            if self.try_overlay(scenario, &mut lanes.overlay)? {
+                for &(i, cp) in &lanes.overlay {
+                    lanes.cf_block[i * SCENARIO_LANES + lane] = cp.class_failure().value();
+                }
+            } else {
+                self.apply_scenario_into(scenario, &mut lanes.scratch)?;
+                for &idx in profile.indices() {
+                    let i = idx as usize;
+                    lanes.cf_block[i * SCENARIO_LANES + lane] =
+                        lanes.scratch[i].class_failure().value();
+                }
+            }
+        }
+        let mut acc = [0.0_f64; SCENARIO_LANES];
+        for (idx, w) in profile.iter() {
+            let row = &lanes.cf_block[idx as usize * SCENARIO_LANES..][..SCENARIO_LANES];
+            for (a, &cf) in acc.iter_mut().zip(row) {
+                *a += w * cf;
+            }
+        }
+        Ok(acc.map(Probability::clamped))
+    }
+
+    /// Tries to express a scenario as a sparse overlay of targeted slot
+    /// updates on the baseline: possible exactly when the adaptation is
+    /// [`AdaptationResponse::None`] (a proven identity, so skipping the
+    /// per-slot pass is bit-exact) and every change addresses a single
+    /// class. Returns `Ok(false)` — overlay contents unspecified — when the
+    /// scenario needs the general path. Validation errors surface in change
+    /// order, exactly as [`CompiledModel::apply_scenario_into`] raises
+    /// them; a whole-table change aborts to the general path *before*
+    /// validating later changes, so the general pass re-raises errors in
+    /// the original order.
+    fn try_overlay(
+        &self,
+        scenario: &Scenario,
+        overlay: &mut Vec<(usize, ClassParams)>,
+    ) -> Result<bool, ModelError> {
+        if !matches!(scenario.adaptation(), AdaptationResponse::None) {
+            return Ok(false);
+        }
+        overlay.clear();
+        for change in scenario.changes() {
+            let (i, updated) = match change {
+                Change::ImproveMachine { class, factor } => {
+                    let i = self.universe.resolve(class.name())? as usize;
+                    (
+                        i,
+                        self.overlay_base(overlay, i)
+                            .with_machine_improved(*factor)?,
+                    )
+                }
+                Change::SetMachineFailure { class, p_mf } => {
+                    let i = self.universe.resolve(class.name())? as usize;
+                    (i, self.overlay_base(overlay, i).with_p_mf(*p_mf))
+                }
+                Change::SetReader {
+                    class,
+                    p_hf_given_ms,
+                    p_hf_given_mf,
+                } => {
+                    let i = self.universe.resolve(class.name())? as usize;
+                    (
+                        i,
+                        self.overlay_base(overlay, i)
+                            .with_reader(*p_hf_given_ms, *p_hf_given_mf),
+                    )
+                }
+                Change::ImproveMachineEverywhere { .. } | Change::ScaleReaderEverywhere { .. } => {
+                    return Ok(false)
+                }
+            };
+            match overlay.iter_mut().find(|(j, _)| *j == i) {
+                Some(slot) => slot.1 = updated,
+                None => overlay.push((i, updated)),
+            }
+        }
+        Ok(true)
+    }
+
+    /// The current value of slot `i` under a partially-built overlay —
+    /// successive changes to one class compose, as they do on the scratch
+    /// copy in the general path.
+    fn overlay_base(&self, overlay: &[(usize, ClassParams)], i: usize) -> ClassParams {
+        overlay
+            .iter()
+            .find(|(j, _)| *j == i)
+            .map_or(self.params[i], |(_, cp)| *cp)
+    }
+
     /// [`CompiledModel::evaluate_scenarios`] sharded across the
-    /// `hmdiv_prob::par` executor: scenario index is the task id, each
-    /// worker keeps one private scratch buffer, and per-scenario results
-    /// ride the in-order merge — bit-identical to the sequential batch at
-    /// every thread count, including which error surfaces first.
+    /// `hmdiv_prob::par` executor: the lane-block index is the task id,
+    /// each worker keeps one private [`LaneScratch`], and per-scenario
+    /// results ride the in-order merge — bit-identical to the sequential
+    /// batch at every thread count, including which error surfaces first
+    /// (blocks run in task order; lanes within a block in scenario order).
     ///
     /// `threads <= 1` (or a batch of fewer than two scenarios) falls back
     /// to the sequential path.
@@ -377,11 +615,15 @@ impl CompiledModel {
         if threads <= 1 || scenarios.len() < 2 {
             return self.evaluate_scenarios(scenarios, profile);
         }
-        /// Per-worker accumulator: the scratch buffer is worker-private
+        let blocks = scenarios.len().div_ceil(SCENARIO_LANES);
+        // Pre-size each worker's shard: the scratch covers every slot and
+        // the results its contiguous share of the batch.
+        let per_worker = blocks.div_ceil(threads) * SCENARIO_LANES;
+        /// Per-worker accumulator: the lane scratch is worker-private
         /// working state and deliberately not merged; only the in-order
         /// per-scenario results are.
         struct Shard {
-            scratch: Vec<ClassParams>,
+            lanes: LaneScratch,
             out: Vec<Result<Probability, ModelError>>,
         }
         impl hmdiv_prob::par::Merge for Shard {
@@ -392,18 +634,41 @@ impl CompiledModel {
         let shard = hmdiv_prob::par::run_tasks_scoped(
             "core.compiled.batch",
             0,
-            scenarios.len() as u64,
+            blocks as u64,
             threads,
             || Shard {
-                scratch: Vec::new(),
-                out: Vec::new(),
+                lanes: LaneScratch::for_model(self),
+                out: Vec::with_capacity(per_worker),
             },
             |id, _rng, acc| {
-                let result = self
-                    .apply_scenario_into(&scenarios[id as usize], &mut acc.scratch)
-                    .map(|()| failure_over(&acc.scratch, profile));
-                acc.out.push(result);
+                let start = id as usize * SCENARIO_LANES;
+                let block = &scenarios[start..scenarios.len().min(start + SCENARIO_LANES)];
+                if block.len() == SCENARIO_LANES {
+                    match self.scenario_block_failures(block, profile, &mut acc.lanes) {
+                        Ok(vals) => acc.out.extend(vals.into_iter().map(Ok)),
+                        // One entry suffices: the batch surfaces the first
+                        // error in merge order, and within the block this
+                        // is already the lowest-indexed lane's.
+                        Err(e) => acc.out.push(Err(e)),
+                    }
+                } else {
+                    // Scalar remainder tail (always the last task).
+                    for scenario in block {
+                        let result = self
+                            .apply_scenario_into(scenario, &mut acc.lanes.scratch)
+                            .map(|()| failure_over(&acc.lanes.scratch, profile));
+                        acc.out.push(result);
+                    }
+                }
             },
+        );
+        hmdiv_obs::counter_add(
+            "core.compiled.lane_blocks",
+            (scenarios.len() / SCENARIO_LANES) as u64,
+        );
+        hmdiv_obs::counter_add(
+            "core.compiled.lane_tail",
+            (scenarios.len() % SCENARIO_LANES) as u64,
         );
         hmdiv_obs::counter_add("core.compiled.scenario_evals", scenarios.len() as u64);
         shard.out.into_iter().collect()
@@ -482,6 +747,7 @@ impl CompiledModel {
         self.p_mf[i] = params.p_mf().value();
         self.p_hf_given_ms[i] = params.p_hf_given_ms().value();
         self.p_hf_given_mf[i] = params.p_hf_given_mf().value();
+        self.class_failure[i] = params.class_failure().value();
         old
     }
 
@@ -499,16 +765,68 @@ impl CompiledModel {
         index: u32,
         params: ClassParams,
     ) -> Probability {
+        let patched = params.class_failure().value();
         let mut total = 0.0;
         for (idx, w) in profile.iter() {
-            let cp = if idx == index {
-                &params
+            let cf = if idx == index {
+                patched
             } else {
-                &self.params[idx as usize]
+                self.class_failure[idx as usize]
             };
-            total += w * cp.class_failure().value();
+            total += w * cf;
         }
         Probability::clamped(total)
+    }
+
+    /// Eq. (8) for a batch of single-slot candidate patches — the design
+    /// sweep's inner loop, lane-blocked [`SCENARIO_LANES`] candidates at a
+    /// time. Each lane selects between its candidate's class-failure value
+    /// and the baseline column per profile entry, so every lane is
+    /// bit-identical to [`CompiledModel::system_failure_patched`] (the
+    /// scalar tail).
+    ///
+    /// Records the `core.compiled.lane_blocks` / `core.compiled.lane_tail`
+    /// kernel dispatch counters (once per batch).
+    #[must_use]
+    pub fn system_failure_patched_batch(
+        &self,
+        profile: &CompiledProfile,
+        candidates: &[(u32, ClassParams)],
+    ) -> Vec<Probability> {
+        let mut out = Vec::with_capacity(candidates.len());
+        let mut blocks = candidates.chunks_exact(SCENARIO_LANES);
+        for block in &mut blocks {
+            let mut cand_idx = [0_u32; SCENARIO_LANES];
+            let mut cand_cf = [0.0_f64; SCENARIO_LANES];
+            for (lane, (i, cp)) in block.iter().enumerate() {
+                cand_idx[lane] = *i;
+                cand_cf[lane] = cp.class_failure().value();
+            }
+            let mut acc = [0.0_f64; SCENARIO_LANES];
+            for (idx, w) in profile.iter() {
+                let base = self.class_failure[idx as usize];
+                for lane in 0..SCENARIO_LANES {
+                    let cf = if cand_idx[lane] == idx {
+                        cand_cf[lane]
+                    } else {
+                        base
+                    };
+                    acc[lane] += w * cf;
+                }
+            }
+            out.extend(acc.map(Probability::clamped));
+        }
+        let tail = blocks.remainder();
+        out.extend(
+            tail.iter()
+                .map(|(i, cp)| self.system_failure_patched(profile, *i, *cp)),
+        );
+        hmdiv_obs::counter_add(
+            "core.compiled.lane_blocks",
+            (candidates.len() / SCENARIO_LANES) as u64,
+        );
+        hmdiv_obs::counter_add("core.compiled.lane_tail", tail.len() as u64);
+        out
     }
 
     /// Materialises the current slots back into a map-based table (e.g. to
@@ -522,6 +840,30 @@ impl CompiledModel {
         builder
             .build()
             .expect("a compiled model is non-empty with unique interned classes")
+    }
+}
+
+/// Reusable scratch for the lane-blocked scenario kernels.
+///
+/// `cf_block` is the strided multi-patch region: `classes ×
+/// SCENARIO_LANES` class-failure values laid out `[class][lane]`, so the
+/// fused evaluation pass loads one contiguous lane-wide row per profile
+/// entry. `scratch` holds a full baseline copy for general-path lanes
+/// (whole-table changes or adaptation); `overlay` the `(slot, params)`
+/// pairs of sparse-path lanes.
+struct LaneScratch {
+    scratch: Vec<ClassParams>,
+    overlay: Vec<(usize, ClassParams)>,
+    cf_block: Vec<f64>,
+}
+
+impl LaneScratch {
+    fn for_model(model: &CompiledModel) -> Self {
+        LaneScratch {
+            scratch: Vec::with_capacity(model.params.len()),
+            overlay: Vec::new(),
+            cf_block: vec![0.0; model.params.len() * SCENARIO_LANES],
+        }
     }
 }
 
@@ -613,6 +955,10 @@ mod tests {
             assert_eq!(
                 compiled.p_hf_given_mf_slice()[i],
                 cp.p_hf_given_mf().value()
+            );
+            assert_eq!(
+                compiled.class_failure_slice()[i],
+                cp.class_failure().value()
             );
         }
     }

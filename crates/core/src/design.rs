@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::compiled::CompiledModel;
 use crate::extrapolate::Scenario;
-use crate::{ClassId, DemandProfile, ModelError, SequentialModel};
+use crate::{ClassId, ClassParams, DemandProfile, ModelError, SequentialModel};
 
 /// The improvement leverage of one class.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -161,18 +161,26 @@ pub fn allocate_improvement_budget(
     let mut compiled = CompiledModel::clone(model.compiled());
     let before = compiled.system_failure(&bound).value();
     let mut spent: std::collections::BTreeMap<ClassId, usize> = Default::default();
+    let mut candidates: Vec<(u32, ClassParams)> = Vec::with_capacity(bound.len());
     for _ in 0..budget {
         let baseline = compiled.system_failure(&bound).value();
-        let mut best: Option<(u32, f64)> = None;
+        // One candidate slot-patch per profile class, evaluated through the
+        // lane-blocked batch kernel (bit-identical to the per-candidate
+        // `system_failure_patched` loop it replaces).
+        candidates.clear();
         for (idx, _) in bound.iter() {
-            let candidate = compiled.params_at(idx).with_machine_improved(step_factor)?;
-            let benefit = baseline
-                - compiled
-                    .system_failure_patched(&bound, idx, candidate)
-                    .value();
+            candidates.push((
+                idx,
+                compiled.params_at(idx).with_machine_improved(step_factor)?,
+            ));
+        }
+        let patched = compiled.system_failure_patched_batch(&bound, &candidates);
+        let mut best: Option<(u32, f64)> = None;
+        for ((idx, _), failure) in candidates.iter().zip(&patched) {
+            let benefit = baseline - failure.value();
             match &best {
                 Some((_, b)) if *b >= benefit => {}
-                _ => best = Some((idx, benefit)),
+                _ => best = Some((*idx, benefit)),
             }
         }
         let (idx, _) = best.ok_or(ModelError::Empty {

@@ -197,10 +197,66 @@ pub fn system_failure_scaled_compiled(
     Ok(Probability::clamped(total))
 }
 
+/// [`system_failure_scaled_compiled`] for a batch of scale points:
+/// [`crate::compiled::SCENARIO_LANES`] independent scale evaluations
+/// advance per profile entry, each lane computing the exact scalar
+/// expression tree in the exact scalar entry order — bit-identical to
+/// calling the scalar form per point (which the remainder tail does). The
+/// per-entry profile weight, intercept, machine failure and coherence
+/// index are gathered once for the whole batch.
+///
+/// # Errors
+///
+/// [`ModelError::InvalidFactor`] for the lowest-indexed scale outside
+/// `[0, 1]`, matching the scalar sweep's fail-fast order.
+pub fn system_failure_scaled_batch(
+    compiled: &crate::CompiledModel,
+    bound: &crate::CompiledProfile,
+    scales: &[f64],
+) -> Result<Vec<Probability>, ModelError> {
+    for &scale in scales {
+        if scale.is_nan() || !(0.0..=1.0).contains(&scale) {
+            return Err(ModelError::InvalidFactor {
+                value: scale,
+                context: "machine failure scale",
+            });
+        }
+    }
+    const LANES: usize = crate::compiled::SCENARIO_LANES;
+    let entries: Vec<(f64, f64, f64, f64)> = bound
+        .iter()
+        .map(|(idx, w)| {
+            let cp = compiled.params_at(idx);
+            (
+                w,
+                cp.p_hf_given_ms().value(),
+                cp.p_mf().value(),
+                cp.coherence_index(),
+            )
+        })
+        .collect();
+    let mut out = Vec::with_capacity(scales.len());
+    let mut blocks = scales.chunks_exact(LANES);
+    for block in &mut blocks {
+        let mut acc = [0.0_f64; LANES];
+        for &(w, hf_ms, p_mf, t) in &entries {
+            for (a, &scale) in acc.iter_mut().zip(block) {
+                *a += w * (hf_ms + (p_mf * scale) * t);
+            }
+        }
+        out.extend(acc.map(Probability::clamped));
+    }
+    for &scale in blocks.remainder() {
+        out.push(system_failure_scaled_compiled(compiled, bound, scale)?);
+    }
+    Ok(out)
+}
+
 /// Sweeps the system-level Fig. 4 trajectory: `points` values of the
 /// uniform machine-failure scale in `[0, 1]`, returning
 /// `(scale, p_system_failure)` pairs. The left end is the §6.1 floor, the
-/// right end the current system failure.
+/// right end the current system failure. Evaluated through the
+/// lane-blocked [`system_failure_scaled_batch`] kernel.
 ///
 /// # Errors
 ///
@@ -220,15 +276,15 @@ pub fn system_machine_sweep(
     // Compile and bind once; the per-point evaluation is pure slice work.
     let compiled = model.compiled();
     let bound = compiled.bind_profile(profile)?;
-    (0..points)
-        .map(|i| {
-            let scale = i as f64 / (points - 1) as f64;
-            Ok((
-                scale,
-                system_failure_scaled_compiled(compiled, &bound, scale)?.value(),
-            ))
-        })
-        .collect()
+    let scales: Vec<f64> = (0..points)
+        .map(|i| i as f64 / (points - 1) as f64)
+        .collect();
+    let failures = system_failure_scaled_batch(compiled, &bound, &scales)?;
+    Ok(scales
+        .into_iter()
+        .zip(failures)
+        .map(|(scale, p)| (scale, p.value()))
+        .collect())
 }
 
 #[cfg(test)]

@@ -11,8 +11,11 @@
 // exempts tests, but clippy only auto-detects `#[cfg(test)]` modules.
 #![allow(clippy::unwrap_used)]
 
+use hmdiv_core::adaptation::AdaptationResponse;
+use hmdiv_core::compiled::{PROFILE_LANES, SCENARIO_LANES};
 use hmdiv_core::design::rank_improvement_targets;
 use hmdiv_core::extrapolate::Scenario;
+use hmdiv_core::importance::{system_failure_scaled_batch, system_failure_scaled_compiled};
 use hmdiv_core::uncertainty::{propagate, propagate_par, ClassPosterior, ModelPosterior};
 use hmdiv_core::{ClassId, ClassParams, DemandProfile, ModelParams, SequentialModel};
 use hmdiv_prob::Probability;
@@ -189,6 +192,249 @@ proptest! {
         prop_assert_eq!(
             alloc.model.system_failure(&sys.profile).unwrap().value().to_bits(),
             replayed_failure.to_bits()
+        );
+    }
+}
+
+/// Batch sizes that exercise the lane-blocked kernels' remainder tail:
+/// empty, pure-tail, one short of a block, exactly one block, one over, and
+/// two blocks plus a tail.
+fn lane_edge_sizes(lanes: usize) -> [usize; 6] {
+    [0, 1, lanes - 1, lanes, lanes + 1, 2 * lanes + 3]
+}
+
+/// Eight structurally distinct scenarios: identity, the three targeted
+/// change kinds (sparse-overlay lanes), a composed overlay on one slot, the
+/// two whole-table change kinds, and an adaptation response (general-path
+/// lanes) — so cycled batches mix sparse and general lanes inside a block.
+fn scenario_pool(
+    factor: f64,
+    new_mf: f64,
+    ms: f64,
+    mf_cond: f64,
+    scale: f64,
+    strength: f64,
+) -> Vec<Scenario> {
+    vec![
+        Scenario::new(),
+        Scenario::new().improve_machine(ClassId::new("alpha"), factor),
+        Scenario::new().set_machine_failure(ClassId::new("mid"), p(new_mf)),
+        Scenario::new().set_reader(ClassId::new("zeta"), p(ms), p(mf_cond)),
+        Scenario::new()
+            .improve_machine(ClassId::new("alpha"), factor)
+            .set_machine_failure(ClassId::new("alpha"), p(new_mf)),
+        Scenario::new().improve_machine_everywhere(factor),
+        Scenario::new().scale_reader_everywhere(scale),
+        Scenario::new()
+            .improve_machine(ClassId::new("mid"), factor)
+            .with_adaptation(AdaptationResponse::Complacency { strength }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lane_blocked_scenarios_bit_identical_at_tail_edges(
+        sys in system(),
+        factor in 1.5..=20.0f64,
+        new_mf in interior(),
+        ms in interior(),
+        mf_cond in interior(),
+        scale in 0.1..=1.5f64,
+        strength in 0.05..=0.95f64,
+    ) {
+        let pool = scenario_pool(factor, new_mf, ms, mf_cond, scale, strength);
+        let compiled = sys.model.compiled();
+        let bound = compiled.bind_profile(&sys.profile).unwrap();
+        for n in lane_edge_sizes(SCENARIO_LANES) {
+            let batch: Vec<Scenario> =
+                (0..n).map(|i| pool[i % pool.len()].clone()).collect();
+            let lane = compiled.evaluate_scenarios(&batch, &bound).unwrap();
+            prop_assert_eq!(lane.len(), n);
+            // Scalar reference: a single-scenario batch is below one lane
+            // block, so it always takes the remainder-tail (scalar) path.
+            for (i, (scenario, fast)) in batch.iter().zip(&lane).enumerate() {
+                let scalar = compiled
+                    .evaluate_scenarios(std::slice::from_ref(scenario), &bound)
+                    .unwrap()[0];
+                prop_assert_eq!(
+                    fast.value().to_bits(),
+                    scalar.value().to_bits(),
+                    "n={} lane={}", n, i
+                );
+            }
+            for threads in [1usize, 2, 7] {
+                let par = compiled
+                    .evaluate_scenarios_par(&batch, &bound, threads)
+                    .unwrap();
+                prop_assert_eq!(par.len(), n);
+                for (i, (pv, sv)) in par.iter().zip(&lane).enumerate() {
+                    prop_assert_eq!(
+                        pv.value().to_bits(),
+                        sv.value().to_bits(),
+                        "threads={} n={} lane={}", threads, n, i
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_blocked_profiles_bit_identical_at_tail_edges(
+        sys in system(),
+        w in 0.05..=0.9f64,
+    ) {
+        let compiled = sys.model.compiled();
+        // Bound profiles of different lengths and insertion orders, so
+        // joint-prefix and per-lane remainder loops both run.
+        let pool: Vec<_> = [
+            &[("zeta", w), ("alpha", 0.2), ("mid", 0.1)][..],
+            &[("mid", 1.0)][..],
+            &[("alpha", w), ("zeta", 0.3)][..],
+            &[("alpha", 1.0)][..],
+            &[("mid", 0.4), ("zeta", w)][..],
+        ]
+        .iter()
+        .map(|entries| {
+            let mut builder = DemandProfile::builder();
+            for (name, weight) in *entries {
+                builder = builder.class(*name, *weight);
+            }
+            compiled.bind_profile(&builder.build().unwrap()).unwrap()
+        })
+        .collect();
+        for n in lane_edge_sizes(PROFILE_LANES) {
+            let batch: Vec<_> =
+                (0..n).map(|i| pool[i % pool.len()].clone()).collect();
+            let lane = compiled.evaluate_profiles(&batch);
+            prop_assert_eq!(lane.len(), n);
+            for (i, (bp, fast)) in batch.iter().zip(&lane).enumerate() {
+                prop_assert_eq!(
+                    fast.value().to_bits(),
+                    compiled.system_failure(bp).value().to_bits(),
+                    "n={} lane={}", n, i
+                );
+            }
+            for threads in [1usize, 2, 7] {
+                let par = compiled.evaluate_profiles_par(&batch, threads);
+                prop_assert_eq!(par.len(), n);
+                for (i, (pv, sv)) in par.iter().zip(&lane).enumerate() {
+                    prop_assert_eq!(
+                        pv.value().to_bits(),
+                        sv.value().to_bits(),
+                        "threads={} n={} lane={}", threads, n, i
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn patched_batch_bit_identical_at_tail_edges(
+        sys in system(),
+        factor in 1.5..=20.0f64,
+        new_mf in interior(),
+    ) {
+        let compiled = sys.model.compiled();
+        let bound = compiled.bind_profile(&sys.profile).unwrap();
+        let slots = compiled.class_failure_slice().len();
+        for n in lane_edge_sizes(SCENARIO_LANES) {
+            let candidates: Vec<(u32, ClassParams)> = (0..n)
+                .map(|i| {
+                    let idx = u32::try_from(i % slots).unwrap();
+                    let base = compiled.params_at(idx);
+                    let cp = if i % 2 == 0 {
+                        base.with_machine_improved(factor).unwrap()
+                    } else {
+                        base.with_p_mf(p(new_mf))
+                    };
+                    (idx, cp)
+                })
+                .collect();
+            let lane = compiled.system_failure_patched_batch(&bound, &candidates);
+            prop_assert_eq!(lane.len(), n);
+            for (i, ((idx, cp), fast)) in candidates.iter().zip(&lane).enumerate() {
+                let scalar = compiled.system_failure_patched(&bound, *idx, *cp);
+                prop_assert_eq!(
+                    fast.value().to_bits(),
+                    scalar.value().to_bits(),
+                    "n={} lane={}", n, i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_batch_bit_identical_at_tail_edges(
+        sys in system(),
+        s0 in 0.0..=1.0f64,
+    ) {
+        let compiled = sys.model.compiled();
+        let bound = compiled.bind_profile(&sys.profile).unwrap();
+        // Includes both endpoints; cycling keeps adjacent lanes distinct.
+        let pool = [0.0, 1.0, 0.5, s0, 0.25, 0.9, 0.1, 0.75];
+        for n in lane_edge_sizes(SCENARIO_LANES) {
+            let scales: Vec<f64> =
+                (0..n).map(|i| pool[i % pool.len()]).collect();
+            let lane = system_failure_scaled_batch(compiled, &bound, &scales).unwrap();
+            prop_assert_eq!(lane.len(), n);
+            for (i, (scale, fast)) in scales.iter().zip(&lane).enumerate() {
+                let scalar =
+                    system_failure_scaled_compiled(compiled, &bound, *scale).unwrap();
+                prop_assert_eq!(
+                    fast.value().to_bits(),
+                    scalar.value().to_bits(),
+                    "n={} lane={}", n, i
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lane_blocked_error_order_matches_scalar_across_thread_counts() {
+    use hmdiv_core::ModelError;
+    let sys = {
+        let mut builder = ModelParams::builder();
+        for name in ["zeta", "alpha", "mid"] {
+            builder = builder.class(name, ClassParams::new(p(0.1), p(0.2), p(0.3)));
+        }
+        let model = SequentialModel::new(builder.build().unwrap());
+        let profile = DemandProfile::builder()
+            .class("zeta", 0.5)
+            .class("alpha", 0.3)
+            .class("mid", 0.2)
+            .build()
+            .unwrap();
+        System { model, profile }
+    };
+    let compiled = sys.model.compiled();
+    let bound = compiled.bind_profile(&sys.profile).unwrap();
+    // Two invalid scenarios: an invalid factor at index 3 (inside the first
+    // full lane block) and an unknown class at index 9 (second block). The
+    // fail-fast contract reports the lowest-indexed one at every thread
+    // count — including when the batch ends in a remainder tail.
+    let mut batch: Vec<Scenario> = (0..(2 * SCENARIO_LANES + 3))
+        .map(|_| Scenario::new().improve_machine(ClassId::new("alpha"), 2.0))
+        .collect();
+    batch[9] = Scenario::new().improve_machine(ClassId::new("ghost"), 2.0);
+    batch[3] = Scenario::new().improve_machine(ClassId::new("zeta"), 0.25);
+    let sequential = compiled
+        .evaluate_scenarios(&batch, &bound)
+        .expect_err("invalid factor must fail");
+    assert!(
+        matches!(sequential, ModelError::InvalidFactor { .. }),
+        "{sequential:?}"
+    );
+    for threads in [1usize, 2, 7] {
+        let par = compiled
+            .evaluate_scenarios_par(&batch, &bound, threads)
+            .expect_err("invalid factor must fail");
+        assert_eq!(
+            format!("{par:?}"),
+            format!("{sequential:?}"),
+            "threads {threads}"
         );
     }
 }

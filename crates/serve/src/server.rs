@@ -489,10 +489,17 @@ fn route(env: &Envelope, received: Instant, ctx: &Ctx) -> Result<Routed, ServeEr
         )]))),
         "metrics" => {
             let snapshot = hmdiv_obs::snapshot();
-            Ok(Routed::Ready(Json::Obj(vec![(
-                "prometheus".to_owned(),
-                Json::str(hmdiv_obs::export::to_prometheus(&snapshot)),
-            )])))
+            #[allow(clippy::cast_precision_loss)]
+            let par_threshold = crate::batcher::par_threshold() as f64;
+            Ok(Routed::Ready(Json::Obj(vec![
+                (
+                    "prometheus".to_owned(),
+                    Json::str(hmdiv_obs::export::to_prometheus(&snapshot)),
+                ),
+                // The effective batcher parallelism threshold (default or
+                // HMDIV_SERVE_PAR_THRESHOLD override).
+                ("par_threshold".to_owned(), Json::Num(par_threshold)),
+            ])))
         }
         "models" => {
             let rows = ctx

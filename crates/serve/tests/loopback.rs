@@ -222,11 +222,14 @@ fn golden_fixtures_for_every_verb() {
     let rows = listing.get("models").and_then(Json::as_arr).unwrap();
     assert_eq!(rows.len(), 2);
 
-    // metrics: Prometheus text with serve counters present.
+    // metrics: Prometheus text with serve counters present, plus the
+    // batcher's effective parallelism threshold (env-overridable).
     let metrics = client.request("metrics", vec![]).unwrap();
     let text = metrics.get("prometheus").and_then(Json::as_str).unwrap();
     assert!(text.contains("serve_verb_evaluate"), "got: {text}");
     assert!(text.contains("serve_batch_flushes"), "got: {text}");
+    let threshold = metrics.get("par_threshold").and_then(Json::as_f64).unwrap();
+    assert!(threshold > 0.0, "got: {threshold}");
 
     server.shutdown();
 }

@@ -10,14 +10,21 @@
 
 use rand::Rng;
 
-use hmdiv_core::{ClassId, DemandProfile, ModelError, SequentialModel};
-use hmdiv_prob::counts::StratifiedCounts;
+use hmdiv_core::{ClassId, ClassParams, DemandProfile, ModelError, SequentialModel};
+use hmdiv_prob::counts::{JointCounts, StratifiedCounts};
 use hmdiv_prob::Probability;
 
 use crate::SimError;
 
 /// Simulates `cases` demands drawn from `profile` through the model's
 /// conditional tables, returning the stratified outcome counts.
+///
+/// The hot loop is dense: the profile's classes resolve once against the
+/// model's compiled universe, each case samples a category *index* (the
+/// same draws [`DemandProfile::sample`] would make) and tallies into a
+/// per-entry [`JointCounts`] vector — no per-case `BTreeMap` lookups or
+/// `ClassId` clones. The keyed view is materialised at the end, so results
+/// are identical to the original map-walk loop for any seed.
 ///
 /// # Errors
 ///
@@ -34,15 +41,26 @@ pub fn simulate<R: Rng + ?Sized>(
             context: "case count",
         });
     }
-    // Fail fast on coverage.
+    // Fail fast on coverage (keeps the `MissingClass` error shape; binding
+    // below cannot fail once every profile class has parameters).
     for (class, _) in profile.iter() {
         model.params().class(class).map_err(SimError::from)?;
     }
+    let compiled = model.compiled();
+    let bound = compiled.bind_profile(profile).map_err(SimError::from)?;
+    let dist = profile.as_categorical();
+    // Per-profile-entry parameters and tallies, in category order — the
+    // index sampled below addresses both directly.
+    let entry_params: Vec<ClassParams> = bound
+        .indices()
+        .iter()
+        .map(|&i| compiled.params_at(i))
+        .collect();
+    let mut tallies: Vec<JointCounts> = vec![JointCounts::new(); bound.len()];
     let span = hmdiv_obs::span("sim.table_driven.simulate");
-    let mut counts = StratifiedCounts::new();
     for _ in 0..cases {
-        let class = profile.sample(rng).clone();
-        let cp = model.params().class(&class).map_err(SimError::from)?;
+        let k = dist.sample_index(rng);
+        let cp = &entry_params[k];
         let machine_failed = rng.gen::<f64>() < cp.p_mf().value();
         let p_hf = if machine_failed {
             cp.p_hf_given_mf()
@@ -50,7 +68,14 @@ pub fn simulate<R: Rng + ?Sized>(
             cp.p_hf_given_ms()
         };
         let human_failed = rng.gen::<f64>() < p_hf.value();
-        counts.record(class, machine_failed, human_failed);
+        tallies[k].record(machine_failed, human_failed);
+    }
+    let mut counts = StratifiedCounts::new();
+    for (k, table) in tallies.into_iter().enumerate() {
+        // Only sampled classes get a stratum, as in the keyed loop.
+        if table.total() > 0 {
+            counts.add_table(dist.categories()[k].clone(), table);
+        }
     }
     if let Some(elapsed_ns) = span.elapsed_ns() {
         hmdiv_obs::counter_add("sim.table_driven.cases", cases);

@@ -92,12 +92,17 @@ pub fn render_failure_table(
             model.class_failure(class)?.value()
         );
     }
+    // Both profile evaluations go through one lane-blocked batch call
+    // (bit-identical to two separate `system_failure` calls).
+    let compiled = model.compiled();
+    let bound = [compiled.bind_profile(trial)?, compiled.bind_profile(field)?];
+    let failures = compiled.evaluate_profiles(&bound);
     let _ = writeln!(
         out,
         "{:<14} {:>12.3} (trial)  {:>8.3} (field)",
         "all cases",
-        model.system_failure(trial)?.value(),
-        model.system_failure(field)?.value()
+        failures[0].value(),
+        failures[1].value()
     );
     Ok(out)
 }
