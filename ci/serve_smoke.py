@@ -2,13 +2,18 @@
 """CI smoke test for the hmdiv-serve JSON-lines protocol.
 
 Drives a scripted session against a running `repro serve` instance:
-load -> evaluate -> scenarios -> analyze -> metrics -> shutdown,
-asserting the paper's field estimate comes back bit-exactly, that the
-static-analysis admission gate rejects a malformed cohort with its
-stable HM0xx wire code, and writing the server's Prometheus metrics
-snapshot to the given path.
+load -> evaluate -> scenarios -> analyze -> trace -> metrics ->
+shutdown, asserting the paper's field estimate comes back bit-exactly,
+that the static-analysis admission gate rejects a malformed cohort with
+its stable HM0xx wire code, that a client-supplied `trace_id` round-trips
+into the flight recorder with a full stage breakdown, and writing the
+server's Prometheus metrics snapshot and the drained flight-recorder
+report to the given paths.
 
-Usage: serve_smoke.py HOST PORT METRICS_OUT
+The server must run with `--trace N` for the trace assertions; TRACE_OUT
+is the artifact path for the drained recorder report.
+
+Usage: serve_smoke.py HOST PORT METRICS_OUT TRACE_OUT
 """
 
 import json
@@ -50,8 +55,16 @@ class Session:
         return response["result"]
 
 
+CORRELATION_ID = "00000000000000ff"
+
+
 def main():
-    host, port, metrics_out = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+    host, port, metrics_out, trace_out = (
+        sys.argv[1],
+        int(sys.argv[2]),
+        sys.argv[3],
+        sys.argv[4],
+    )
     s = Session(host, port)
 
     pong = s.request("ping")
@@ -63,10 +76,16 @@ def main():
     # Content addressing: an identical reload yields the identical id.
     assert s.request("load", classes=PAPER_CLASSES)["model_id"] == model_id
 
-    result = s.request("evaluate", model=model_id, profile=FIELD_PROFILE)
-    failure = result["failure"]
+    # Trace correlation: a client-supplied trace_id is echoed on the
+    # response envelope and names the server-side flight-recorder record.
+    traced = s.request_raw(
+        "evaluate", model=model_id, profile=FIELD_PROFILE, trace_id=CORRELATION_ID
+    )
+    assert traced.get("ok") is True, traced
+    assert traced.get("trace_id") == CORRELATION_ID, traced
+    failure = traced["result"]["failure"]
     assert abs(failure - FIELD_FAILURE) < 1e-9, failure
-    print(f"field P(system failure) = {failure}")
+    print(f"field P(system failure) = {failure} [trace {traced['trace_id']}]")
 
     sweep = s.request(
         "scenarios",
@@ -109,8 +128,37 @@ def main():
     assert rejected["error"]["code"] == "HM030", rejected
     print(f"malformed cohort rejected: [{rejected['error']['code']}]")
 
-    prometheus = s.request("metrics")["prometheus"]
+    # Force one shed with an already-expired deadline: it must come back
+    # as the `deadline_exceeded` wire error, land in the flight recorder,
+    # and (the server runs with --trace-dump) write the dump file.
+    expired = s.request_raw(
+        "evaluate", model=model_id, profile=FIELD_PROFILE, deadline_ms=0
+    )
+    assert expired.get("ok") is False, expired
+    assert expired["error"]["code"] == "deadline_exceeded", expired
+    print("expired-deadline shed captured")
+
+    # Drain the flight recorder: the correlated evaluate must be there
+    # with its per-stage breakdown, and the report is the CI artifact.
+    report = s.request("trace")
+    records = report["records"]
+    correlated = [r for r in records if r["trace_id"] == CORRELATION_ID]
+    assert len(correlated) == 1, records
+    record = correlated[0]
+    assert record["verb"] == "evaluate" and record["outcome"] == "ok", record
+    for stage in ("read", "parse", "queue", "batch", "eval", "serialize", "write"):
+        assert stage in record["stages"], record
+    assert any(r["outcome"] == "deadline_exceeded" for r in records), records
+    with open(trace_out, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+    print(f"wrote {trace_out} ({len(records)} records)")
+
+    metrics = s.request("metrics")
+    prometheus = metrics["prometheus"]
     assert "hmdiv_serve_verb_evaluate" in prometheus, prometheus
+    # The stage histograms feed percentile gauges into the exposition.
+    assert "hmdiv_serve_stage_eval_seconds_p99" in prometheus, prometheus
+    assert "serve.batch_size" in metrics["histograms"], metrics
     with open(metrics_out, "w", encoding="utf-8") as f:
         f.write(prometheus)
     print(f"wrote {metrics_out} ({len(prometheus)} bytes)")

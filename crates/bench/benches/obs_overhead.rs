@@ -11,6 +11,7 @@ use hmdiv_prob::Probability;
 use hmdiv_rbd::compiled::CompiledBlock;
 use hmdiv_rbd::monte_carlo::monte_carlo_failure;
 use hmdiv_rbd::{Block, RbdError};
+use hmdiv_serve::{json, Client, Json, Server, ServerConfig};
 use hmdiv_sim::engine::{SimConfig, Simulation};
 use hmdiv_sim::scenario;
 use rand::rngs::StdRng;
@@ -18,6 +19,9 @@ use rand::{Rng, SeedableRng};
 
 const MC_SAMPLES: u64 = 200_000;
 const SIM_CASES: u64 = 20_000;
+
+/// Pipelined evaluations per measured iteration of the serve group.
+const SERVE_REQS: usize = 64;
 
 fn fig2() -> Block {
     Block::series(vec![
@@ -111,5 +115,83 @@ fn bench_sim_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mc_overhead, bench_sim_overhead);
+/// Starts a server with the given trace capacity, loads the paper model,
+/// and returns a connected client plus the model id.
+fn serve_fixture(trace_capacity: usize) -> (Server, Client, String) {
+    let server = Server::start(ServerConfig {
+        trace_capacity,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let receipt = client
+        .request(
+            "load",
+            vec![(
+                "classes".into(),
+                json::parse(
+                    r#"{"easy":      {"p_mf":0.07,"p_hf_given_ms":0.14,"p_hf_given_mf":0.18},
+                        "difficult": {"p_mf":0.41,"p_hf_given_ms":0.40,"p_hf_given_mf":0.90}}"#,
+                )
+                .expect("static JSON"),
+            )],
+        )
+        .expect("load paper model");
+    let model_id = receipt
+        .get("model_id")
+        .and_then(Json::as_str)
+        .expect("receipt carries model_id")
+        .to_owned();
+    (server, client, model_id)
+}
+
+/// One measured iteration: `SERVE_REQS` pipelined evaluates.
+fn serve_round(client: &mut Client, model_id: &str) {
+    let requests = (0..SERVE_REQS)
+        .map(|_| {
+            (
+                "evaluate".to_owned(),
+                vec![
+                    ("model".to_owned(), Json::str(model_id)),
+                    (
+                        "profile".to_owned(),
+                        json::parse(r#"{"easy":0.9,"difficult":0.1}"#).expect("static JSON"),
+                    ),
+                ],
+            )
+        })
+        .collect();
+    for outcome in client.pipeline(requests).expect("pipeline") {
+        outcome.expect("evaluate");
+    }
+}
+
+/// The tentpole's overhead guard on the serve path: pipelined loopback
+/// evaluations against an untraced server (`trace_capacity: 0`, the
+/// stage-stamping branches all dead) vs a traced one with the flight
+/// recorder on. The untraced/disabled delta is covered by the <2% budget;
+/// the traced cost is recorded in `BENCH_pr7.json`.
+fn bench_serve_trace_overhead(c: &mut Criterion) {
+    hmdiv_obs::set_enabled(false);
+    let mut group = c.benchmark_group("obs_overhead/serve_trace");
+    group.throughput(Throughput::Elements(SERVE_REQS as u64));
+    let (server, mut client, model_id) = serve_fixture(0);
+    group.bench_function("untraced", |b| {
+        b.iter(|| serve_round(&mut client, &model_id));
+    });
+    server.shutdown();
+    let (server, mut client, model_id) = serve_fixture(256);
+    group.bench_function("traced", |b| {
+        b.iter(|| serve_round(&mut client, &model_id));
+    });
+    server.shutdown();
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mc_overhead,
+    bench_sim_overhead,
+    bench_serve_trace_overhead
+);
 criterion_main!(benches);

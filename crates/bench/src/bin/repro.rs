@@ -6,6 +6,7 @@
 //! repro [EXPERIMENT...] [--monte-carlo] [--cases N] [--seed N] [--threads N] [--metrics[=PATH]]
 //! repro serve [--addr HOST:PORT] [--queue-capacity N] [--threads N]
 //!             [--max-line-bytes N] [--deadline-ms N] [--metrics]
+//!             [--trace N] [--trace-dump PATH]
 //! repro check [--json] ARTIFACT.json...
 //! ```
 //!
@@ -23,7 +24,10 @@
 //! `repro serve` starts the `hmdiv-serve` JSON-lines evaluation server and
 //! blocks until a client sends the `shutdown` verb (or the process is
 //! killed). `--metrics` enables the `hmdiv-obs` layer so the server's
-//! `metrics` verb returns live counters.
+//! `metrics` verb returns live counters. `--trace N` turns on request
+//! tracing with an N-record flight recorder (drained by the `trace`
+//! verb); `--trace-dump PATH` additionally dumps the recorder to `PATH`
+//! whenever a request sheds (`overloaded` / `deadline_exceeded`).
 //!
 //! `repro check` runs the `hmdiv-analyze` static passes over artifact
 //! files (see `hmdiv_bench::check` for the accepted shapes) and exits
@@ -157,7 +161,7 @@ fn parse_args() -> Result<Options, String> {
 
 fn serve_usage() -> String {
     "usage: repro serve [--addr HOST:PORT] [--queue-capacity N] [--threads N] \
-     [--max-line-bytes N] [--deadline-ms N] [--metrics]"
+     [--max-line-bytes N] [--deadline-ms N] [--metrics] [--trace N] [--trace-dump PATH]"
         .to_owned()
 }
 
@@ -274,9 +278,23 @@ fn parse_serve_args(args: &[String]) -> Result<(hmdiv_serve::ServerConfig, bool)
                 );
             }
             "--metrics" => metrics = true,
+            "--trace" => {
+                config.trace_capacity = value("--trace", &mut args)?
+                    .parse()
+                    .map_err(|e| format!("bad --trace: {e}"))?;
+                if config.trace_capacity == 0 {
+                    return Err("--trace capacity must be at least 1".into());
+                }
+            }
+            "--trace-dump" => {
+                config.trace_dump = Some(value("--trace-dump", &mut args)?.into());
+            }
             "--help" | "-h" => return Err(serve_usage()),
             other => return Err(format!("unknown serve flag {other}\n{}", serve_usage())),
         }
+    }
+    if config.trace_dump.is_some() && config.trace_capacity == 0 {
+        return Err("--trace-dump requires --trace".into());
     }
     Ok((config, metrics))
 }

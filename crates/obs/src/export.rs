@@ -8,7 +8,7 @@
 
 use std::fmt::Write as _;
 
-use crate::registry::Snapshot;
+use crate::registry::{HistogramUnit, Snapshot};
 
 /// Renders a snapshot as a JSON object:
 ///
@@ -16,11 +16,15 @@ use crate::registry::Snapshot;
 /// {
 ///   "counters": {"name": 1},
 ///   "gauges": {"name": 1.5},
-///   "histograms": {"name": {"bounds_ns": [...], "counts": [...], "sum_ns": 0, "count": 0}}
+///   "histograms": {"name": {"unit": "ns", "bounds": [...], "counts": [...],
+///                           "sum": 0, "count": 0, "p50": 0, "p95": 0, "p99": 0}}
 /// }
 /// ```
 ///
-/// Non-finite gauge values serialise as `null` (JSON has no NaN/Inf).
+/// The `p50`/`p95`/`p99` members are the bucket-interpolated percentile
+/// estimates ([`crate::HistogramSnapshot::quantile`]), in the histogram's
+/// own unit. Non-finite gauge values serialise as `null` (JSON has no
+/// NaN/Inf).
 #[must_use]
 pub fn to_json(snapshot: &Snapshot) -> String {
     let mut out = String::new();
@@ -50,12 +54,17 @@ pub fn to_json(snapshot: &Snapshot) -> String {
         let sep = if i == 0 { "" } else { "," };
         let _ = write!(
             out,
-            "{sep}\n    {}: {{\"bounds_ns\": {}, \"counts\": {}, \"sum_ns\": {}, \"count\": {}}}",
+            "{sep}\n    {}: {{\"unit\": {}, \"bounds\": {}, \"counts\": {}, \
+             \"sum\": {}, \"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
             json_string(name),
-            json_u64_array(&h.bounds_ns),
+            json_string(h.unit.label()),
+            json_u64_array(&h.bounds),
             json_u64_array(&h.counts),
-            h.sum_ns,
-            h.count
+            h.sum,
+            h.count,
+            json_number(h.p50()),
+            json_number(h.p95()),
+            json_number(h.p99()),
         );
     }
     if !snapshot.histograms.is_empty() {
@@ -66,8 +75,11 @@ pub fn to_json(snapshot: &Snapshot) -> String {
 }
 
 /// Renders a snapshot in the Prometheus text exposition format. Metric
-/// names are prefixed `hmdiv_` and sanitised to `[a-zA-Z0-9_]`; histograms
-/// are exported in seconds with cumulative `le` buckets, per convention.
+/// names are prefixed `hmdiv_` and sanitised to `[a-zA-Z0-9_]`; duration
+/// histograms are exported in seconds with cumulative `le` buckets, count
+/// histograms in their raw unit, and each histogram is followed by three
+/// `_p50`/`_p95`/`_p99` gauges carrying the bucket-interpolated
+/// percentile estimates.
 #[must_use]
 pub fn to_prometheus(snapshot: &Snapshot) -> String {
     let mut out = String::new();
@@ -82,19 +94,30 @@ pub fn to_prometheus(snapshot: &Snapshot) -> String {
         let _ = writeln!(out, "{name} {}", prom_number(*value));
     }
     for (name, h) in &snapshot.histograms {
-        let name = format!("{}_seconds", metric_name(name));
+        // Durations follow the Prometheus convention of base-unit
+        // seconds; count histograms keep their dimensionless values.
+        // Dividing by 1e9 (exactly representable) keeps the rendered
+        // decimals clean where multiplying by 1e-9 would not.
+        let (name, divisor) = match h.unit {
+            HistogramUnit::Nanos => (format!("{}_seconds", metric_name(name)), 1e9),
+            HistogramUnit::Count => (metric_name(name), 1.0),
+        };
         let _ = writeln!(out, "# TYPE {name} histogram");
         let mut cumulative = 0u64;
         for (i, count) in h.counts.iter().enumerate() {
             cumulative += count;
-            let le = match h.bounds_ns.get(i) {
-                Some(&bound) => prom_number(bound as f64 / 1e9),
+            let le = match h.bounds.get(i) {
+                Some(&bound) => prom_number(bound as f64 / divisor),
                 None => "+Inf".to_owned(),
             };
             let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
         }
-        let _ = writeln!(out, "{name}_sum {}", prom_number(h.sum_ns as f64 / 1e9));
+        let _ = writeln!(out, "{name}_sum {}", prom_number(h.sum as f64 / divisor));
         let _ = writeln!(out, "{name}_count {}", h.count);
+        for (suffix, q) in [("p50", h.p50()), ("p95", h.p95()), ("p99", h.p99())] {
+            let _ = writeln!(out, "# TYPE {name}_{suffix} gauge");
+            let _ = writeln!(out, "{name}_{suffix} {}", prom_number(q / divisor));
+        }
     }
     out
 }

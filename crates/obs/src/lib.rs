@@ -18,7 +18,12 @@
 //!   stats and sums counters, so instrumentation adds no shared mutable
 //!   state and cannot perturb `(seed, task-id)` RNG streams.
 //! * [`export`] — Prometheus text exposition and a JSON snapshot, both
-//!   rendered from an immutable [`Snapshot`] with deterministic key order.
+//!   rendered from an immutable [`Snapshot`] with deterministic key order,
+//!   including p50/p95/p99 summaries estimated from the fixed buckets.
+//! * [`trace`] — request-lifecycle tracing: [`TraceId`]s minted per
+//!   request, per-stage span stamps with parent links ([`StageSet`]), and
+//!   the [`FlightRecorder`] ring buffer of completed-request records that
+//!   the serving layer drains for postmortems.
 //!
 //! # Enabling
 //!
@@ -52,13 +57,15 @@ pub mod export;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
-pub use registry::{HistogramSnapshot, Registry, Snapshot};
+pub use registry::{HistogramSnapshot, HistogramUnit, Registry, Snapshot};
 pub use sink::{MetricSink, WorkerStat};
 pub use span::{span, Span};
+pub use trace::{FlightRecorder, RequestRecord, Stage, StageSet, TraceId, TraceOutcome};
 
 /// Tri-state enable flag: 0 = uninitialised (consult `HMDIV_OBS` on first
 /// use), 1 = off, 2 = on.
@@ -150,6 +157,14 @@ pub fn gauge_set(name: &str, value: f64) {
 pub fn observe_ns(name: &str, nanos: u64) {
     if enabled_for(name) {
         global().observe_ns(name, nanos);
+    }
+}
+
+/// Records a count observation (batch size, queue depth) into the global
+/// histogram `name` on the power-of-two ladder (no-op while disabled).
+pub fn observe_count(name: &str, value: u64) {
+    if enabled_for(name) {
+        global().observe_count(name, value);
     }
 }
 

@@ -4,9 +4,13 @@
 //!
 //! * **counters** — monotonic `u64` sums ([`Registry::counter_add`]);
 //! * **gauges** — last-written `f64` values ([`Registry::gauge_set`]);
-//! * **histograms** — fixed-bucket duration histograms over nanoseconds
-//!   ([`Registry::observe_ns`]), with exponential decade buckets from 1 µs
-//!   to 10 s plus an implicit overflow bucket.
+//! * **histograms** — fixed-bucket histograms: duration histograms over
+//!   nanoseconds ([`Registry::observe_ns`]) with exponential decade buckets
+//!   from 1 µs to 10 s plus an implicit overflow bucket, and count
+//!   histograms ([`Registry::observe_count`]) with power-of-two buckets
+//!   for sizes (batch sizes, queue depths). Snapshots estimate
+//!   p50/p95/p99 by linear interpolation inside the landing bucket
+//!   ([`HistogramSnapshot::quantile`]).
 //!
 //! The registration maps are guarded by an [`RwLock`] taken only to *find or
 //! create* a metric cell; the cells themselves are atomics, so concurrent
@@ -33,32 +37,72 @@ pub const DURATION_BOUNDS_NS: [u64; 8] = [
     10_000_000_000,
 ];
 
+/// Upper bucket bounds for count histograms (batch sizes, queue depths):
+/// powers of two from 1 to 8192, plus the implicit overflow bucket.
+pub const COUNT_BOUNDS: [u64; 14] = [
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
+];
+
+/// What a histogram's observations measure — which fixed bucket ladder it
+/// uses and how exporters label it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramUnit {
+    /// Nanosecond durations on [`DURATION_BOUNDS_NS`].
+    Nanos,
+    /// Dimensionless counts on [`COUNT_BOUNDS`].
+    Count,
+}
+
+impl HistogramUnit {
+    /// The unit's stable label, as the JSON exporter renders it.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            HistogramUnit::Nanos => "ns",
+            HistogramUnit::Count => "count",
+        }
+    }
+
+    /// The bucket ladder this unit observes on.
+    #[must_use]
+    pub fn bounds(self) -> &'static [u64] {
+        match self {
+            HistogramUnit::Nanos => &DURATION_BOUNDS_NS,
+            HistogramUnit::Count => &COUNT_BOUNDS,
+        }
+    }
+}
+
 /// A fixed-bucket histogram cell.
 struct Histogram {
-    /// `DURATION_BOUNDS_NS.len() + 1` buckets; the last is the overflow.
+    /// Which bucket ladder (fixed at creation by the first observer).
+    unit: HistogramUnit,
+    /// `unit.bounds().len() + 1` buckets; the last is the overflow.
     buckets: Vec<AtomicU64>,
-    sum_ns: AtomicU64,
+    sum: AtomicU64,
     count: AtomicU64,
 }
 
 impl Histogram {
-    fn new() -> Self {
+    fn new(unit: HistogramUnit) -> Self {
         Histogram {
-            buckets: (0..=DURATION_BOUNDS_NS.len())
+            unit,
+            buckets: (0..=unit.bounds().len())
                 .map(|_| AtomicU64::new(0))
                 .collect(),
-            sum_ns: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
             count: AtomicU64::new(0),
         }
     }
 
-    fn observe(&self, nanos: u64) {
-        let idx = DURATION_BOUNDS_NS
+    fn observe(&self, value: u64) {
+        let bounds = self.unit.bounds();
+        let idx = bounds
             .iter()
-            .position(|&b| nanos <= b)
-            .unwrap_or(DURATION_BOUNDS_NS.len());
+            .position(|&b| value <= b)
+            .unwrap_or(bounds.len());
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(nanos, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -110,7 +154,19 @@ impl Registry {
 
     /// Records one duration observation into the histogram `name`.
     pub fn observe_ns(&self, name: &str, nanos: u64) {
-        Self::cell(&self.histograms, name, Histogram::new).observe(nanos);
+        Self::cell(&self.histograms, name, || {
+            Histogram::new(HistogramUnit::Nanos)
+        })
+        .observe(nanos);
+    }
+
+    /// Records one count observation (a batch size, a queue depth) into
+    /// the histogram `name`, on the power-of-two [`COUNT_BOUNDS`] ladder.
+    pub fn observe_count(&self, name: &str, value: u64) {
+        Self::cell(&self.histograms, name, || {
+            Histogram::new(HistogramUnit::Count)
+        })
+        .observe(value);
     }
 
     /// An immutable, ordered snapshot of every metric.
@@ -139,13 +195,14 @@ impl Registry {
                 (
                     k.clone(),
                     HistogramSnapshot {
-                        bounds_ns: DURATION_BOUNDS_NS.to_vec(),
+                        unit: h.unit,
+                        bounds: h.unit.bounds().to_vec(),
                         counts: h
                             .buckets
                             .iter()
                             .map(|b| b.load(Ordering::Relaxed))
                             .collect(),
-                        sum_ns: h.sum_ns.load(Ordering::Relaxed),
+                        sum: h.sum.load(Ordering::Relaxed),
                         count: h.count.load(Ordering::Relaxed),
                     },
                 )
@@ -211,15 +268,72 @@ impl Snapshot {
 /// One histogram's state inside a [`Snapshot`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
-    /// Upper bucket bounds in nanoseconds (`counts` has one extra overflow
-    /// entry).
-    pub bounds_ns: Vec<u64>,
+    /// What the observations measure (fixes the bucket ladder and the
+    /// exporters' labelling).
+    pub unit: HistogramUnit,
+    /// Upper bucket bounds in the histogram's unit (`counts` has one
+    /// extra overflow entry).
+    pub bounds: Vec<u64>,
     /// Per-bucket observation counts, overflow last.
     pub counts: Vec<u64>,
-    /// Sum of all observations in nanoseconds.
-    pub sum_ns: u64,
+    /// Sum of all observations in the histogram's unit.
+    pub sum: u64,
     /// Total number of observations.
     pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the bucket counts
+    /// by linear interpolation inside the landing bucket, the standard
+    /// fixed-bucket estimator (what Prometheus' `histogram_quantile`
+    /// computes server-side). Observations in the overflow bucket clamp
+    /// to the highest finite bound; an empty histogram yields 0.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &bucket_count) in self.counts.iter().enumerate() {
+            let below = cumulative;
+            cumulative += bucket_count;
+            #[allow(clippy::cast_precision_loss)]
+            if bucket_count > 0 && cumulative as f64 >= rank {
+                let Some(&upper) = self.bounds.get(i) else {
+                    // Overflow bucket: no finite upper edge to
+                    // interpolate against; clamp to the last bound.
+                    return *self.bounds.last().expect("bounds nonempty") as f64;
+                };
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+                #[allow(clippy::cast_precision_loss)]
+                let fraction = ((rank - below as f64) / bucket_count as f64).clamp(0.0, 1.0);
+                return lower as f64 + fraction * (upper - lower) as f64;
+            }
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let last = *self.bounds.last().expect("bounds nonempty") as f64;
+        last
+    }
+
+    /// The estimated median.
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// The estimated 95th percentile.
+    #[must_use]
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// The estimated 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 #[cfg(test)]
@@ -254,8 +368,9 @@ mod tests {
         reg.observe_ns("h", 100_000_000_000); // overflow
         let snap = reg.snapshot();
         let h = &snap.histograms["h"];
+        assert_eq!(h.unit, HistogramUnit::Nanos);
         assert_eq!(h.count, 3);
-        assert_eq!(h.sum_ns, 500 + 5_000_000 + 100_000_000_000);
+        assert_eq!(h.sum, 500 + 5_000_000 + 100_000_000_000);
         assert_eq!(h.counts.len(), DURATION_BOUNDS_NS.len() + 1);
         assert_eq!(h.counts.iter().sum::<u64>(), 3);
         assert_eq!(h.counts[0], 1);
@@ -268,6 +383,64 @@ mod tests {
         let reg = Registry::new();
         reg.observe_ns("h", 1_000);
         assert_eq!(reg.snapshot().histograms["h"].counts[0], 1);
+    }
+
+    #[test]
+    fn count_histograms_use_the_power_of_two_ladder() {
+        let reg = Registry::new();
+        reg.observe_count("batch", 1);
+        reg.observe_count("batch", 7);
+        reg.observe_count("batch", 9_000);
+        let snap = reg.snapshot();
+        let h = &snap.histograms["batch"];
+        assert_eq!(h.unit, HistogramUnit::Count);
+        assert_eq!(h.bounds, COUNT_BOUNDS.to_vec());
+        assert_eq!(h.counts.len(), COUNT_BOUNDS.len() + 1);
+        assert_eq!(h.counts[0], 1); // <= 1
+        assert_eq!(h.counts[3], 1); // <= 8
+        assert_eq!(*h.counts.last().unwrap(), 1); // overflow
+        assert_eq!(h.sum, 1 + 7 + 9_000);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_the_landing_bucket() {
+        let reg = Registry::new();
+        // 100 observations spread evenly in the (1µs, 10µs] bucket.
+        for _ in 0..100 {
+            reg.observe_ns("h", 5_000);
+        }
+        let h = reg.snapshot().histograms["h"].clone();
+        // All mass in bucket (1000, 10000]: p50 interpolates to halfway.
+        assert_eq!(h.p50(), 1_000.0 + 0.5 * 9_000.0);
+        assert_eq!(h.p99(), 1_000.0 + 0.99 * 9_000.0);
+        // Two-bucket split: 50 fast, 50 slow — p50 is the fast bucket's
+        // upper edge, p95 interpolates 90% into the slow bucket.
+        let reg = Registry::new();
+        for _ in 0..50 {
+            reg.observe_ns("h", 500);
+        }
+        for _ in 0..50 {
+            reg.observe_ns("h", 500_000);
+        }
+        let h = reg.snapshot().histograms["h"].clone();
+        assert_eq!(h.p50(), 1_000.0);
+        assert_eq!(h.quantile(0.75), 100_000.0 + 0.5 * 900_000.0);
+        // Overflow observations clamp to the highest finite bound.
+        let reg = Registry::new();
+        reg.observe_ns("h", u64::MAX / 2);
+        assert_eq!(
+            reg.snapshot().histograms["h"].p50(),
+            *DURATION_BOUNDS_NS.last().unwrap() as f64
+        );
+        // Empty histogram: zero, not NaN.
+        let empty = HistogramSnapshot {
+            unit: HistogramUnit::Nanos,
+            bounds: DURATION_BOUNDS_NS.to_vec(),
+            counts: vec![0; DURATION_BOUNDS_NS.len() + 1],
+            sum: 0,
+            count: 0,
+        };
+        assert_eq!(empty.quantile(0.5), 0.0);
     }
 
     #[test]

@@ -19,6 +19,9 @@ fn sample_registry() -> Registry {
     // 5 µs and 2 ms land in the 10 µs and 10 ms decade buckets.
     registry.observe_ns("sim.engine.run", 5_000);
     registry.observe_ns("sim.engine.run", 2_000_000);
+    // 3 and 100 land in the ≤4 and ≤128 power-of-two buckets.
+    registry.observe_count("serve.batch_size", 3);
+    registry.observe_count("serve.batch_size", 100);
     registry
 }
 
@@ -36,9 +39,15 @@ fn json_export_matches_golden() {
         "    \"sim.engine.imbalance\": 1.25\n",
         "  },\n",
         "  \"histograms\": {\n",
-        "    \"sim.engine.run\": {\"bounds_ns\": [1000, 10000, 100000, 1000000, \
+        "    \"serve.batch_size\": {\"unit\": \"count\", \
+         \"bounds\": [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192], \
+         \"counts\": [0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0], \
+         \"sum\": 103, \"count\": 2, \"p50\": 4, \"p95\": 121.6, \"p99\": 126.72},\n",
+        "    \"sim.engine.run\": {\"unit\": \"ns\", \
+         \"bounds\": [1000, 10000, 100000, 1000000, \
          10000000, 100000000, 1000000000, 10000000000], \
-         \"counts\": [0, 1, 0, 0, 1, 0, 0, 0, 0], \"sum_ns\": 2005000, \"count\": 2}\n",
+         \"counts\": [0, 1, 0, 0, 1, 0, 0, 0, 0], \"sum\": 2005000, \"count\": 2, \
+         \"p50\": 10000, \"p95\": 9100000, \"p99\": 9820000}\n",
         "  }\n",
         "}\n",
     );
@@ -57,6 +66,30 @@ fn prometheus_export_matches_golden() {
         "hmdiv_sim_engine_cases_per_sec 2500000\n",
         "# TYPE hmdiv_sim_engine_imbalance gauge\n",
         "hmdiv_sim_engine_imbalance 1.25\n",
+        "# TYPE hmdiv_serve_batch_size histogram\n",
+        "hmdiv_serve_batch_size_bucket{le=\"1\"} 0\n",
+        "hmdiv_serve_batch_size_bucket{le=\"2\"} 0\n",
+        "hmdiv_serve_batch_size_bucket{le=\"4\"} 1\n",
+        "hmdiv_serve_batch_size_bucket{le=\"8\"} 1\n",
+        "hmdiv_serve_batch_size_bucket{le=\"16\"} 1\n",
+        "hmdiv_serve_batch_size_bucket{le=\"32\"} 1\n",
+        "hmdiv_serve_batch_size_bucket{le=\"64\"} 1\n",
+        "hmdiv_serve_batch_size_bucket{le=\"128\"} 2\n",
+        "hmdiv_serve_batch_size_bucket{le=\"256\"} 2\n",
+        "hmdiv_serve_batch_size_bucket{le=\"512\"} 2\n",
+        "hmdiv_serve_batch_size_bucket{le=\"1024\"} 2\n",
+        "hmdiv_serve_batch_size_bucket{le=\"2048\"} 2\n",
+        "hmdiv_serve_batch_size_bucket{le=\"4096\"} 2\n",
+        "hmdiv_serve_batch_size_bucket{le=\"8192\"} 2\n",
+        "hmdiv_serve_batch_size_bucket{le=\"+Inf\"} 2\n",
+        "hmdiv_serve_batch_size_sum 103\n",
+        "hmdiv_serve_batch_size_count 2\n",
+        "# TYPE hmdiv_serve_batch_size_p50 gauge\n",
+        "hmdiv_serve_batch_size_p50 4\n",
+        "# TYPE hmdiv_serve_batch_size_p95 gauge\n",
+        "hmdiv_serve_batch_size_p95 121.6\n",
+        "# TYPE hmdiv_serve_batch_size_p99 gauge\n",
+        "hmdiv_serve_batch_size_p99 126.72\n",
         "# TYPE hmdiv_sim_engine_run_seconds histogram\n",
         "hmdiv_sim_engine_run_seconds_bucket{le=\"0.000001\"} 0\n",
         "hmdiv_sim_engine_run_seconds_bucket{le=\"0.00001\"} 1\n",
@@ -69,6 +102,12 @@ fn prometheus_export_matches_golden() {
         "hmdiv_sim_engine_run_seconds_bucket{le=\"+Inf\"} 2\n",
         "hmdiv_sim_engine_run_seconds_sum 0.002005\n",
         "hmdiv_sim_engine_run_seconds_count 2\n",
+        "# TYPE hmdiv_sim_engine_run_seconds_p50 gauge\n",
+        "hmdiv_sim_engine_run_seconds_p50 0.00001\n",
+        "# TYPE hmdiv_sim_engine_run_seconds_p95 gauge\n",
+        "hmdiv_sim_engine_run_seconds_p95 0.0091\n",
+        "# TYPE hmdiv_sim_engine_run_seconds_p99 gauge\n",
+        "hmdiv_sim_engine_run_seconds_p99 0.00982\n",
     );
     assert_eq!(text, expected);
 }

@@ -34,6 +34,7 @@ use std::time::Instant;
 
 use hmdiv_core::extrapolate::Scenario;
 use hmdiv_core::{CompiledModel, CompiledProfile};
+use hmdiv_obs::{Stage, StageSet};
 use hmdiv_prob::Probability;
 
 use crate::error::ServeError;
@@ -106,9 +107,11 @@ impl Ticket {
     }
 }
 
-/// The reply half of a queued job.
+/// The reply half of a queued job, plus the request's stage stamps when
+/// the connection admitted it with tracing on.
 struct ReplyHandle {
     enqueued: Instant,
+    trace: Option<Arc<StageSet>>,
     tx: mpsc::Sender<Reply>,
 }
 
@@ -181,13 +184,21 @@ impl Batcher {
         })
     }
 
-    /// Submits work, failing fast when the executor cannot take it.
+    /// Submits work, failing fast when the executor cannot take it. A
+    /// `trace` stage set, when supplied, learns the queue depth observed
+    /// at admission and is stamped with queue/batch/eval stages as the
+    /// job moves through the executor.
     ///
     /// # Errors
     ///
     /// * [`ServeError::Overloaded`] when the bounded queue is full.
     /// * [`ServeError::ShuttingDown`] when the executor is draining.
-    pub fn submit(&self, work: Work, deadline: Option<Instant>) -> Result<Ticket, ServeError> {
+    pub fn submit(
+        &self,
+        work: Work,
+        deadline: Option<Instant>,
+        trace: Option<Arc<StageSet>>,
+    ) -> Result<Ticket, ServeError> {
         let (tx, rx) = mpsc::channel();
         {
             let mut st = self.shared.lock();
@@ -196,15 +207,22 @@ impl Batcher {
             }
             if st.queue.len() >= self.shared.capacity {
                 hmdiv_obs::counter_add("serve.overloaded", 1);
+                if let Some(t) = &trace {
+                    t.set_queue_depth(st.queue.len() as u64);
+                }
                 return Err(ServeError::Overloaded {
                     capacity: self.shared.capacity,
                 });
+            }
+            if let Some(t) = &trace {
+                t.set_queue_depth(st.queue.len() as u64);
             }
             st.queue.push_back(Pending {
                 work,
                 deadline,
                 handle: ReplyHandle {
                     enqueued: Instant::now(),
+                    trace,
                     tx,
                 },
             });
@@ -311,11 +329,33 @@ fn group_threads(len: usize, threads: usize) -> usize {
     }
 }
 
+/// Stamps the batch-formation and evaluation stages for one dense group,
+/// and tells each traced request how large its batch turned out to be.
+fn stamp_group(
+    traces: &[Option<Arc<StageSet>>],
+    formed: Instant,
+    eval_start: Instant,
+    eval_end: Instant,
+    batch_size: u64,
+) {
+    for t in traces.iter().flatten() {
+        t.stamp(Stage::Batch, formed, eval_start);
+        t.stamp(Stage::Eval, eval_start, eval_end);
+        t.set_batch_size(batch_size);
+    }
+}
+
 fn flush(batch: Vec<Pending>, threads: usize) {
     hmdiv_obs::counter_add("serve.batch.flushes", 1);
     hmdiv_obs::counter_add("serve.batch.jobs", batch.len() as u64);
     #[allow(clippy::cast_precision_loss)]
     hmdiv_obs::gauge_set("serve.batch.last_size", batch.len() as f64);
+    // Satellite metrics sampled once per flush: how deep the queue was
+    // when the worker woke (everything drained is everything that was
+    // waiting) and the resulting batch size on the power-of-two ladder.
+    #[allow(clippy::cast_precision_loss)]
+    hmdiv_obs::gauge_set("serve.queue_depth", batch.len() as f64);
+    hmdiv_obs::observe_count("serve.batch_size", batch.len() as u64);
 
     /// Profile jobs grouped by compiled-model identity.
     type ProfileGroup = (Arc<CompiledModel>, Vec<(CompiledProfile, ReplyHandle)>);
@@ -330,6 +370,10 @@ fn flush(batch: Vec<Pending>, threads: usize) {
     let mut scenario_groups: Vec<ScenarioGroup> = Vec::new();
 
     for p in batch {
+        // Everything drained spent `enqueued → now` waiting in the queue.
+        if let Some(t) = &p.handle.trace {
+            t.stamp(Stage::Queue, p.handle.enqueued, now);
+        }
         if p.deadline.is_some_and(|d| now >= d) {
             hmdiv_obs::counter_add("serve.deadline_exceeded", 1);
             reply(p.handle, Err(ServeError::DeadlineExceeded));
@@ -359,7 +403,13 @@ fn flush(batch: Vec<Pending>, threads: usize) {
                 }
             }
             Work::Direct(f) => {
+                let eval_start = Instant::now();
                 let result = f();
+                if let Some(t) = &p.handle.trace {
+                    t.stamp(Stage::Batch, now, eval_start);
+                    t.stamp_since(Stage::Eval, eval_start);
+                    t.set_batch_size(1);
+                }
                 reply(p.handle, result);
             }
         }
@@ -367,8 +417,18 @@ fn flush(batch: Vec<Pending>, threads: usize) {
 
     for (model, jobs) in profile_groups {
         let profiles: Vec<CompiledProfile> = jobs.iter().map(|(pr, _)| pr.clone()).collect();
+        let traces: Vec<Option<Arc<StageSet>>> =
+            jobs.iter().map(|(_, h)| h.trace.clone()).collect();
+        let eval_start = Instant::now();
         let failures =
             model.evaluate_profiles_par(&profiles, group_threads(profiles.len(), threads));
+        stamp_group(
+            &traces,
+            now,
+            eval_start,
+            Instant::now(),
+            profiles.len() as u64,
+        );
         for ((_, h), failure) in jobs.into_iter().zip(failures) {
             reply(h, Ok(Outcome::One(failure)));
         }
@@ -382,8 +442,12 @@ fn flush(batch: Vec<Pending>, threads: usize) {
             all.extend(scenarios.iter().cloned());
             ranges.push(start..all.len());
         }
+        let traces: Vec<Option<Arc<StageSet>>> =
+            jobs.iter().map(|(_, h)| h.trace.clone()).collect();
+        let eval_start = Instant::now();
         match model.evaluate_scenarios_par(&all, &profile, group_threads(all.len(), threads)) {
             Ok(failures) => {
+                stamp_group(&traces, now, eval_start, Instant::now(), all.len() as u64);
                 for ((_, h), range) in jobs.into_iter().zip(ranges) {
                     reply(h, Ok(Outcome::Many(failures[range].to_vec())));
                 }
@@ -392,6 +456,7 @@ fn flush(batch: Vec<Pending>, threads: usize) {
                 // At least one job in the group is bad; re-run each alone
                 // (sequentially — correctness over speed on the error path)
                 // so every ticket gets its own typed error.
+                stamp_group(&traces, now, eval_start, Instant::now(), all.len() as u64);
                 for (scenarios, h) in jobs {
                     let result = model
                         .evaluate_scenarios(&scenarios, &profile)
@@ -443,6 +508,7 @@ mod tests {
                     profile,
                 },
                 None,
+                None,
             )
             .unwrap();
         match ticket.wait().unwrap() {
@@ -471,6 +537,7 @@ mod tests {
                     scenarios: scenarios[..3].to_vec(),
                 },
                 None,
+                None,
             )
             .unwrap();
         let t2 = batcher
@@ -480,6 +547,7 @@ mod tests {
                     profile: profile.clone(),
                     scenarios: scenarios[3..].to_vec(),
                 },
+                None,
                 None,
             )
             .unwrap();
@@ -508,6 +576,7 @@ mod tests {
                     scenarios: good,
                 },
                 None,
+                None,
             )
             .unwrap();
         let t_bad = batcher
@@ -517,6 +586,7 @@ mod tests {
                     profile,
                     scenarios: bad,
                 },
+                None,
                 None,
             )
             .unwrap();
@@ -536,7 +606,7 @@ mod tests {
         // A deadline of "now" is already unmeetable by the time the worker
         // wakes: deterministic expiry, no sleeps.
         let ticket = batcher
-            .submit(Work::Profile { model, profile }, Some(Instant::now()))
+            .submit(Work::Profile { model, profile }, Some(Instant::now()), None)
             .unwrap();
         assert!(matches!(ticket.wait(), Err(ServeError::DeadlineExceeded)));
     }
@@ -556,6 +626,7 @@ mod tests {
                     Ok(Outcome::Value(Json::Null))
                 })),
                 None,
+                None,
             )
             .unwrap();
         started_rx
@@ -568,6 +639,7 @@ mod tests {
                     .submit(
                         Work::Direct(Box::new(|| Ok(Outcome::Value(Json::Null)))),
                         None,
+                        None,
                     )
                     .unwrap()
             })
@@ -576,6 +648,7 @@ mod tests {
         // The next submit is shed, not buffered.
         let rejected = batcher.submit(
             Work::Direct(Box::new(|| Ok(Outcome::Value(Json::Null)))),
+            None,
             None,
         );
         assert!(matches!(
@@ -603,6 +676,7 @@ mod tests {
                             profile: profile.clone(),
                         },
                         None,
+                        None,
                     )
                     .unwrap()
             })
@@ -617,6 +691,7 @@ mod tests {
                     model: Arc::clone(&model),
                     profile: profile.clone(),
                 },
+                None,
                 None,
             ),
             Err(ServeError::ShuttingDown)
@@ -656,6 +731,7 @@ mod tests {
                                 model: Arc::clone(m),
                                 profile: pr.clone(),
                             },
+                            None,
                             None,
                         )
                         .unwrap(),

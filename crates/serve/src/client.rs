@@ -64,6 +64,25 @@ impl Client {
         &mut self,
         requests: Vec<(String, Vec<(String, Json)>)>,
     ) -> Result<Vec<Result<Json, ServeError>>, ServeError> {
+        Ok(self
+            .pipeline_traced(requests)?
+            .into_iter()
+            .map(|r| r.result)
+            .collect())
+    }
+
+    /// [`Client::pipeline`], keeping each response's echoed `trace_id` so
+    /// callers can correlate replies with server-side flight-recorder
+    /// records. The id is `None` when the server echoed none (tracing
+    /// disabled and no client-supplied `trace_id` field).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::pipeline`].
+    pub fn pipeline_traced(
+        &mut self,
+        requests: Vec<(String, Vec<(String, Json)>)>,
+    ) -> Result<Vec<TracedResponse>, ServeError> {
         let mut wire = String::new();
         let count = requests.len();
         for (verb, fields) in requests {
@@ -81,7 +100,10 @@ impl Client {
         let mut results = Vec::with_capacity(count);
         for _ in 0..count {
             let line = self.read_line()?;
-            results.push(decode_response(&line));
+            results.push(TracedResponse {
+                trace_id: decode_trace_id(&line),
+                result: decode_response(&line),
+            });
         }
         Ok(results)
     }
@@ -106,6 +128,25 @@ impl Client {
             self.buf.extend_from_slice(&chunk[..n]);
         }
     }
+}
+
+/// One pipelined response plus the trace id the server echoed, if any.
+#[derive(Debug)]
+pub struct TracedResponse {
+    /// The response envelope's `trace_id` member (16 hex digits),
+    /// verbatim.
+    pub trace_id: Option<String>,
+    /// The decoded result, as [`Client::pipeline`] returns it.
+    pub result: Result<Json, ServeError>,
+}
+
+/// Pulls the echoed `trace_id` out of a response line, if present.
+fn decode_trace_id(line: &str) -> Option<String> {
+    json::parse(line)
+        .ok()?
+        .get("trace_id")?
+        .as_str()
+        .map(str::to_owned)
 }
 
 /// Decodes one response line into the `result` object or a typed error.
@@ -160,5 +201,16 @@ mod tests {
         ));
         assert!(decode_response("garbage").is_err());
         assert!(decode_response(r#"{"id":3}"#).is_err());
+    }
+
+    #[test]
+    fn trace_ids_decode_when_echoed() {
+        assert_eq!(
+            decode_trace_id(r#"{"id":1,"trace_id":"00000000000000ff","ok":true,"result":{}}"#)
+                .as_deref(),
+            Some("00000000000000ff")
+        );
+        assert_eq!(decode_trace_id(r#"{"id":1,"ok":true,"result":{}}"#), None);
+        assert_eq!(decode_trace_id("garbage"), None);
     }
 }

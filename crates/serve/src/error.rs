@@ -60,6 +60,9 @@ pub enum ServeError {
     },
     /// The request's deadline expired before the executor reached it.
     DeadlineExceeded,
+    /// The `trace` verb was called but the server was started without a
+    /// flight recorder (tracing disabled).
+    TraceDisabled,
     /// The server is draining for shutdown and accepts no new work.
     ShuttingDown,
     /// A request line exceeded the configured size limit. The connection
@@ -107,10 +110,24 @@ impl ServeError {
             ServeError::Rejected { code, .. } => code,
             ServeError::Overloaded { .. } => "overloaded",
             ServeError::DeadlineExceeded => "deadline_exceeded",
+            ServeError::TraceDisabled => "trace_disabled",
             ServeError::ShuttingDown => "shutting_down",
             ServeError::OversizedLine { .. } => "oversized_line",
             ServeError::Io { .. } => "io",
             ServeError::Remote { code, .. } => code,
+        }
+    }
+
+    /// How this error classifies as a flight-recorder outcome: shed and
+    /// deadline events keep their distinguished variants, admission-gate
+    /// refusals carry their `HM0xx` code, everything else its wire code.
+    #[must_use]
+    pub fn trace_outcome(&self) -> hmdiv_obs::TraceOutcome {
+        match self {
+            ServeError::Overloaded { .. } => hmdiv_obs::TraceOutcome::Overloaded,
+            ServeError::DeadlineExceeded => hmdiv_obs::TraceOutcome::DeadlineExceeded,
+            ServeError::Rejected { code, .. } => hmdiv_obs::TraceOutcome::Rejected(code.clone()),
+            other => hmdiv_obs::TraceOutcome::Error(other.code().to_owned()),
         }
     }
 
@@ -141,6 +158,10 @@ impl fmt::Display for ServeError {
                 write!(f, "request queue full ({capacity} pending); retry later")
             }
             ServeError::DeadlineExceeded => write!(f, "deadline expired before evaluation"),
+            ServeError::TraceDisabled => write!(
+                f,
+                "tracing is disabled on this server (start it with a trace capacity)"
+            ),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::OversizedLine { limit } => {
                 write!(f, "request line exceeds {limit} bytes")
@@ -243,6 +264,7 @@ mod tests {
             ServeError::UnknownVerb { verb: "zap".into() },
             ServeError::UnknownArtifact { id: "m0".into() },
             ServeError::DeadlineExceeded,
+            ServeError::TraceDisabled,
             ServeError::ShuttingDown,
             ServeError::OversizedLine { limit: 10 },
             ServeError::Io {
@@ -259,5 +281,31 @@ mod tests {
         let chained = ServeError::from(ModelError::Empty { context: "t" });
         assert!(chained.source().is_some());
         assert!(ServeError::DeadlineExceeded.source().is_none());
+    }
+
+    #[test]
+    fn trace_outcomes_classify_shed_and_rejection() {
+        use hmdiv_obs::TraceOutcome;
+        assert_eq!(
+            ServeError::Overloaded { capacity: 2 }.trace_outcome(),
+            TraceOutcome::Overloaded
+        );
+        assert_eq!(
+            ServeError::DeadlineExceeded.trace_outcome(),
+            TraceOutcome::DeadlineExceeded
+        );
+        assert_eq!(
+            ServeError::Rejected {
+                code: "HM030".into(),
+                detail: "x".into()
+            }
+            .trace_outcome(),
+            TraceOutcome::Rejected("HM030".into())
+        );
+        assert_eq!(
+            ServeError::BadRequest { detail: "y".into() }.trace_outcome(),
+            TraceOutcome::Error("bad_request".into())
+        );
+        assert_eq!(ServeError::TraceDisabled.code(), "trace_disabled");
     }
 }

@@ -21,6 +21,15 @@
 //! typed wire errors for every model-layer failure, and graceful
 //! shutdown that drains in-flight work.
 //!
+//! Observability is too: with [`ServerConfig::trace_capacity`] set, every
+//! request is traced through the read → parse → queue → batch → eval →
+//! serialize → write pipeline into a `hmdiv_obs` flight-recorder ring,
+//! drained by the `trace` verb and dumped automatically on shed events.
+//! Clients may supply a `trace_id` wire field (echoed on every response;
+//! see [`client::TracedResponse`]) to correlate their calls with
+//! server-side records. Tracing is a pure observer — replies stay
+//! bit-identical with it on or off.
+//!
 //! # Quick start
 //!
 //! ```
@@ -74,7 +83,7 @@ pub mod server;
 pub mod shutdown;
 
 pub use batcher::{Batcher, Outcome, Ticket, Work};
-pub use client::Client;
+pub use client::{Client, TracedResponse};
 pub use error::ServeError;
 pub use json::Json;
 pub use registry::{Artifact, ArtifactRow, LoadReceipt, Registry};

@@ -10,11 +10,15 @@
 //! ```
 //!
 //! The envelope fields are `id` (any JSON value, echoed verbatim), `verb`,
-//! and an optional `deadline_ms`; the remaining members are the verb's
-//! body. Demand profiles are JSON objects whose **member order is the
-//! profile's class order** — [`crate::json`] preserves it, so eq. (8)
-//! accumulates in exactly the order a direct in-process caller would use,
-//! and server results are bit-identical to local evaluation.
+//! an optional `deadline_ms`, and an optional `trace_id` (a hex-u64
+//! correlation id: when present it names the request's trace instead of a
+//! server-minted id, and is echoed in the response envelope so pipelined
+//! callers can correlate replies with flight-recorder records); the
+//! remaining members are the verb's body. Demand profiles are JSON
+//! objects whose **member order is the profile's class order** —
+//! [`crate::json`] preserves it, so eq. (8) accumulates in exactly the
+//! order a direct in-process caller would use, and server results are
+//! bit-identical to local evaluation.
 //!
 //! `u64` content hashes travel as 16-digit hex strings (JSON numbers are
 //! doubles and cannot carry 64 bits).
@@ -38,6 +42,9 @@ pub struct Envelope {
     pub verb: String,
     /// Optional per-request deadline in milliseconds from receipt.
     pub deadline_ms: Option<u64>,
+    /// Optional client-supplied trace correlation id (hex u64 on the
+    /// wire), echoed in the response envelope.
+    pub trace_id: Option<hmdiv_obs::TraceId>,
     /// The full request object (envelope fields included).
     pub body: Json,
 }
@@ -48,7 +55,8 @@ pub struct Envelope {
 ///
 /// * [`ServeError::Parse`] if the line is not valid JSON.
 /// * [`ServeError::BadRequest`] if it is not an object with a string
-///   `verb`, or `deadline_ms` is present but not a whole number.
+///   `verb`, `deadline_ms` is present but not a whole number, or
+///   `trace_id` is present but not a hex-u64 string.
 pub fn parse_request(line: &str) -> Result<Envelope, ServeError> {
     let body = json::parse(line).map_err(|e| ServeError::Parse {
         detail: e.to_string(),
@@ -72,38 +80,53 @@ pub fn parse_request(line: &str) -> Result<Envelope, ServeError> {
             detail: "`deadline_ms` must be a non-negative integer".into(),
         })?),
     };
+    let trace_id = match body.get("trace_id") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .and_then(hmdiv_obs::TraceId::parse)
+                .ok_or_else(|| ServeError::BadRequest {
+                    detail: "`trace_id` must be a hex u64 string".into(),
+                })?,
+        ),
+    };
     Ok(Envelope {
         id,
         verb,
         deadline_ms,
+        trace_id,
         body,
     })
 }
 
-/// Renders a success response line (newline included).
+/// Renders a success response line (newline included). A client-supplied
+/// trace id is echoed as a `trace_id` envelope member.
 #[must_use]
-pub fn ok_line(id: &Json, result: Json) -> String {
+pub fn ok_line(id: &Json, trace: Option<hmdiv_obs::TraceId>, result: Json) -> String {
+    let mut members = vec![("id".to_owned(), id.clone())];
+    if let Some(t) = trace {
+        members.push(("trace_id".to_owned(), Json::str(t.to_hex())));
+    }
+    members.push(("ok".to_owned(), Json::Bool(true)));
+    members.push(("result".to_owned(), result));
     let mut out = String::new();
-    Json::Obj(vec![
-        ("id".to_owned(), id.clone()),
-        ("ok".to_owned(), Json::Bool(true)),
-        ("result".to_owned(), result),
-    ])
-    .write(&mut out);
+    Json::Obj(members).write(&mut out);
     out.push('\n');
     out
 }
 
-/// Renders an error response line (newline included).
+/// Renders an error response line (newline included), echoing a
+/// client-supplied trace id like [`ok_line`].
 #[must_use]
-pub fn err_line(id: &Json, error: &ServeError) -> String {
+pub fn err_line(id: &Json, trace: Option<hmdiv_obs::TraceId>, error: &ServeError) -> String {
+    let mut members = vec![("id".to_owned(), id.clone())];
+    if let Some(t) = trace {
+        members.push(("trace_id".to_owned(), Json::str(t.to_hex())));
+    }
+    members.push(("ok".to_owned(), Json::Bool(false)));
+    members.push(("error".to_owned(), error.to_wire()));
     let mut out = String::new();
-    Json::Obj(vec![
-        ("id".to_owned(), id.clone()),
-        ("ok".to_owned(), Json::Bool(false)),
-        ("error".to_owned(), error.to_wire()),
-    ])
-    .write(&mut out);
+    Json::Obj(members).write(&mut out);
     out.push('\n');
     out
 }
@@ -329,9 +352,24 @@ mod tests {
         assert_eq!(env.verb, "ping");
         assert_eq!(env.id, Json::Num(7.0));
         assert_eq!(env.deadline_ms, None);
+        assert_eq!(env.trace_id, None);
         let env = parse_request(r#"{"verb":"ping","deadline_ms":250}"#).unwrap();
         assert_eq!(env.id, Json::Null);
         assert_eq!(env.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn trace_ids_parse_and_reject_non_hex() {
+        let env = parse_request(r#"{"verb":"ping","trace_id":"00000000000000ff"}"#).unwrap();
+        assert_eq!(env.trace_id, Some(hmdiv_obs::TraceId(255)));
+        assert!(matches!(
+            parse_request(r#"{"verb":"ping","trace_id":"not-hex"}"#),
+            Err(ServeError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"verb":"ping","trace_id":7}"#),
+            Err(ServeError::BadRequest { .. })
+        ));
     }
 
     #[test]
@@ -359,13 +397,34 @@ mod tests {
         assert_eq!(
             ok_line(
                 &Json::Num(1.0),
+                None,
                 Json::Obj(vec![("pong".into(), Json::Bool(true))])
             ),
             "{\"id\":1,\"ok\":true,\"result\":{\"pong\":true}}\n"
         );
         assert_eq!(
-            err_line(&Json::Num(2.0), &ServeError::DeadlineExceeded),
+            err_line(&Json::Num(2.0), None, &ServeError::DeadlineExceeded),
             "{\"id\":2,\"ok\":false,\"error\":{\"code\":\"deadline_exceeded\",\
+             \"message\":\"deadline expired before evaluation\"}}\n"
+        );
+        // A trace id echoes between `id` and `ok`, zero-padded hex.
+        assert_eq!(
+            ok_line(
+                &Json::Num(3.0),
+                Some(hmdiv_obs::TraceId(255)),
+                Json::Obj(vec![("pong".into(), Json::Bool(true))])
+            ),
+            "{\"id\":3,\"trace_id\":\"00000000000000ff\",\"ok\":true,\
+             \"result\":{\"pong\":true}}\n"
+        );
+        assert_eq!(
+            err_line(
+                &Json::Num(4.0),
+                Some(hmdiv_obs::TraceId(16)),
+                &ServeError::DeadlineExceeded
+            ),
+            "{\"id\":4,\"trace_id\":\"0000000000000010\",\"ok\":false,\
+             \"error\":{\"code\":\"deadline_exceeded\",\
              \"message\":\"deadline expired before evaluation\"}}\n"
         );
     }

@@ -18,13 +18,15 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use hmdiv_core::cohort::CohortMember;
 use hmdiv_core::extrapolate::Scenario;
 use hmdiv_core::SequentialModel;
+use hmdiv_obs::{FlightRecorder, RequestRecord, Stage, StageSet, TraceId, TraceOutcome};
 
 use crate::batcher::{Batcher, Outcome, Ticket, Work};
 use crate::error::ServeError;
@@ -55,6 +57,14 @@ pub struct ServerConfig {
     /// Deadline applied to requests that do not carry their own
     /// `deadline_ms`.
     pub default_deadline_ms: Option<u64>,
+    /// Flight-recorder capacity: how many completed-request records the
+    /// ring keeps for the `trace` verb. `0` (the default) disables
+    /// request tracing entirely — no stage stamping, no recording.
+    pub trace_capacity: usize,
+    /// Where to dump the flight recorder's contents (as the `trace`
+    /// verb's JSON) whenever a request sheds — `overloaded` or
+    /// `deadline_exceeded`. `None` disables automatic dumps.
+    pub trace_dump: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +75,40 @@ impl Default for ServerConfig {
             threads: 4,
             max_line_bytes: 1 << 20,
             default_deadline_ms: None,
+            trace_capacity: 0,
+            trace_dump: None,
+        }
+    }
+}
+
+/// The request-tracing half of the server: the flight recorder plus the
+/// shed-triggered dump sink.
+struct Tracer {
+    recorder: FlightRecorder,
+    dump_path: Option<PathBuf>,
+    /// Serialises automatic dumps so two concurrent shed events do not
+    /// interleave writes into the same file.
+    dump_lock: Mutex<()>,
+}
+
+impl Tracer {
+    /// Writes the recorder's current contents (oldest first, same JSON as
+    /// the `trace` verb) to the configured dump path, if any. Best
+    /// effort: a failed write only bumps a counter.
+    fn dump_on_shed(&self) {
+        let Some(path) = &self.dump_path else { return };
+        let _guard = self
+            .dump_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let records = self.recorder.peek();
+        let mut text = String::new();
+        trace_report_json(&records, &self.recorder).write(&mut text);
+        text.push('\n');
+        if std::fs::write(path, text).is_ok() {
+            hmdiv_obs::counter_add("serve.trace.dumps", 1);
+        } else {
+            hmdiv_obs::counter_add("serve.trace.dump_failures", 1);
         }
     }
 }
@@ -77,6 +121,7 @@ struct Ctx {
     threads: usize,
     max_line_bytes: usize,
     default_deadline_ms: Option<u64>,
+    tracer: Option<Tracer>,
 }
 
 /// A running evaluation server.
@@ -109,6 +154,11 @@ impl Server {
         let signal = Arc::new(ShutdownSignal::new());
         let registry = Arc::new(Registry::new());
         let batcher = Batcher::start(config.queue_capacity, config.threads)?;
+        let tracer = (config.trace_capacity > 0).then(|| Tracer {
+            recorder: FlightRecorder::with_capacity(config.trace_capacity),
+            dump_path: config.trace_dump.clone(),
+            dump_lock: Mutex::new(()),
+        });
         let ctx = Arc::new(Ctx {
             signal: Arc::clone(&signal),
             registry: Arc::clone(&registry),
@@ -116,6 +166,7 @@ impl Server {
             threads: config.threads,
             max_line_bytes: config.max_line_bytes,
             default_deadline_ms: config.default_deadline_ms,
+            tracer,
         });
         let accept = std::thread::Builder::new()
             .name("hmdiv-serve-accept".into())
@@ -264,14 +315,17 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
     let mut chunk = vec![0_u8; 16 * 1024];
     loop {
         // Phase 1: block (in READ_POLL slices, re-checking the shutdown
-        // signal) until one complete line is in.
+        // signal) until one complete line is in. `read_start` marks the
+        // first socket bytes that contributed to this batch — the read
+        // stage of its traces (None when the line was already buffered).
+        let mut read_start: Option<Instant> = None;
         let first = loop {
             match reader.next_line() {
                 Ok(Some(line)) => break line,
                 Ok(None) => {}
                 Err(e) => {
                     // Framing is broken; report once and close.
-                    drop(stream.write_all(protocol::err_line(&Json::Null, &e).as_bytes()));
+                    drop(stream.write_all(protocol::err_line(&Json::Null, None, &e).as_bytes()));
                     return;
                 }
             }
@@ -280,7 +334,10 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
             }
             match stream.read(&mut chunk) {
                 Ok(0) => return, // EOF
-                Ok(n) => reader.push(&chunk[..n]),
+                Ok(n) => {
+                    read_start.get_or_insert_with(Instant::now);
+                    reader.push(&chunk[..n]);
+                }
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
                 Err(_) => return,
             }
@@ -312,17 +369,70 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
         }
         // Phase 3+4: route everything (filling the executor queue), then
         // collect and write all responses in order with a single flush.
-        let mut out = process_lines(&lines, received, ctx);
+        let (mut out, pending) = process_lines(&lines, received, read_start, ctx);
         if let Some(ref e) = fatal {
-            out.push_str(&protocol::err_line(&Json::Null, e));
+            out.push_str(&protocol::err_line(&Json::Null, None, e));
         }
+        let write_start = Instant::now();
         if stream.write_all(out.as_bytes()).is_err() {
+            // The replies never reached the client; still complete the
+            // records (without a write stage) so sheds stay observable.
+            complete_traces(ctx, pending, write_start, None);
             return;
         }
         drop(stream.flush());
+        complete_traces(ctx, pending, write_start, Some(Instant::now()));
         if fatal.is_some() {
             return;
         }
+    }
+}
+
+/// A traced request awaiting its final write stamp: records complete
+/// *after* the response bytes hit the socket, so the write stage and the
+/// true outcome are both in the flight recorder.
+struct PendingTrace {
+    trace_id: TraceId,
+    verb: String,
+    model: Option<String>,
+    stages: Arc<StageSet>,
+    outcome: TraceOutcome,
+}
+
+/// Stamps the write stage, lands each completed record in the flight
+/// recorder (feeding the `serve.stage.*` latency histograms), and dumps
+/// the recorder if any record in the batch shed.
+fn complete_traces(
+    ctx: &Ctx,
+    pending: Vec<PendingTrace>,
+    write_start: Instant,
+    write_end: Option<Instant>,
+) {
+    let Some(tracer) = &ctx.tracer else { return };
+    let mut shed = false;
+    for p in pending {
+        if let Some(end) = write_end {
+            p.stages.stamp(Stage::Write, write_start, end);
+        }
+        let record = RequestRecord {
+            trace_id: p.trace_id,
+            verb: p.verb,
+            model: p.model,
+            batch_size: p.stages.batch_size(),
+            queue_depth: p.stages.queue_depth(),
+            stages: p.stages.finish(),
+            outcome: p.outcome,
+        };
+        if hmdiv_obs::enabled() {
+            for span in record.stages.iter().flatten() {
+                hmdiv_obs::observe_ns(&format!("serve.stage.{}", span.stage.name()), span.dur_ns);
+            }
+        }
+        shed |= record.outcome.is_shed();
+        tracer.recorder.record(record);
+    }
+    if shed {
+        tracer.dump_on_shed();
     }
 }
 
@@ -347,7 +457,7 @@ enum Routed {
 
 /// Verbs the server understands (unknown verbs share one metrics bucket
 /// to keep counter cardinality bounded).
-const VERBS: [&str; 12] = [
+const VERBS: [&str; 13] = [
     "ping",
     "metrics",
     "models",
@@ -360,21 +470,75 @@ const VERBS: [&str; 12] = [
     "extrapolate",
     "importance",
     "cohort",
+    "trace",
 ];
 
-fn process_lines(lines: &[String], received: Instant, ctx: &Ctx) -> String {
-    let mut slots: Vec<(Json, Result<Routed, ServeError>)> = Vec::with_capacity(lines.len());
+/// One parsed request waiting for its response to render.
+struct RequestSlot {
+    id: Json,
+    /// The trace id to echo in the response envelope.
+    echo: Option<TraceId>,
+    /// Tracing context when the server records flights.
+    trace: Option<(TraceId, Arc<StageSet>, String, Option<String>)>,
+    routed: Result<Routed, ServeError>,
+}
+
+fn process_lines(
+    lines: &[String],
+    received: Instant,
+    read_start: Option<Instant>,
+    ctx: &Ctx,
+) -> (String, Vec<PendingTrace>) {
+    let mut slots: Vec<RequestSlot> = Vec::with_capacity(lines.len());
     for line in lines {
+        let parse_start = Instant::now();
         match protocol::parse_request(line) {
             Ok(env) => {
+                let parse_end = Instant::now();
                 if VERBS.contains(&env.verb.as_str()) {
                     hmdiv_obs::counter_add(&format!("serve.verb.{}", env.verb), 1);
                 } else {
                     hmdiv_obs::counter_add("serve.verb.unknown", 1);
                 }
                 let id = env.id.clone();
-                let routed = route(&env, received, ctx);
-                slots.push((id, routed));
+                // With tracing on, every request gets a stage set and an
+                // id (client-supplied or minted); with it off, a client
+                // trace id is still echoed for correlation.
+                let trace = ctx.tracer.as_ref().map(|_| {
+                    let tid = env.trace_id.unwrap_or_else(TraceId::mint);
+                    let set = Arc::new(StageSet::new(received));
+                    if let Some(rs) = read_start {
+                        set.stamp(Stage::Read, rs, received);
+                    }
+                    set.stamp(Stage::Parse, parse_start, parse_end);
+                    let model = env
+                        .body
+                        .get("model")
+                        .or_else(|| env.body.get("cohort"))
+                        .and_then(Json::as_str)
+                        .map(str::to_owned);
+                    (tid, set, env.verb.clone(), model)
+                });
+                let echo = trace.as_ref().map(|(tid, ..)| *tid).or(env.trace_id);
+                let stage_set = trace.as_ref().map(|(_, set, ..)| Arc::clone(set));
+                let routed = route(&env, received, ctx, stage_set.clone());
+                if let Some(set) = &stage_set {
+                    // Queued verbs spend `route` binding and submitting —
+                    // count that as parse; inline verbs do their whole
+                    // evaluation inside `route` — count that as eval.
+                    match &routed {
+                        Ok(Routed::Queued { .. }) => {
+                            set.stamp(Stage::Parse, parse_start, Instant::now());
+                        }
+                        _ => set.stamp_since(Stage::Eval, parse_end),
+                    }
+                }
+                slots.push(RequestSlot {
+                    id,
+                    echo,
+                    trace,
+                    routed,
+                });
             }
             Err(e) => {
                 // Best effort: echo the id even when the envelope is bad.
@@ -382,29 +546,62 @@ fn process_lines(lines: &[String], received: Instant, ctx: &Ctx) -> String {
                     .ok()
                     .and_then(|j| j.get("id").cloned())
                     .unwrap_or(Json::Null);
-                slots.push((id, Err(e)));
+                slots.push(RequestSlot {
+                    id,
+                    echo: None,
+                    trace: None,
+                    routed: Err(e),
+                });
             }
         }
     }
     let mut out = String::new();
-    for (id, routed) in slots {
-        let line = match routed {
-            Ok(Routed::Ready(result)) => protocol::ok_line(&id, result),
-            Ok(Routed::Queued { ticket, render }) => match ticket.wait() {
-                Ok(outcome) => match render_outcome(&render, outcome) {
-                    Ok(result) => protocol::ok_line(&id, result),
-                    Err(e) => protocol::err_line(&id, &e),
-                },
-                Err(e) => protocol::err_line(&id, &e),
-            },
+    let mut pending = Vec::new();
+    for slot in slots {
+        let (ser_start, line, outcome) = match slot.routed {
+            Ok(Routed::Ready(result)) => {
+                let s = Instant::now();
+                (
+                    s,
+                    protocol::ok_line(&slot.id, slot.echo, result),
+                    TraceOutcome::Ok,
+                )
+            }
+            Ok(Routed::Queued { ticket, render }) => {
+                let reply = ticket.wait();
+                let s = Instant::now();
+                match reply.and_then(|o| render_outcome(&render, o)) {
+                    Ok(result) => (
+                        s,
+                        protocol::ok_line(&slot.id, slot.echo, result),
+                        TraceOutcome::Ok,
+                    ),
+                    Err(e) => {
+                        let outcome = e.trace_outcome();
+                        (s, protocol::err_line(&slot.id, slot.echo, &e), outcome)
+                    }
+                }
+            }
             Err(e) => {
                 hmdiv_obs::counter_add("serve.errors", 1);
-                protocol::err_line(&id, &e)
+                let s = Instant::now();
+                let outcome = e.trace_outcome();
+                (s, protocol::err_line(&slot.id, slot.echo, &e), outcome)
             }
         };
         out.push_str(&line);
+        if let Some((trace_id, stages, verb, model)) = slot.trace {
+            stages.stamp_since(Stage::Serialize, ser_start);
+            pending.push(PendingTrace {
+                trace_id,
+                verb,
+                model,
+                stages,
+                outcome,
+            });
+        }
     }
-    out
+    (out, pending)
 }
 
 fn render_outcome(render: &Render, outcome: Outcome) -> Result<Json, ServeError> {
@@ -476,7 +673,78 @@ fn receipt_json(receipt: &LoadReceipt) -> Json {
     ])
 }
 
-fn route(env: &Envelope, received: Instant, ctx: &Ctx) -> Result<Routed, ServeError> {
+/// Renders one flight-recorder record as the `trace` verb's JSON row:
+/// identity and admission facts, a `stages` object of stamped spans, and
+/// the parented `spans` tree.
+#[allow(clippy::cast_precision_loss)]
+fn trace_record_json(r: &RequestRecord) -> Json {
+    let stages = r
+        .stages
+        .iter()
+        .flatten()
+        .map(|s| {
+            (
+                s.stage.name().to_owned(),
+                Json::Obj(vec![
+                    ("start_ns".to_owned(), Json::Num(s.start_ns as f64)),
+                    ("dur_ns".to_owned(), Json::Num(s.dur_ns as f64)),
+                ]),
+            )
+        })
+        .collect();
+    let spans = r
+        .spans()
+        .into_iter()
+        .map(|n| {
+            Json::Obj(vec![
+                ("id".to_owned(), Json::Num(f64::from(n.id))),
+                (
+                    "parent".to_owned(),
+                    n.parent.map_or(Json::Null, |p| Json::Num(f64::from(p))),
+                ),
+                ("name".to_owned(), Json::str(n.name)),
+                ("start_ns".to_owned(), Json::Num(n.start_ns as f64)),
+                ("dur_ns".to_owned(), Json::Num(n.dur_ns as f64)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("trace_id".to_owned(), Json::str(r.trace_id.to_hex())),
+        ("verb".to_owned(), Json::str(r.verb.as_str())),
+        (
+            "model".to_owned(),
+            r.model.as_deref().map_or(Json::Null, Json::str),
+        ),
+        ("batch_size".to_owned(), Json::Num(r.batch_size as f64)),
+        ("queue_depth".to_owned(), Json::Num(r.queue_depth as f64)),
+        ("outcome".to_owned(), Json::str(r.outcome.label())),
+        ("total_ns".to_owned(), Json::Num(r.total_ns() as f64)),
+        ("stages".to_owned(), Json::Obj(stages)),
+        ("spans".to_owned(), Json::Arr(spans)),
+    ])
+}
+
+/// The `trace` verb's result (also the shed-dump file's content): the
+/// records oldest first plus the recorder's bookkeeping.
+#[allow(clippy::cast_precision_loss)]
+fn trace_report_json(records: &[RequestRecord], recorder: &FlightRecorder) -> Json {
+    Json::Obj(vec![
+        (
+            "records".to_owned(),
+            Json::Arr(records.iter().map(trace_record_json).collect()),
+        ),
+        ("capacity".to_owned(), Json::Num(recorder.capacity() as f64)),
+        ("recorded".to_owned(), Json::Num(recorder.recorded() as f64)),
+        ("dropped".to_owned(), Json::Num(recorder.contended() as f64)),
+    ])
+}
+
+fn route(
+    env: &Envelope,
+    received: Instant,
+    ctx: &Ctx,
+    trace: Option<Arc<StageSet>>,
+) -> Result<Routed, ServeError> {
     let deadline = env
         .deadline_ms
         .or(ctx.default_deadline_ms)
@@ -491,15 +759,45 @@ fn route(env: &Envelope, received: Instant, ctx: &Ctx) -> Result<Routed, ServeEr
             let snapshot = hmdiv_obs::snapshot();
             #[allow(clippy::cast_precision_loss)]
             let par_threshold = crate::batcher::par_threshold() as f64;
+            // Histogram summaries (count, sum, and interpolated
+            // percentiles) for every registered histogram, `serve.*`
+            // stage latencies included, in deterministic name order.
+            #[allow(clippy::cast_precision_loss)]
+            let histograms = snapshot
+                .histograms
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.clone(),
+                        Json::Obj(vec![
+                            ("unit".to_owned(), Json::str(h.unit.label())),
+                            ("count".to_owned(), Json::Num(h.count as f64)),
+                            ("sum".to_owned(), Json::Num(h.sum as f64)),
+                            ("p50".to_owned(), Json::Num(h.p50())),
+                            ("p95".to_owned(), Json::Num(h.p95())),
+                            ("p99".to_owned(), Json::Num(h.p99())),
+                        ]),
+                    )
+                })
+                .collect();
+            #[allow(clippy::cast_precision_loss)]
+            let queue_depth = ctx.batcher.queue_len() as f64;
             Ok(Routed::Ready(Json::Obj(vec![
                 (
                     "prometheus".to_owned(),
                     Json::str(hmdiv_obs::export::to_prometheus(&snapshot)),
                 ),
+                ("histograms".to_owned(), Json::Obj(histograms)),
                 // The effective batcher parallelism threshold (default or
                 // HMDIV_SERVE_PAR_THRESHOLD override).
                 ("par_threshold".to_owned(), Json::Num(par_threshold)),
+                ("queue_depth".to_owned(), Json::Num(queue_depth)),
             ])))
+        }
+        "trace" => {
+            let tracer = ctx.tracer.as_ref().ok_or(ServeError::TraceDisabled)?;
+            let records = tracer.recorder.drain();
+            Ok(Routed::Ready(trace_report_json(&records, &tracer.recorder)))
         }
         "models" => {
             let rows = ctx
@@ -589,6 +887,7 @@ fn route(env: &Envelope, received: Instant, ctx: &Ctx) -> Result<Routed, ServeEr
                             profile: bound,
                         },
                         deadline,
+                        trace.clone(),
                     )?;
                     Ok(Routed::Queued {
                         ticket,
@@ -604,6 +903,7 @@ fn route(env: &Envelope, received: Instant, ctx: &Ctx) -> Result<Routed, ServeEr
                             Ok(Outcome::One(compiled.system_failure(&bound)))
                         })),
                         deadline,
+                        trace.clone(),
                     )?;
                     Ok(Routed::Queued {
                         ticket,
@@ -625,6 +925,7 @@ fn route(env: &Envelope, received: Instant, ctx: &Ctx) -> Result<Routed, ServeEr
                     scenarios,
                 },
                 deadline,
+                trace.clone(),
             )?;
             Ok(Routed::Queued {
                 ticket,
@@ -641,6 +942,7 @@ fn route(env: &Envelope, received: Instant, ctx: &Ctx) -> Result<Routed, ServeEr
                     scenarios: vec![Scenario::new(), scenario],
                 },
                 deadline,
+                trace.clone(),
             )?;
             Ok(Routed::Queued {
                 ticket,
@@ -682,6 +984,7 @@ fn route(env: &Envelope, received: Instant, ctx: &Ctx) -> Result<Routed, ServeEr
                     )])))
                 })),
                 deadline,
+                trace.clone(),
             )?;
             Ok(Routed::Queued {
                 ticket,
@@ -722,6 +1025,7 @@ fn route(env: &Envelope, received: Instant, ctx: &Ctx) -> Result<Routed, ServeEr
                     ])))
                 })),
                 deadline,
+                trace.clone(),
             )?;
             Ok(Routed::Queued {
                 ticket,
@@ -784,5 +1088,7 @@ mod tests {
         assert_eq!(c.queue_capacity, 1024);
         assert_eq!(c.max_line_bytes, 1 << 20);
         assert!(c.default_deadline_ms.is_none());
+        assert_eq!(c.trace_capacity, 0, "tracing is opt-in");
+        assert!(c.trace_dump.is_none());
     }
 }

@@ -228,8 +228,53 @@ fn golden_fixtures_for_every_verb() {
     let text = metrics.get("prometheus").and_then(Json::as_str).unwrap();
     assert!(text.contains("serve_verb_evaluate"), "got: {text}");
     assert!(text.contains("serve_batch_flushes"), "got: {text}");
+    // The satellite batcher metrics, sampled at flush time, and the
+    // percentile gauges derived from each histogram.
+    assert!(text.contains("hmdiv_serve_queue_depth"), "got: {text}");
+    assert!(
+        text.contains("hmdiv_serve_batch_size_bucket"),
+        "got: {text}"
+    );
+    assert!(
+        text.contains("hmdiv_serve_request_seconds_p99"),
+        "got: {text}"
+    );
     let threshold = metrics.get("par_threshold").and_then(Json::as_f64).unwrap();
     assert!(threshold > 0.0, "got: {threshold}");
+    // Golden JSON shape of the histogram summaries: every histogram
+    // carries exactly unit/count/sum/p50/p95/p99, and the serve.*
+    // histograms the verbs above produced are present with the right
+    // units and ordered percentiles.
+    let histograms = metrics.get("histograms").expect("histograms member");
+    let obj = histograms.as_obj().expect("histograms is an object");
+    assert!(!obj.is_empty(), "histograms must not be empty");
+    for (name, h) in obj {
+        let members: Vec<&str> = h
+            .as_obj()
+            .unwrap_or_else(|| panic!("`{name}` must be an object"))
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(
+            members,
+            ["unit", "count", "sum", "p50", "p95", "p99"],
+            "summary shape drifted for `{name}`"
+        );
+        let p50 = h.get("p50").and_then(Json::as_f64).unwrap();
+        let p95 = h.get("p95").and_then(Json::as_f64).unwrap();
+        let p99 = h.get("p99").and_then(Json::as_f64).unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "`{name}`: {p50} {p95} {p99}");
+    }
+    let request = histograms.get("serve.request").expect("serve.request");
+    assert_eq!(request.get("unit").and_then(Json::as_str), Some("ns"));
+    assert!(request.get("count").and_then(Json::as_f64).unwrap() > 0.0);
+    let batch = histograms
+        .get("serve.batch_size")
+        .expect("serve.batch_size");
+    assert_eq!(batch.get("unit").and_then(Json::as_str), Some("count"));
+    assert!(batch.get("count").and_then(Json::as_f64).unwrap() > 0.0);
+    // The live executor queue depth rides along (drained by now).
+    assert_eq!(metrics.get("queue_depth").and_then(Json::as_f64), Some(0.0));
 
     server.shutdown();
 }
