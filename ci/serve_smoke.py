@@ -13,7 +13,17 @@ report to the given paths.
 The server must run with `--trace N` for the trace assertions; TRACE_OUT
 is the artifact path for the drained recorder report.
 
-Usage: serve_smoke.py HOST PORT METRICS_OUT TRACE_OUT
+With SNAPSHOT_OUT given, the session also exercises the registry
+persistence half: it issues `save` (the server must run with
+`--snapshot-dir`) and records the saved content ids plus the exact
+evaluation result to SNAPSHOT_OUT. After the server is restarted from
+the same snapshot directory, `--warm-start` mode asserts the round
+trip: the restored server lists identical content ids and serves the
+identical (bit-for-bit, via JSON float round-trip) evaluation without
+any client-side reload.
+
+Usage: serve_smoke.py HOST PORT METRICS_OUT TRACE_OUT [SNAPSHOT_OUT]
+       serve_smoke.py --warm-start HOST PORT SNAPSHOT_OUT
 """
 
 import json
@@ -58,13 +68,37 @@ class Session:
 CORRELATION_ID = "00000000000000ff"
 
 
+def warm_start(host, port, snapshot_out):
+    """Phase two of the persistence round trip, against a server that was
+    restarted with the same `--snapshot-dir` the save phase wrote to."""
+    with open(snapshot_out, encoding="utf-8") as f:
+        saved = json.load(f)
+    s = Session(host, port)
+    listing = s.request("models")
+    ids = sorted(row["id"] for row in listing["models"])
+    assert ids == sorted(saved["ids"]), (ids, saved["ids"])
+    print(f"warm start restored identical content ids: {ids}")
+    result = s.request("evaluate", model=saved["model_id"], profile=FIELD_PROFILE)
+    assert result["failure"] == saved["failure"], (result, saved)
+    print(f"warm-started evaluate is exact: {result['failure']}")
+    # The explicit verb re-restores idempotently into the live registry.
+    restored = s.request("restore")
+    assert sorted(restored["ids"]) == ids, restored
+    assert s.request("shutdown").get("draining") is True
+    print("warm-start round trip OK")
+
+
 def main():
+    if sys.argv[1] == "--warm-start":
+        warm_start(sys.argv[2], int(sys.argv[3]), sys.argv[4])
+        return
     host, port, metrics_out, trace_out = (
         sys.argv[1],
         int(sys.argv[2]),
         sys.argv[3],
         sys.argv[4],
     )
+    snapshot_out = sys.argv[5] if len(sys.argv) > 5 else None
     s = Session(host, port)
 
     pong = s.request("ping")
@@ -159,9 +193,26 @@ def main():
     # The stage histograms feed percentile gauges into the exposition.
     assert "hmdiv_serve_stage_eval_seconds_p99" in prometheus, prometheus
     assert "serve.batch_size" in metrics["histograms"], metrics
+    # The event-loop satellites: live-connection gauge (this session is
+    # the one open socket) and the poller pool's wakeup counter.
+    assert metrics["connections"] == 1.0, metrics
+    assert metrics["pollers"] >= 1.0, metrics
+    assert "hmdiv_serve_connections" in prometheus, prometheus
+    assert "hmdiv_serve_poll_wakeups" in prometheus, prometheus
     with open(metrics_out, "w", encoding="utf-8") as f:
         f.write(prometheus)
     print(f"wrote {metrics_out} ({len(prometheus)} bytes)")
+
+    if snapshot_out is not None:
+        # Persist the registry to the server's snapshot dir and record
+        # what the restarted server must reproduce exactly.
+        saved = s.request("save")
+        assert model_id in saved["ids"], saved
+        with open(snapshot_out, "w", encoding="utf-8") as f:
+            json.dump(
+                {"ids": saved["ids"], "model_id": model_id, "failure": failure}, f
+            )
+        print(f"saved {saved['saved']} artifact(s) to {saved['dir']}")
 
     assert s.request("shutdown").get("draining") is True
     print("serve smoke OK")

@@ -5,8 +5,8 @@
 //! ```text
 //! repro [EXPERIMENT...] [--monte-carlo] [--cases N] [--seed N] [--threads N] [--metrics[=PATH]]
 //! repro serve [--addr HOST:PORT] [--queue-capacity N] [--threads N]
-//!             [--max-line-bytes N] [--deadline-ms N] [--metrics]
-//!             [--trace N] [--trace-dump PATH]
+//!             [--pollers N] [--max-line-bytes N] [--deadline-ms N] [--metrics]
+//!             [--trace N] [--trace-dump PATH] [--snapshot-dir DIR]
 //! repro check [--json] ARTIFACT.json...
 //! ```
 //!
@@ -28,6 +28,10 @@
 //! tracing with an N-record flight recorder (drained by the `trace`
 //! verb); `--trace-dump PATH` additionally dumps the recorder to `PATH`
 //! whenever a request sheds (`overloaded` / `deadline_exceeded`).
+//! `--pollers N` sizes the readiness-poller pool that multiplexes the
+//! connections, and `--snapshot-dir DIR` warm-starts the registry from a
+//! previous `save` (and becomes the default target for the `save` and
+//! `restore` verbs).
 //!
 //! `repro check` runs the `hmdiv-analyze` static passes over artifact
 //! files (see `hmdiv_bench::check` for the accepted shapes) and exits
@@ -161,7 +165,8 @@ fn parse_args() -> Result<Options, String> {
 
 fn serve_usage() -> String {
     "usage: repro serve [--addr HOST:PORT] [--queue-capacity N] [--threads N] \
-     [--max-line-bytes N] [--deadline-ms N] [--metrics] [--trace N] [--trace-dump PATH]"
+     [--pollers N] [--max-line-bytes N] [--deadline-ms N] [--metrics] [--trace N] \
+     [--trace-dump PATH] [--snapshot-dir DIR]"
         .to_owned()
 }
 
@@ -265,6 +270,14 @@ fn parse_serve_args(args: &[String]) -> Result<(hmdiv_serve::ServerConfig, bool)
                     return Err("--threads must be at least 1".into());
                 }
             }
+            "--pollers" => {
+                config.poller_threads = value("--pollers", &mut args)?
+                    .parse()
+                    .map_err(|e| format!("bad --pollers: {e}"))?;
+                if config.poller_threads == 0 {
+                    return Err("--pollers must be at least 1".into());
+                }
+            }
             "--max-line-bytes" => {
                 config.max_line_bytes = value("--max-line-bytes", &mut args)?
                     .parse()
@@ -288,6 +301,9 @@ fn parse_serve_args(args: &[String]) -> Result<(hmdiv_serve::ServerConfig, bool)
             }
             "--trace-dump" => {
                 config.trace_dump = Some(value("--trace-dump", &mut args)?.into());
+            }
+            "--snapshot-dir" => {
+                config.snapshot_dir = Some(value("--snapshot-dir", &mut args)?.into());
             }
             "--help" | "-h" => return Err(serve_usage()),
             other => return Err(format!("unknown serve flag {other}\n{}", serve_usage())),

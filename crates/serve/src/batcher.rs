@@ -21,13 +21,21 @@
 //! grouped scenario call that fails is re-run per job sequentially so each
 //! ticket gets *its own* typed error, not its neighbour's.
 //!
-//! **Backpressure:** when the queue is full, [`submit`](Batcher::submit)
-//! fails fast with [`ServeError::Overloaded`] instead of buffering without
-//! bound — memory stays flat under overload and the client learns to back
-//! off.
+//! **Backpressure:** admission is **cost-based** — each job declares how
+//! many scalar evaluations it expands to (one per profile, one per
+//! scenario, cohort-member count for cohort work), and
+//! [`submit`](Batcher::submit) fails fast with [`ServeError::Overloaded`]
+//! once the queued cost would exceed capacity. One bulk request can no
+//! longer monopolize a flush window while counting as a single queue slot;
+//! memory stays flat under overload and the client learns to back off.
+//!
+//! **Wakeable tickets:** a [`Ticket`] can be waited on (blocking, for the
+//! client library and tests) or polled with [`try_take`](Ticket::try_take)
+//! by the event-driven connection poller; an optional [`Waker`] supplied
+//! at submit time fires when the reply lands, so a poller thread sleeps
+//! instead of spinning.
 
 use std::collections::VecDeque;
-use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -89,10 +97,62 @@ pub enum Outcome {
 
 type Reply = Result<Outcome, ServeError>;
 
+/// A callback fired when a reply lands in its slot — the event-driven
+/// poller registers one so a sleeping readiness thread learns that a
+/// connection it owns has work to write, without polling every ticket.
+pub type Waker = Arc<dyn Fn() + Send + Sync>;
+
+/// The write-once reply cell a [`Ticket`] and its [`ReplyHandle`] share.
+struct ReplySlot {
+    state: Mutex<SlotState>,
+    bell: Condvar,
+}
+
+struct SlotState {
+    reply: Option<Reply>,
+    /// Set the first time the slot is filled and never cleared — a waiter
+    /// taking the reply must not reopen the slot for a late
+    /// `ShuttingDown` overwrite from the handle's drop.
+    filled: bool,
+}
+
+impl ReplySlot {
+    fn new() -> Arc<ReplySlot> {
+        Arc::new(ReplySlot {
+            state: Mutex::new(SlotState {
+                reply: None,
+                filled: false,
+            }),
+            bell: Condvar::new(),
+        })
+    }
+
+    /// First fill wins; returns whether this call was it.
+    fn fill(&self, result: Reply) -> bool {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if st.filled {
+            return false;
+        }
+        st.filled = true;
+        st.reply = Some(result);
+        drop(st);
+        self.bell.notify_all();
+        true
+    }
+}
+
 /// A claim on a submitted unit of work.
-#[derive(Debug)]
 pub struct Ticket {
-    rx: mpsc::Receiver<Reply>,
+    slot: Arc<ReplySlot>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
 }
 
 impl Ticket {
@@ -103,16 +163,61 @@ impl Ticket {
     /// Whatever the work produced; [`ServeError::ShuttingDown`] if the
     /// executor stopped before replying.
     pub fn wait(self) -> Reply {
-        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+        let mut st = self
+            .slot
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(reply) = st.reply.take() {
+                return reply;
+            }
+            st = self
+                .slot
+                .bell
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Takes the reply if it has landed, without blocking — the poller's
+    /// entry point. Returns `None` while the work is still in flight.
+    pub fn try_take(&self) -> Option<Reply> {
+        self.slot
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .reply
+            .take()
     }
 }
 
 /// The reply half of a queued job, plus the request's stage stamps when
-/// the connection admitted it with tracing on.
+/// the connection admitted it with tracing on. Dropping an unfilled
+/// handle (worker panic, drain race) delivers `ShuttingDown` so no ticket
+/// waits forever.
 struct ReplyHandle {
     enqueued: Instant,
     trace: Option<Arc<StageSet>>,
-    tx: mpsc::Sender<Reply>,
+    slot: Arc<ReplySlot>,
+    waker: Option<Waker>,
+}
+
+impl ReplyHandle {
+    /// Fills the slot (first fill wins) and fires the waker.
+    fn complete(&self, result: Reply) {
+        if self.slot.fill(result) {
+            if let Some(wake) = &self.waker {
+                wake();
+            }
+        }
+    }
+}
+
+impl Drop for ReplyHandle {
+    fn drop(&mut self) {
+        self.complete(Err(ServeError::ShuttingDown));
+    }
 }
 
 /// One queued job.
@@ -124,6 +229,9 @@ struct Pending {
 
 struct State {
     queue: VecDeque<Pending>,
+    /// Total admission cost of everything queued (scalar evaluations, not
+    /// request count) — the quantity the capacity bound is enforced on.
+    queued_cost: usize,
     draining: bool,
 }
 
@@ -168,6 +276,7 @@ impl Batcher {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
+                queued_cost: 0,
                 draining: false,
             }),
             bell: Condvar::new(),
@@ -184,28 +293,36 @@ impl Batcher {
         })
     }
 
-    /// Submits work, failing fast when the executor cannot take it. A
-    /// `trace` stage set, when supplied, learns the queue depth observed
-    /// at admission and is stamped with queue/batch/eval stages as the
-    /// job moves through the executor.
+    /// Submits work with its admission `cost` — the number of scalar
+    /// evaluations the job expands to (clamped to at least 1). A `trace`
+    /// stage set, when supplied, learns the queue depth observed at
+    /// admission and is stamped with queue/batch/eval stages as the job
+    /// moves through the executor. A `waker`, when supplied, fires the
+    /// moment the reply lands so an event-driven caller can sleep on its
+    /// poller instead of blocking on the ticket.
     ///
     /// # Errors
     ///
-    /// * [`ServeError::Overloaded`] when the bounded queue is full.
+    /// * [`ServeError::Overloaded`] when admitting `cost` would push the
+    ///   queued cost past capacity. A single job whose cost exceeds the
+    ///   whole capacity is always shed — the bound is the contract.
     /// * [`ServeError::ShuttingDown`] when the executor is draining.
     pub fn submit(
         &self,
         work: Work,
+        cost: usize,
         deadline: Option<Instant>,
         trace: Option<Arc<StageSet>>,
+        waker: Option<Waker>,
     ) -> Result<Ticket, ServeError> {
-        let (tx, rx) = mpsc::channel();
+        let cost = cost.max(1);
+        let slot = ReplySlot::new();
         {
             let mut st = self.shared.lock();
             if st.draining {
                 return Err(ServeError::ShuttingDown);
             }
-            if st.queue.len() >= self.shared.capacity {
+            if st.queued_cost + cost > self.shared.capacity {
                 hmdiv_obs::counter_add("serve.overloaded", 1);
                 if let Some(t) = &trace {
                     t.set_queue_depth(st.queue.len() as u64);
@@ -217,25 +334,34 @@ impl Batcher {
             if let Some(t) = &trace {
                 t.set_queue_depth(st.queue.len() as u64);
             }
+            st.queued_cost += cost;
             st.queue.push_back(Pending {
                 work,
                 deadline,
                 handle: ReplyHandle {
                     enqueued: Instant::now(),
                     trace,
-                    tx,
+                    slot: Arc::clone(&slot),
+                    waker,
                 },
             });
         }
         self.shared.bell.notify_one();
-        Ok(Ticket { rx })
+        Ok(Ticket { slot })
     }
 
     /// Jobs currently queued (for tests and the `metrics` verb; the bound
-    /// is enforced by [`submit`](Batcher::submit)).
+    /// is enforced by [`submit`](Batcher::submit) on cost, not count).
     #[must_use]
     pub fn queue_len(&self) -> usize {
         self.shared.lock().queue.len()
+    }
+
+    /// Total admission cost currently queued — the quantity bounded by
+    /// capacity (for tests and the `metrics` verb).
+    #[must_use]
+    pub fn queue_cost(&self) -> usize {
+        self.shared.lock().queued_cost
     }
 
     /// Stops accepting work, flushes everything already queued, and joins
@@ -278,6 +404,9 @@ fn run_worker(shared: &Shared) {
             if st.queue.is_empty() {
                 return; // draining and nothing left
             }
+            // The whole queue drains at once, so the queued cost resets
+            // with it — capacity frees as a unit per flush.
+            st.queued_cost = 0;
             st.queue.drain(..).collect()
         };
         flush(batch, shared.threads);
@@ -287,8 +416,7 @@ fn run_worker(shared: &Shared) {
 /// Replies to one job, recording its queue-to-reply latency.
 fn reply(h: ReplyHandle, result: Reply) {
     hmdiv_obs::observe_since("serve.request", h.enqueued);
-    // A receiver that hung up (client gone) is not an executor error.
-    drop(h.tx.send(result));
+    h.complete(result);
 }
 
 /// Default dense-batch size below which a group is evaluated on the worker
@@ -474,6 +602,7 @@ mod tests {
     use super::*;
     use hmdiv_core::paper;
     use hmdiv_core::ClassId;
+    use std::sync::mpsc;
     use std::time::Duration;
 
     fn model_and_profile() -> (Arc<CompiledModel>, CompiledProfile) {
@@ -507,6 +636,8 @@ mod tests {
                     model: Arc::clone(&model),
                     profile,
                 },
+                1,
+                None,
                 None,
                 None,
             )
@@ -536,6 +667,8 @@ mod tests {
                     profile: profile.clone(),
                     scenarios: scenarios[..3].to_vec(),
                 },
+                3,
+                None,
                 None,
                 None,
             )
@@ -547,6 +680,8 @@ mod tests {
                     profile: profile.clone(),
                     scenarios: scenarios[3..].to_vec(),
                 },
+                3,
+                None,
                 None,
                 None,
             )
@@ -575,6 +710,8 @@ mod tests {
                     profile: profile.clone(),
                     scenarios: good,
                 },
+                1,
+                None,
                 None,
                 None,
             )
@@ -586,6 +723,8 @@ mod tests {
                     profile,
                     scenarios: bad,
                 },
+                1,
+                None,
                 None,
                 None,
             )
@@ -606,7 +745,13 @@ mod tests {
         // A deadline of "now" is already unmeetable by the time the worker
         // wakes: deterministic expiry, no sleeps.
         let ticket = batcher
-            .submit(Work::Profile { model, profile }, Some(Instant::now()), None)
+            .submit(
+                Work::Profile { model, profile },
+                1,
+                Some(Instant::now()),
+                None,
+                None,
+            )
             .unwrap();
         assert!(matches!(ticket.wait(), Err(ServeError::DeadlineExceeded)));
     }
@@ -625,6 +770,8 @@ mod tests {
                     release_rx.recv().ok();
                     Ok(Outcome::Value(Json::Null))
                 })),
+                1,
+                None,
                 None,
                 None,
             )
@@ -638,6 +785,8 @@ mod tests {
                 batcher
                     .submit(
                         Work::Direct(Box::new(|| Ok(Outcome::Value(Json::Null)))),
+                        1,
+                        None,
                         None,
                         None,
                     )
@@ -648,6 +797,8 @@ mod tests {
         // The next submit is shed, not buffered.
         let rejected = batcher.submit(
             Work::Direct(Box::new(|| Ok(Outcome::Value(Json::Null)))),
+            1,
+            None,
             None,
             None,
         );
@@ -675,6 +826,8 @@ mod tests {
                             model: Arc::clone(&model),
                             profile: profile.clone(),
                         },
+                        1,
+                        None,
                         None,
                         None,
                     )
@@ -691,6 +844,8 @@ mod tests {
                     model: Arc::clone(&model),
                     profile: profile.clone(),
                 },
+                1,
+                None,
                 None,
                 None,
             ),
@@ -731,6 +886,8 @@ mod tests {
                                 model: Arc::clone(m),
                                 profile: pr.clone(),
                             },
+                            1,
+                            None,
                             None,
                             None,
                         )

@@ -65,11 +65,18 @@ pub enum ServeError {
     TraceDisabled,
     /// The server is draining for shutdown and accepts no new work.
     ShuttingDown,
-    /// A request line exceeded the configured size limit. The connection
-    /// closes, since line framing can no longer be trusted.
-    OversizedLine {
+    /// A request line exceeded the configured size limit. The offending
+    /// line is discarded up to the next newline and the connection stays
+    /// open — newline framing survives, so the client can keep going.
+    LineTooLong {
         /// The configured limit in bytes.
         limit: usize,
+    },
+    /// A registry snapshot could not be saved or restored (I/O failure,
+    /// corrupt file, or a content id that no longer matches its payload).
+    Snapshot {
+        /// What went wrong.
+        detail: String,
     },
     /// A socket-level failure.
     Io {
@@ -112,7 +119,8 @@ impl ServeError {
             ServeError::DeadlineExceeded => "deadline_exceeded",
             ServeError::TraceDisabled => "trace_disabled",
             ServeError::ShuttingDown => "shutting_down",
-            ServeError::OversizedLine { .. } => "oversized_line",
+            ServeError::LineTooLong { .. } => "line_too_long",
+            ServeError::Snapshot { .. } => "snapshot_error",
             ServeError::Io { .. } => "io",
             ServeError::Remote { code, .. } => code,
         }
@@ -163,9 +171,13 @@ impl fmt::Display for ServeError {
                 "tracing is disabled on this server (start it with a trace capacity)"
             ),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
-            ServeError::OversizedLine { limit } => {
-                write!(f, "request line exceeds {limit} bytes")
+            ServeError::LineTooLong { limit } => {
+                write!(
+                    f,
+                    "request line exceeds {limit} bytes; discarded up to the next newline"
+                )
             }
+            ServeError::Snapshot { detail } => write!(f, "registry snapshot failed: {detail}"),
             ServeError::Io { detail } => write!(f, "i/o error: {detail}"),
             ServeError::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
         }
@@ -266,7 +278,10 @@ mod tests {
             ServeError::DeadlineExceeded,
             ServeError::TraceDisabled,
             ServeError::ShuttingDown,
-            ServeError::OversizedLine { limit: 10 },
+            ServeError::LineTooLong { limit: 10 },
+            ServeError::Snapshot {
+                detail: "bad file".into(),
+            },
             ServeError::Io {
                 detail: "broken".into(),
             },
@@ -307,5 +322,14 @@ mod tests {
             TraceOutcome::Error("bad_request".into())
         );
         assert_eq!(ServeError::TraceDisabled.code(), "trace_disabled");
+        assert_eq!(
+            ServeError::LineTooLong { limit: 8 }.code(),
+            "line_too_long",
+            "typed framing error keeps its stable wire code"
+        );
+        assert_eq!(
+            ServeError::Snapshot { detail: "x".into() }.code(),
+            "snapshot_error"
+        );
     }
 }

@@ -4,12 +4,16 @@
 //! The paper's models are cheap to evaluate one at a time but are used in
 //! bulk — design sweeps, cohort studies, what-if grids. This crate turns
 //! the workspace into a long-running service without adding a single
-//! external dependency: a thread-per-connection TCP server over
-//! [`std::net`] speaking a JSON-lines protocol, a content-hash-addressed
-//! [`Registry`] of loaded models with pre-warmed compiled forms, and a
-//! micro-batching [`Batcher`] that coalesces concurrent evaluation
-//! requests into dense batch calls on the deterministic parallel
-//! executor.
+//! external dependency: an event-driven TCP server over [`std::net`]
+//! speaking a JSON-lines protocol — a small fixed pool of readiness
+//! pollers multiplexing nonblocking sockets as per-connection state
+//! machines — a content-hash-addressed [`Registry`] of loaded models
+//! with pre-warmed compiled forms and disk snapshots (`save`/`restore`
+//! verbs; restarted servers warm-start under identical content ids),
+//! and a micro-batching [`Batcher`] that coalesces concurrent
+//! evaluation requests into dense batch calls on the deterministic
+//! parallel executor, admission-bounded by evaluation *cost* rather
+//! than request count.
 //!
 //! Results are **bit-identical** to direct in-process evaluation: the
 //! order-preserving [`json`] object model keeps profile binding order,
@@ -77,15 +81,18 @@ pub mod batcher;
 pub mod client;
 pub mod error;
 pub mod json;
+pub mod loadgen;
+mod poller;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod shutdown;
 
-pub use batcher::{Batcher, Outcome, Ticket, Work};
+pub use batcher::{Batcher, Outcome, Ticket, Waker, Work};
 pub use client::{Client, TracedResponse};
 pub use error::ServeError;
 pub use json::Json;
+pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use registry::{Artifact, ArtifactRow, LoadReceipt, Registry};
 pub use server::{Server, ServerConfig};
 pub use shutdown::ShutdownSignal;

@@ -1,0 +1,537 @@
+//! The readiness-poller pool: a small fixed set of threads multiplexing
+//! every client connection over nonblocking `std::net` sockets.
+//!
+//! Accepted sockets are registered round-robin onto poller **shards**.
+//! Each shard owns its connections outright — no cross-thread connection
+//! state — and drives a per-connection state machine through four moves
+//! per sweep:
+//!
+//! 1. **read**: drain readable bytes into the resumable
+//!    [`LineReader`](crate::protocol::LineReader) (budgeted, and skipped
+//!    while the write buffer is over the high-watermark — backpressure
+//!    propagates to the client's TCP window instead of server memory);
+//! 2. **route**: frame complete lines and route each into a
+//!    [`RequestSlot`] (queued work carries a [`Waker`] that rings this
+//!    shard's bell when the executor replies);
+//! 3. **pump**: resolve the contiguous head of the in-order slot queue —
+//!    inline answers immediately, queued answers via
+//!    [`Ticket::try_take`](crate::batcher::Ticket::try_take) — and
+//!    serialize them into the write buffer;
+//! 4. **write**: push buffered bytes until the socket would block,
+//!    completing trace records as their byte ranges reach the kernel.
+//!
+//! Responses stay in request order per connection (the slot queue is the
+//! order book), so pipelined clients observe exactly the semantics of the
+//! old thread-per-connection server — replies are bit-identical.
+//!
+//! With no readiness syscall available (std-only), idle shards sleep on a
+//! condvar with exponential backoff (100µs → 2ms): wakers and the accept
+//! loop ring the bell for instant wakeups on executor replies and new
+//! connections, while fresh request bytes are discovered within one
+//! backoff step. A shard that owns exactly one quiescent connection drops
+//! into a short blocking read instead — the common single-client case
+//! keeps its thread-per-connection latency.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::batcher::Waker;
+use crate::error::ServeError;
+use crate::protocol::{LineEvent, LineReader};
+use crate::server::{self, Ctx, PendingTrace, RequestSlot};
+
+/// Read budget per connection per sweep, so one firehose client cannot
+/// starve its shard-mates.
+const READ_BUDGET: usize = 256 * 1024;
+/// Per-read chunk size.
+const CHUNK: usize = 16 * 1024;
+/// Buffered-response bytes above which a connection stops being read —
+/// the slow-consumer backpressure threshold.
+const WRITE_HIGH_WATERMARK: usize = 1 << 20;
+/// Idle backoff bounds for the shard sleep.
+const BACKOFF_MIN: Duration = Duration::from_micros(100);
+const BACKOFF_MAX: Duration = Duration::from_millis(2);
+/// Blocking-read timeout for the single-quiescent-connection fast path.
+const SOLO_READ_TIMEOUT: Duration = Duration::from_millis(5);
+
+/// New-connection handoff plus the shard's wakeup bell.
+struct Inbox {
+    conns: Vec<TcpStream>,
+    /// Set by [`Shard::wake`]; cleared when the shard adopts the inbox.
+    /// Checked before sleeping so a wake that lands mid-sweep is never
+    /// lost.
+    notified: bool,
+}
+
+/// One poller shard's shared half: the accept loop and executor wakers
+/// talk to the shard thread exclusively through this.
+struct Shard {
+    inbox: Mutex<Inbox>,
+    bell: Condvar,
+}
+
+impl Shard {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inbox> {
+        self.inbox
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn wake(&self) {
+        self.lock().notified = true;
+        self.bell.notify_all();
+    }
+}
+
+/// The fixed pool of readiness-poller threads.
+pub(crate) struct PollerPool {
+    shards: Vec<Arc<Shard>>,
+    handles: Vec<JoinHandle<()>>,
+    next: AtomicUsize,
+}
+
+impl std::fmt::Debug for PollerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PollerPool")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PollerPool {
+    /// Spawns `threads` poller shards (at least one).
+    pub(crate) fn start(threads: usize, ctx: &Arc<Ctx>) -> Result<PollerPool, ServeError> {
+        let threads = threads.max(1);
+        let mut shards = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let shard = Arc::new(Shard {
+                inbox: Mutex::new(Inbox {
+                    conns: Vec::new(),
+                    notified: false,
+                }),
+                bell: Condvar::new(),
+            });
+            let thread_shard = Arc::clone(&shard);
+            let thread_ctx = Arc::clone(ctx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("hmdiv-serve-poll-{i}"))
+                    .spawn(move || run_shard(&thread_shard, &thread_ctx))?,
+            );
+            shards.push(shard);
+        }
+        Ok(PollerPool {
+            shards,
+            handles,
+            next: AtomicUsize::new(0),
+        })
+    }
+
+    /// Hands an accepted socket to the next shard, round-robin.
+    pub(crate) fn register(&self, stream: TcpStream) {
+        let shard = &self.shards[self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len()];
+        shard.lock().conns.push(stream);
+        shard.wake();
+    }
+
+    /// Rings every shard (the shutdown signal is already latched) and
+    /// joins them; each shard finishes writing the responses it owes
+    /// before exiting.
+    pub(crate) fn stop_and_join(self) {
+        for shard in &self.shards {
+            shard.wake();
+        }
+        for handle in self.handles {
+            drop(handle.join());
+        }
+    }
+}
+
+fn run_shard(shard: &Arc<Shard>, ctx: &Arc<Ctx>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let waker: Waker = {
+        let shard = Arc::clone(shard);
+        Arc::new(move || shard.wake())
+    };
+    let mut backoff = BACKOFF_MIN;
+    loop {
+        hmdiv_obs::counter_add("serve.poll.wakeups", 1);
+        let shutdown = ctx.signal.is_requested();
+        // Adopt newcomers and collect the bell state in one lock.
+        let (newcomers, notified) = {
+            let mut inbox = shard.lock();
+            let notified = inbox.notified;
+            inbox.notified = false;
+            (std::mem::take(&mut inbox.conns), notified)
+        };
+        let mut progress = notified;
+        for stream in newcomers {
+            match Conn::adopt(stream, ctx.max_line_bytes) {
+                Some(conn) => {
+                    conns.push(conn);
+                    server::connection_opened(ctx);
+                    progress = true;
+                }
+                None => hmdiv_obs::counter_add("serve.conn_setup_failures", 1),
+            }
+        }
+        for conn in &mut conns {
+            progress |= conn.sweep(ctx, &waker, shutdown);
+        }
+        conns.retain(|conn| {
+            if conn.done(shutdown) {
+                server::connection_closed(ctx);
+                false
+            } else {
+                true
+            }
+        });
+        if shutdown && conns.is_empty() && shard.lock().conns.is_empty() {
+            return;
+        }
+        if progress {
+            backoff = BACKOFF_MIN;
+            continue;
+        }
+        // Fast path: a lone idle connection gets a real blocking read so
+        // a single-client request–response loop pays no poll latency.
+        if !shutdown && conns.len() == 1 && conns[0].quiescent() && shard.lock().conns.is_empty() {
+            if conns[0].blocking_read(SOLO_READ_TIMEOUT) {
+                backoff = BACKOFF_MIN;
+            }
+            continue;
+        }
+        // Idle: sleep on the bell unless a wake already landed.
+        {
+            let inbox = shard.lock();
+            if !inbox.notified && inbox.conns.is_empty() {
+                drop(
+                    shard
+                        .bell
+                        .wait_timeout(inbox, backoff)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                );
+            }
+        }
+        backoff = (backoff * 2).min(BACKOFF_MAX);
+    }
+}
+
+/// A byte range of the write buffer whose flush completes a traced
+/// request: once `end` bytes have reached the kernel, the record's write
+/// stage is stamped and it lands in the flight recorder.
+struct WriteMark {
+    end: u64,
+    trace: PendingTrace,
+}
+
+/// The buffered, backpressured write half of a connection.
+struct OutBuf {
+    buf: Vec<u8>,
+    cursor: usize,
+    /// Total bytes ever appended / flushed to the kernel — mark ranges are
+    /// absolute offsets on this monotone scale, surviving buffer resets.
+    appended: u64,
+    flushed: u64,
+    marks: VecDeque<WriteMark>,
+    /// When the oldest still-buffered response started waiting — the
+    /// write-stage start for every mark completed in this drain cycle.
+    write_start: Option<Instant>,
+}
+
+impl OutBuf {
+    fn new() -> OutBuf {
+        OutBuf {
+            buf: Vec::new(),
+            cursor: 0,
+            appended: 0,
+            flushed: 0,
+            marks: VecDeque::new(),
+            write_start: None,
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.buf.len() - self.cursor
+    }
+
+    fn append(&mut self, bytes: &[u8], trace: Option<PendingTrace>) {
+        if self.write_start.is_none() {
+            self.write_start = Some(Instant::now());
+        }
+        self.buf.extend_from_slice(bytes);
+        self.appended += bytes.len() as u64;
+        if let Some(trace) = trace {
+            self.marks.push_back(WriteMark {
+                end: self.appended,
+                trace,
+            });
+        }
+    }
+}
+
+/// One multiplexed connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    reader: LineReader,
+    chunk: Vec<u8>,
+    /// In-order request slots; responses resolve head-first so pipelined
+    /// replies keep request order.
+    slots: VecDeque<RequestSlot>,
+    out: OutBuf,
+    /// First socket bytes of the current read batch (the read-stage start
+    /// for the requests they frame).
+    read_start: Option<Instant>,
+    peer_closed: bool,
+    dead: bool,
+}
+
+impl Conn {
+    /// Puts the socket into multiplexed mode; `None` if setup syscalls
+    /// fail (the stream drops, resetting the connection).
+    fn adopt(stream: TcpStream, max_line_bytes: usize) -> Option<Conn> {
+        // Nagle would defeat micro-batching's latency win on small lines.
+        drop(stream.set_nodelay(true));
+        stream.set_nonblocking(true).ok()?;
+        Some(Conn {
+            stream,
+            reader: LineReader::new(max_line_bytes),
+            chunk: vec![0_u8; CHUNK],
+            slots: VecDeque::new(),
+            out: OutBuf::new(),
+            read_start: None,
+            peer_closed: false,
+            dead: false,
+        })
+    }
+
+    /// One full state-machine pass; returns whether anything moved.
+    fn sweep(&mut self, ctx: &Ctx, waker: &Waker, shutdown: bool) -> bool {
+        let mut progress = false;
+        if !self.dead && !self.peer_closed && !shutdown && self.out.pending() < WRITE_HIGH_WATERMARK
+        {
+            progress |= self.read_some();
+        }
+        progress |= self.route_new_lines(ctx, waker);
+        progress |= self.pump();
+        progress |= self.write_some(ctx);
+        progress
+    }
+
+    /// Nothing in flight, nothing buffered: safe to block on this
+    /// connection alone.
+    fn quiescent(&self) -> bool {
+        !self.dead
+            && !self.peer_closed
+            && self.slots.is_empty()
+            && self.out.pending() == 0
+            && self.out.marks.is_empty()
+            && self.reader.buffered() == 0
+    }
+
+    /// Everything owed has been written (or can never be): drop the
+    /// connection. A dead connection lingers until its in-flight slots
+    /// resolve so their trace records still complete.
+    fn done(&self, shutdown: bool) -> bool {
+        if !self.slots.is_empty() {
+            return false;
+        }
+        if self.dead {
+            return true;
+        }
+        self.out.pending() == 0 && self.out.marks.is_empty() && (self.peer_closed || shutdown)
+    }
+
+    /// Fast path: one idle connection on the shard reads blockingly with
+    /// a short timeout instead of poll-sleeping. Returns whether bytes
+    /// arrived (or the peer state changed).
+    fn blocking_read(&mut self, timeout: Duration) -> bool {
+        if self.stream.set_nonblocking(false).is_err()
+            || self.stream.set_read_timeout(Some(timeout)).is_err()
+        {
+            self.dead = true;
+            return true;
+        }
+        let moved = match self.stream.read(&mut self.chunk) {
+            Ok(0) => {
+                self.peer_closed = true;
+                true
+            }
+            Ok(n) => {
+                self.read_start.get_or_insert_with(Instant::now);
+                self.reader.push(&self.chunk[..n]);
+                true
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => false,
+            Err(e) if e.kind() == ErrorKind::Interrupted => false,
+            Err(_) => {
+                self.dead = true;
+                true
+            }
+        };
+        if self.stream.set_nonblocking(true).is_err() {
+            self.dead = true;
+        }
+        moved
+    }
+
+    /// Drains readable bytes (budgeted) into the line reader.
+    fn read_some(&mut self) -> bool {
+        let mut total = 0;
+        loop {
+            match self.stream.read(&mut self.chunk) {
+                Ok(0) => {
+                    self.peer_closed = true;
+                    return true;
+                }
+                Ok(n) => {
+                    self.read_start.get_or_insert_with(Instant::now);
+                    self.reader.push(&self.chunk[..n]);
+                    total += n;
+                    if total >= READ_BUDGET {
+                        return true;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return total > 0,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Frames buffered bytes into lines and routes each into a slot.
+    /// Framing faults become error slots — the connection survives both
+    /// over-limit lines (the reader resyncs to the next newline) and
+    /// invalid UTF-8.
+    fn route_new_lines(&mut self, ctx: &Ctx, waker: &Waker) -> bool {
+        let mut events = Vec::new();
+        while let Some(event) = self.reader.next_event() {
+            events.push(event);
+        }
+        if events.is_empty() {
+            return false;
+        }
+        // One receive timestamp for the whole batch, as in the threaded
+        // server: everything framed together traces the same read span.
+        let received = Instant::now();
+        let read_start = self.read_start.take();
+        for event in events {
+            let slot = match event {
+                LineEvent::Line(line) => {
+                    server::route_line(&line, received, read_start, ctx, Some(Arc::clone(waker)))
+                }
+                LineEvent::TooLong { limit } => {
+                    hmdiv_obs::counter_add("serve.line_too_long", 1);
+                    RequestSlot::framing_error(ServeError::LineTooLong { limit })
+                }
+                LineEvent::InvalidUtf8 => RequestSlot::framing_error(ServeError::Parse {
+                    detail: "request line is not valid UTF-8".to_owned(),
+                }),
+            };
+            self.slots.push_back(slot);
+        }
+        true
+    }
+
+    /// Resolves the contiguous head of the slot queue into response
+    /// bytes. Stops at the first slot still waiting on the executor so
+    /// responses keep request order.
+    fn pump(&mut self) -> bool {
+        let mut progress = false;
+        while let Some(front) = self.slots.front() {
+            let reply = match front.pending_ticket() {
+                Some(ticket) => match ticket.try_take() {
+                    Some(reply) => Some(reply),
+                    None => break, // head still in flight
+                },
+                None => None,
+            };
+            let slot = self
+                .slots
+                .pop_front()
+                .expect("front() just returned this slot");
+            let (line, trace) = server::finish_slot(slot, reply);
+            self.out.append(line.as_bytes(), trace);
+            progress = true;
+        }
+        progress
+    }
+
+    /// Writes buffered bytes until the socket would block, completing
+    /// trace records whose byte ranges have fully reached the kernel. A
+    /// dead connection completes its records without a write stamp — the
+    /// replies never made it, but sheds stay observable.
+    fn write_some(&mut self, ctx: &Ctx) -> bool {
+        if self.out.pending() == 0 && self.out.marks.is_empty() {
+            return false;
+        }
+        let mut progress = false;
+        if !self.dead {
+            while self.out.cursor < self.out.buf.len() {
+                match self.stream.write(&self.out.buf[self.out.cursor..]) {
+                    Ok(0) => {
+                        self.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.out.cursor += n;
+                        self.out.flushed += n as u64;
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        self.dead = true;
+                        break;
+                    }
+                }
+            }
+            if self.out.cursor == self.out.buf.len() && self.out.cursor > 0 {
+                self.out.buf.clear();
+                self.out.cursor = 0;
+                drop(self.stream.flush());
+            }
+        }
+        let now = Instant::now();
+        let mut shed = false;
+        while self
+            .out
+            .marks
+            .front()
+            .is_some_and(|m| m.end <= self.out.flushed)
+        {
+            let mark = self
+                .out
+                .marks
+                .pop_front()
+                .expect("front() just matched this mark");
+            let span = self.out.write_start.map(|start| (start, now));
+            shed |= server::complete_trace(ctx, mark.trace, span);
+            progress = true;
+        }
+        if self.dead {
+            self.out.buf.clear();
+            self.out.cursor = 0;
+            while let Some(mark) = self.out.marks.pop_front() {
+                shed |= server::complete_trace(ctx, mark.trace, None);
+                progress = true;
+            }
+        }
+        if shed {
+            server::dump_on_shed(ctx);
+        }
+        if self.out.pending() == 0 && self.out.marks.is_empty() {
+            self.out.write_start = None;
+        }
+        progress
+    }
+}

@@ -23,14 +23,145 @@
 //! `u64` content hashes travel as 16-digit hex strings (JSON numbers are
 //! doubles and cannot carry 64 bits).
 
+use hmdiv_core::cohort::CohortMember;
 use hmdiv_core::extrapolate::Scenario;
 use hmdiv_core::{
-    ClassId, ClassParams, DemandProfile, DetectionParams, ModelParams, UniverseManifest,
+    ClassId, ClassParams, DemandProfile, DetectionParams, ModelParams, SequentialModel,
+    UniverseManifest,
 };
 use hmdiv_prob::Probability;
 
 use crate::error::ServeError;
 use crate::json::{self, Json};
+
+/// One framing event from the [`LineReader`]: a complete request line, or
+/// a typed framing fault the connection can survive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineEvent {
+    /// A complete newline-terminated line (terminator and any trailing
+    /// `\r` stripped).
+    Line(String),
+    /// A line provably exceeded the configured limit. The offending bytes
+    /// are discarded — through the terminating newline when one is in the
+    /// buffer, or until one arrives (resync mode) — and framing resumes
+    /// at the next line.
+    TooLong {
+        /// The configured limit in bytes.
+        limit: usize,
+    },
+    /// A complete line was not valid UTF-8. The line is discarded; the
+    /// newline framing is intact, so the connection survives.
+    InvalidUtf8,
+}
+
+/// Buffers raw socket bytes and yields newline-framed [`LineEvent`]s.
+///
+/// The reader is **resumable**: bytes can arrive one at a time (slow
+/// clients, split TCP segments, UTF-8 sequences cut mid-codepoint) and
+/// partial-line state carries across [`push`](LineReader::push) calls.
+/// Scanning is incremental — each buffered byte is inspected once, so a
+/// trickled 1 MiB line costs O(n), not O(n²).
+///
+/// Over-limit lines do not poison the stream: the reader reports
+/// [`LineEvent::TooLong`] once and silently discards bytes until the next
+/// newline, after which framing resumes. Memory stays bounded by the
+/// limit plus one read chunk.
+#[derive(Debug)]
+pub struct LineReader {
+    buf: Vec<u8>,
+    limit: usize,
+    /// Index into `buf` up to which we already scanned for `\n`.
+    scanned: usize,
+    /// Discarding an over-limit line until the next newline.
+    resync: bool,
+}
+
+impl LineReader {
+    /// A reader that frames lines of at most `limit` bytes.
+    #[must_use]
+    pub fn new(limit: usize) -> Self {
+        LineReader {
+            buf: Vec::new(),
+            limit,
+            scanned: 0,
+            resync: false,
+        }
+    }
+
+    /// Appends raw socket bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet framed (bounded by the limit outside
+    /// resync mode).
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next framing event, or `None` if more bytes are needed.
+    pub fn next_event(&mut self) -> Option<LineEvent> {
+        loop {
+            let newline = self.buf[self.scanned..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|off| self.scanned + off);
+            if self.resync {
+                match newline {
+                    Some(pos) => {
+                        // The over-limit line ends here; drop it and
+                        // resume normal framing on what follows.
+                        self.buf.drain(..=pos);
+                        self.scanned = 0;
+                        self.resync = false;
+                        continue;
+                    }
+                    None => {
+                        // Still inside the oversized line: every buffered
+                        // byte is garbage. Memory stays flat.
+                        self.buf.clear();
+                        self.scanned = 0;
+                        return None;
+                    }
+                }
+            }
+            return match newline {
+                Some(pos) if pos > self.limit => {
+                    // Terminated but too long: framing survives, the
+                    // payload does not.
+                    self.buf.drain(..=pos);
+                    self.scanned = 0;
+                    Some(LineEvent::TooLong { limit: self.limit })
+                }
+                Some(pos) => {
+                    let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                    self.scanned = 0;
+                    line.pop(); // the \n
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    match String::from_utf8(line) {
+                        Ok(text) => Some(LineEvent::Line(text)),
+                        Err(_) => Some(LineEvent::InvalidUtf8),
+                    }
+                }
+                None if self.buf.len() > self.limit => {
+                    // Provably oversized before the terminator arrived:
+                    // report once, then discard until the next newline.
+                    self.buf.clear();
+                    self.scanned = 0;
+                    self.resync = true;
+                    Some(LineEvent::TooLong { limit: self.limit })
+                }
+                None => {
+                    self.scanned = self.buf.len();
+                    None
+                }
+            };
+        }
+    }
+}
 
 /// A parsed request envelope; the body keeps the raw members for the
 /// verb-specific extractors below.
@@ -342,6 +473,32 @@ pub fn parse_scenarios(body: &Json) -> Result<Vec<Scenario>, ServeError> {
     items.iter().map(parse_scenario).collect()
 }
 
+/// Extracts the `members` array of a cohort request: each entry carries a
+/// `name`, a `weight`, and the full per-class parameter map of a
+/// sequential model. Shared by the `load_cohort` verb and snapshot
+/// restore, so both paths accept exactly the same shape.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] when `members` is missing, not an array, or
+/// an entry violates the member shape.
+pub fn parse_cohort_members(body: &Json) -> Result<Vec<CohortMember>, ServeError> {
+    let members = required(body, "members")?
+        .as_arr()
+        .ok_or_else(|| ServeError::BadRequest {
+            detail: "`members` must be an array".to_owned(),
+        })?;
+    let mut parsed = Vec::with_capacity(members.len());
+    for member in members {
+        parsed.push(CohortMember {
+            name: required_str(member, "name")?.to_owned(),
+            weight: required_f64(member, "weight")?,
+            model: SequentialModel::new(parse_model_params(member)?),
+        });
+    }
+    Ok(parsed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -543,5 +700,94 @@ mod tests {
         let parsed = parse_detection_params(&body).unwrap();
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].0.name(), "easy");
+    }
+
+    #[test]
+    fn cohort_members_parse_and_reject_bad_shapes() {
+        let body = json::parse(
+            r#"{"members":[
+                {"name":"alice","weight":2.0,
+                 "classes":{"easy":{"p_mf":0.07,"p_hf_given_ms":0.003,"p_hf_given_mf":0.4}}},
+                {"name":"bob","weight":1.0,
+                 "classes":{"easy":{"p_mf":0.07,"p_hf_given_ms":0.01,"p_hf_given_mf":0.5}}}
+            ]}"#,
+        )
+        .unwrap();
+        let members = parse_cohort_members(&body).unwrap();
+        assert_eq!(members.len(), 2);
+        assert_eq!(members[0].name, "alice");
+        assert_eq!(members[0].weight, 2.0);
+        let not_array = json::parse(r#"{"members":{}}"#).unwrap();
+        assert!(matches!(
+            parse_cohort_members(&not_array),
+            Err(ServeError::BadRequest { .. })
+        ));
+        let missing_weight = json::parse(r#"{"members":[{"name":"a","classes":{}}]}"#).unwrap();
+        assert!(parse_cohort_members(&missing_weight).is_err());
+    }
+
+    #[test]
+    fn line_reader_frames_across_split_pushes() {
+        let mut reader = LineReader::new(64);
+        reader.push(b"{\"verb\":\"pi");
+        assert_eq!(reader.next_event(), None);
+        reader.push(b"ng\"}\r\n{\"verb\"");
+        assert_eq!(
+            reader.next_event(),
+            Some(LineEvent::Line("{\"verb\":\"ping\"}".into()))
+        );
+        assert_eq!(reader.next_event(), None);
+        reader.push(b":\"metrics\"}\n");
+        assert_eq!(
+            reader.next_event(),
+            Some(LineEvent::Line("{\"verb\":\"metrics\"}".into()))
+        );
+        assert_eq!(reader.next_event(), None);
+    }
+
+    #[test]
+    fn line_reader_trickles_one_byte_at_a_time() {
+        let mut reader = LineReader::new(32);
+        for &b in b"hello" {
+            reader.push(&[b]);
+            assert_eq!(reader.next_event(), None);
+        }
+        reader.push(b"\n");
+        assert_eq!(reader.next_event(), Some(LineEvent::Line("hello".into())));
+    }
+
+    #[test]
+    fn line_reader_splits_utf8_across_pushes_and_flags_invalid() {
+        // "é" is 0xC3 0xA9 — split the codepoint across two pushes.
+        let mut reader = LineReader::new(32);
+        reader.push(&[0xC3]);
+        assert_eq!(reader.next_event(), None);
+        reader.push(&[0xA9, b'\n']);
+        assert_eq!(reader.next_event(), Some(LineEvent::Line("é".into())));
+        // A lone continuation byte in a complete line is invalid UTF-8 but
+        // does not break framing: the next line still parses.
+        reader.push(&[0xA9, b'\n', b'o', b'k', b'\n']);
+        assert_eq!(reader.next_event(), Some(LineEvent::InvalidUtf8));
+        assert_eq!(reader.next_event(), Some(LineEvent::Line("ok".into())));
+    }
+
+    #[test]
+    fn line_reader_reports_too_long_once_and_resyncs() {
+        let mut reader = LineReader::new(4);
+        // Unterminated overflow: reported as soon as it is provable, then
+        // the reader silently discards until the newline arrives.
+        reader.push(b"aaaaaaaa");
+        assert_eq!(reader.next_event(), Some(LineEvent::TooLong { limit: 4 }));
+        assert_eq!(reader.next_event(), None);
+        reader.push(b"aaaa");
+        assert_eq!(reader.next_event(), None, "still inside the bad line");
+        assert_eq!(reader.buffered(), 0, "resync keeps memory flat");
+        reader.push(b"a\nok\n");
+        assert_eq!(reader.next_event(), Some(LineEvent::Line("ok".into())));
+        // Terminated overflow in a single push: one event, framing intact.
+        reader.push(b"bbbbbbbb\nfine\n");
+        assert_eq!(reader.next_event(), Some(LineEvent::TooLong { limit: 4 }));
+        assert_eq!(reader.next_event(), Some(LineEvent::Line("fine".into())));
+        assert_eq!(reader.next_event(), None);
     }
 }

@@ -22,15 +22,18 @@
 //! `analyze` verb reports them on demand.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 use hmdiv_core::cohort::{CohortMember, ReaderCohort};
 use hmdiv_core::{
-    ClassId, DetectionParams, ModelParams, ParallelDetectionModel, SequentialModel,
+    ClassId, CompiledModel, DetectionParams, ModelParams, ParallelDetectionModel, SequentialModel,
     UniverseManifest,
 };
 
 use crate::error::ServeError;
+use crate::json::{self, Json};
+use crate::protocol;
 
 /// FNV-1a offset basis (the same constants the core universe hash uses;
 /// kept local so the registry id scheme is self-contained).
@@ -352,6 +355,217 @@ impl Registry {
     pub fn is_empty(&self) -> bool {
         self.store().is_empty()
     }
+
+    /// Persists every loaded artifact to `dir` as `<id>.json`, one file
+    /// per artifact in the exact wire shape the `load`/`load_cohort`
+    /// verbs accept. Parameters are rendered with the shortest
+    /// round-trip float representation, so a restore rebuilds
+    /// bit-identical models and therefore **identical content ids** — the
+    /// filename is a checkable commitment. Files are written via a
+    /// temporary sibling and renamed, so a crash mid-save never leaves a
+    /// torn snapshot under a valid id. Returns the saved ids in id order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Snapshot`] on any I/O failure.
+    pub fn save_to_dir(&self, dir: &Path) -> Result<Vec<String>, ServeError> {
+        std::fs::create_dir_all(dir).map_err(|e| snapshot_io("create", dir, &e))?;
+        let entries: Vec<(String, Artifact)> = self
+            .store()
+            .iter()
+            .map(|(id, artifact)| (id.clone(), artifact.clone()))
+            .collect();
+        let mut ids = Vec::with_capacity(entries.len());
+        for (id, artifact) in entries {
+            let mut text = String::new();
+            snapshot_json(&artifact).write(&mut text);
+            text.push('\n');
+            let final_path = dir.join(format!("{id}.json"));
+            let tmp_path = dir.join(format!("{id}.json.tmp"));
+            std::fs::write(&tmp_path, &text).map_err(|e| snapshot_io("write", &tmp_path, &e))?;
+            std::fs::rename(&tmp_path, &final_path)
+                .map_err(|e| snapshot_io("rename", &final_path, &e))?;
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// Restores every `<id>.json` snapshot in `dir`, in filename order.
+    /// Each artifact replays through the normal load path — manifest-free,
+    /// but **re-gated through the hmdiv-analyze admission check** exactly
+    /// like a fresh `load` — and the resulting content id must equal the
+    /// filename stem, or the file is rejected as corrupt. Returns the
+    /// restored ids. A missing directory restores nothing (empty result),
+    /// so a cold start with a configured-but-unused snapshot dir is not
+    /// an error.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Snapshot`] for unreadable or torn files and id
+    /// mismatches; [`ServeError::Rejected`] when a snapshot no longer
+    /// passes admission.
+    pub fn restore_from_dir(&self, dir: &Path) -> Result<Vec<String>, ServeError> {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(snapshot_io("read", dir, &e)),
+        };
+        let mut files: Vec<std::path::PathBuf> = Vec::new();
+        for entry in entries {
+            let path = entry.map_err(|e| snapshot_io("read", dir, &e))?.path();
+            if path.extension().is_some_and(|ext| ext == "json") {
+                files.push(path);
+            }
+        }
+        files.sort();
+        let mut ids = Vec::with_capacity(files.len());
+        for path in files {
+            let expected = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default()
+                .to_owned();
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| snapshot_io("read", &path, &e))?;
+            let body = json::parse(&text).map_err(|e| ServeError::Snapshot {
+                detail: format!("{}: {e}", path.display()),
+            })?;
+            let kind = protocol::required_str(&body, "kind").map_err(|e| ServeError::Snapshot {
+                detail: format!("{}: {e}", path.display()),
+            })?;
+            let receipt = match kind {
+                "sequential" => self.load_sequential(
+                    protocol::parse_model_params(&body).map_err(|e| ServeError::Snapshot {
+                        detail: format!("{}: {e}", path.display()),
+                    })?,
+                    None,
+                )?,
+                "detection" => self.load_detection(
+                    protocol::parse_detection_params(&body).map_err(|e| ServeError::Snapshot {
+                        detail: format!("{}: {e}", path.display()),
+                    })?,
+                    None,
+                )?,
+                "cohort" => self.load_cohort(
+                    protocol::parse_cohort_members(&body).map_err(|e| ServeError::Snapshot {
+                        detail: format!("{}: {e}", path.display()),
+                    })?,
+                    None,
+                )?,
+                other => {
+                    return Err(ServeError::Snapshot {
+                        detail: format!("{}: unknown snapshot kind `{other}`", path.display()),
+                    })
+                }
+            };
+            if receipt.id != expected {
+                return Err(ServeError::Snapshot {
+                    detail: format!(
+                        "{}: content id mismatch (file says `{expected}`, payload hashes to \
+                         `{}`)",
+                        path.display(),
+                        receipt.id
+                    ),
+                });
+            }
+            ids.push(receipt.id);
+        }
+        Ok(ids)
+    }
+}
+
+/// Wraps an I/O failure on a snapshot path as a typed snapshot error.
+fn snapshot_io(op: &str, path: &Path, e: &std::io::Error) -> ServeError {
+    ServeError::Snapshot {
+        detail: format!("{op} {}: {e}", path.display()),
+    }
+}
+
+/// The per-class parameter map of a sequential model, in universe index
+/// order, in the `load` wire shape.
+fn sequential_classes_json(compiled: &CompiledModel) -> Json {
+    let classes = compiled
+        .universe()
+        .classes()
+        .iter()
+        .zip(compiled.params_slice())
+        .map(|(class, cp)| {
+            (
+                class.name().to_owned(),
+                Json::Obj(vec![
+                    ("p_mf".to_owned(), Json::Num(cp.p_mf().value())),
+                    (
+                        "p_hf_given_ms".to_owned(),
+                        Json::Num(cp.p_hf_given_ms().value()),
+                    ),
+                    (
+                        "p_hf_given_mf".to_owned(),
+                        Json::Num(cp.p_hf_given_mf().value()),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+    Json::Obj(classes)
+}
+
+/// Renders one artifact in the wire shape its load verb accepts, plus the
+/// `kind` discriminator the restore path dispatches on.
+fn snapshot_json(artifact: &Artifact) -> Json {
+    match artifact {
+        Artifact::Sequential(m) => Json::Obj(vec![
+            ("kind".to_owned(), Json::str("sequential")),
+            ("classes".to_owned(), sequential_classes_json(m.compiled())),
+        ]),
+        Artifact::Detection(m) => {
+            let compiled = m.compiled();
+            let classes = compiled
+                .universe()
+                .classes()
+                .iter()
+                .enumerate()
+                .map(|(index, class)| {
+                    #[allow(clippy::cast_possible_truncation)]
+                    let dp = compiled.params_at(index as u32);
+                    (
+                        class.name().to_owned(),
+                        Json::Obj(vec![
+                            ("p_mf".to_owned(), Json::Num(dp.p_mf.value())),
+                            ("p_h_miss".to_owned(), Json::Num(dp.p_h_miss.value())),
+                            (
+                                "p_h_misclass".to_owned(),
+                                Json::Num(dp.p_h_misclass.value()),
+                            ),
+                        ]),
+                    )
+                })
+                .collect();
+            Json::Obj(vec![
+                ("kind".to_owned(), Json::str("detection")),
+                ("classes".to_owned(), Json::Obj(classes)),
+            ])
+        }
+        Artifact::Cohort(c) => {
+            let members = c
+                .members()
+                .iter()
+                .map(|m| {
+                    Json::Obj(vec![
+                        ("name".to_owned(), Json::str(&m.name)),
+                        ("weight".to_owned(), Json::Num(m.weight)),
+                        (
+                            "classes".to_owned(),
+                            sequential_classes_json(m.model.compiled()),
+                        ),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("kind".to_owned(), Json::str("cohort")),
+                ("members".to_owned(), Json::Arr(members)),
+            ])
+        }
+    }
 }
 
 fn verify_manifest(
@@ -500,5 +714,121 @@ mod tests {
             Err(ServeError::UnknownArtifact { .. })
         ));
         assert!(reg.get(&seq.id).is_ok());
+    }
+
+    /// A unique scratch directory under the system temp dir, removed when
+    /// dropped.
+    struct ScratchDir(std::path::PathBuf);
+
+    impl ScratchDir {
+        fn new(tag: &str) -> ScratchDir {
+            static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let dir = std::env::temp_dir()
+                .join(format!("hmdiv-registry-{tag}-{}-{n}", std::process::id()));
+            ScratchDir(dir)
+        }
+    }
+
+    impl Drop for ScratchDir {
+        fn drop(&mut self) {
+            drop(std::fs::remove_dir_all(&self.0));
+        }
+    }
+
+    #[test]
+    fn snapshots_round_trip_every_kind_with_identical_ids() {
+        let reg = Registry::new();
+        let seq = reg.load_sequential(paper_params(), None).unwrap();
+        let det = reg
+            .load_detection(
+                vec![(
+                    ClassId::new("easy"),
+                    DetectionParams::new(
+                        hmdiv_prob::Probability::new(0.07).unwrap(),
+                        hmdiv_prob::Probability::new(0.2).unwrap(),
+                        hmdiv_prob::Probability::new(0.05).unwrap(),
+                    ),
+                )],
+                None,
+            )
+            .unwrap();
+        let coh = reg
+            .load_cohort(
+                vec![
+                    CohortMember {
+                        name: "r1".into(),
+                        model: paper::example_model().unwrap(),
+                        weight: 2.0,
+                    },
+                    CohortMember {
+                        name: "r2".into(),
+                        model: paper::example_model().unwrap(),
+                        weight: 1.0,
+                    },
+                ],
+                None,
+            )
+            .unwrap();
+        let scratch = ScratchDir::new("roundtrip");
+        let saved = reg.save_to_dir(&scratch.0).unwrap();
+        assert_eq!(saved.len(), 3);
+
+        // A fresh registry restored from disk serves the same ids.
+        let warm = Registry::new();
+        let mut restored = warm.restore_from_dir(&scratch.0).unwrap();
+        restored.sort();
+        let mut expected = vec![seq.id.clone(), det.id.clone(), coh.id.clone()];
+        expected.sort();
+        assert_eq!(restored, expected, "restore must rebuild identical ids");
+        assert!(warm.get(&seq.id).is_ok());
+        assert!(warm.get(&det.id).is_ok());
+        assert!(warm.get(&coh.id).is_ok());
+        // The restored sequential model is bit-identical, not just
+        // id-identical.
+        let (orig, back) = (reg.get(&seq.id).unwrap(), warm.get(&seq.id).unwrap());
+        let (Artifact::Sequential(a), Artifact::Sequential(b)) = (orig, back) else {
+            panic!("expected sequential artifacts");
+        };
+        let profile = paper::field_profile().unwrap();
+        let pa = a.compiled().bind_profile(&profile).unwrap();
+        let pb = b.compiled().bind_profile(&profile).unwrap();
+        assert_eq!(
+            a.compiled().system_failure(&pa).value().to_bits(),
+            b.compiled().system_failure(&pb).value().to_bits()
+        );
+    }
+
+    #[test]
+    fn missing_snapshot_dir_restores_nothing() {
+        let reg = Registry::new();
+        let scratch = ScratchDir::new("missing");
+        assert_eq!(
+            reg.restore_from_dir(&scratch.0).unwrap(),
+            Vec::<String>::new()
+        );
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn tampered_snapshots_are_rejected_by_the_id_check() {
+        let reg = Registry::new();
+        let receipt = reg.load_sequential(paper_params(), None).unwrap();
+        let scratch = ScratchDir::new("tamper");
+        reg.save_to_dir(&scratch.0).unwrap();
+        // Rename the snapshot so the filename no longer matches the
+        // payload's content hash: the restore must refuse it.
+        let good = scratch.0.join(format!("{}.json", receipt.id));
+        let forged = scratch.0.join("m00000000000000ff.json");
+        std::fs::rename(&good, &forged).unwrap();
+        let warm = Registry::new();
+        let err = warm.restore_from_dir(&scratch.0).unwrap_err();
+        assert_eq!(err.code(), "snapshot_error");
+        assert!(err.to_string().contains("content id mismatch"), "{err}");
+        // Garbage files are a typed error too, not a panic.
+        std::fs::write(scratch.0.join(format!("{}.json", receipt.id)), "not json").unwrap();
+        std::fs::remove_file(&forged).unwrap();
+        let err = Registry::new().restore_from_dir(&scratch.0).unwrap_err();
+        assert_eq!(err.code(), "snapshot_error");
     }
 }

@@ -1,42 +1,47 @@
-//! The TCP server: accept loop, thread-per-connection line handling, and
+//! The TCP server: accept loop, event-driven connection multiplexing, and
 //! verb routing into the registry and the batch executor.
 //!
-//! Each connection thread reads newline-delimited requests. It blocks for
-//! the *first* line, then scoops every line the client already pipelined
-//! without blocking, routes them all — enqueueing evaluation work into the
-//! shared [`Batcher`] **before** waiting for any result — and writes the
-//! responses back in request order with one flush. A client that
-//! pipelines N requests therefore gets them coalesced into dense batch
-//! evaluations, and concurrent clients coalesce with each other through
-//! the shared queue.
+//! Connections are **not** given their own threads. The accept loop
+//! registers each socket with a small fixed [`PollerPool`] of readiness
+//! threads (see [`crate::poller`]); every connection is a state machine
+//! multiplexed over nonblocking reads, in-order request slots, and
+//! buffered backpressured writes. A client that pipelines N requests gets
+//! them framed together and coalesced into dense batch evaluations, and
+//! concurrent clients coalesce with each other through the shared
+//! [`Batcher`] queue — exactly as under the old thread-per-connection
+//! design, with bit-identical replies, but thousands of mostly-idle
+//! keep-alive connections now cost buffer space instead of OS threads.
+//!
+//! When started with a snapshot directory, the server **warm-starts**: it
+//! restores every artifact persisted by a previous `save`, re-gated
+//! through the hmdiv-analyze admission check, under identical content
+//! ids.
 //!
 //! Graceful shutdown: the `shutdown` verb (or
 //! [`Server::request_shutdown`]) latches the shutdown signal. The accept
-//! loop stops taking connections, connection threads finish their current
-//! batch of lines and close, and the executor drains everything already
-//! queued before the server joins.
+//! loop stops taking connections, poller shards finish writing every
+//! response they owe and release their sockets, and the executor drains
+//! everything already queued before the server joins.
 
-use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use hmdiv_core::cohort::CohortMember;
 use hmdiv_core::extrapolate::Scenario;
-use hmdiv_core::SequentialModel;
 use hmdiv_obs::{FlightRecorder, RequestRecord, Stage, StageSet, TraceId, TraceOutcome};
 
-use crate::batcher::{Batcher, Outcome, Ticket, Work};
+use crate::batcher::{Batcher, Outcome, Ticket, Waker, Work};
 use crate::error::ServeError;
 use crate::json::{self, Json};
+use crate::poller::PollerPool;
 use crate::protocol::{self, Envelope};
 use crate::registry::{Artifact, LoadReceipt, Registry};
 use crate::shutdown::ShutdownSignal;
 
-/// How long a blocked read waits before re-checking the shutdown signal.
-const READ_POLL: Duration = Duration::from_millis(100);
 /// How long the accept loop naps when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
 
@@ -45,14 +50,19 @@ const ACCEPT_POLL: Duration = Duration::from_millis(20);
 pub struct ServerConfig {
     /// Bind address; port 0 picks a free port (see [`Server::addr`]).
     pub addr: String,
-    /// Bound on jobs queued in the executor; submissions beyond it are
+    /// Bound on queued admission **cost** in the executor (scalar
+    /// evaluations, not request count); submissions beyond it are
     /// rejected with the `overloaded` wire error.
     pub queue_capacity: usize,
     /// Shard count for dense batch evaluation (results are identical at
     /// any value).
     pub threads: usize,
+    /// Readiness-poller threads multiplexing the connections. A handful
+    /// is enough for thousands of keep-alive sockets.
+    pub poller_threads: usize,
     /// Longest accepted request line; longer lines get the
-    /// `oversized_line` error and the connection closes.
+    /// `line_too_long` error and the connection stays open (framing
+    /// resyncs at the next newline).
     pub max_line_bytes: usize,
     /// Deadline applied to requests that do not carry their own
     /// `deadline_ms`.
@@ -65,6 +75,10 @@ pub struct ServerConfig {
     /// verb's JSON) whenever a request sheds — `overloaded` or
     /// `deadline_exceeded`. `None` disables automatic dumps.
     pub trace_dump: Option<PathBuf>,
+    /// Registry snapshot directory. When set, the server restores every
+    /// artifact found there at startup (warm start with identical
+    /// content ids) and the `save`/`restore` verbs default to it.
+    pub snapshot_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -73,10 +87,12 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             queue_capacity: 1024,
             threads: 4,
+            poller_threads: 4,
             max_line_bytes: 1 << 20,
             default_deadline_ms: None,
             trace_capacity: 0,
             trace_dump: None,
+            snapshot_dir: None,
         }
     }
 }
@@ -113,15 +129,34 @@ impl Tracer {
     }
 }
 
-/// Everything a connection thread needs, shared behind one `Arc`.
-struct Ctx {
-    signal: Arc<ShutdownSignal>,
-    registry: Arc<Registry>,
-    batcher: Batcher,
-    threads: usize,
-    max_line_bytes: usize,
-    default_deadline_ms: Option<u64>,
+/// Everything the poller shards and verb router need, shared behind one
+/// `Arc`.
+pub(crate) struct Ctx {
+    pub(crate) signal: Arc<ShutdownSignal>,
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) batcher: Batcher,
+    pub(crate) threads: usize,
+    pub(crate) max_line_bytes: usize,
+    pub(crate) default_deadline_ms: Option<u64>,
+    pub(crate) snapshot_dir: Option<PathBuf>,
+    pub(crate) poller_threads: usize,
+    /// Live open sockets, mirrored into the `serve.connections` gauge.
+    pub(crate) live_connections: AtomicI64,
     tracer: Option<Tracer>,
+}
+
+/// Bumps the live-connection count and gauge for a newly adopted socket.
+#[allow(clippy::cast_precision_loss)]
+pub(crate) fn connection_opened(ctx: &Ctx) {
+    let live = ctx.live_connections.fetch_add(1, Ordering::Relaxed) + 1;
+    hmdiv_obs::gauge_set("serve.connections", live as f64);
+}
+
+/// Drops the live-connection count and gauge for a released socket.
+#[allow(clippy::cast_precision_loss)]
+pub(crate) fn connection_closed(ctx: &Ctx) {
+    let live = ctx.live_connections.fetch_sub(1, Ordering::Relaxed) - 1;
+    hmdiv_obs::gauge_set("serve.connections", live as f64);
 }
 
 /// A running evaluation server.
@@ -141,18 +176,23 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Binds, spawns the accept loop and the batch executor, and returns
-    /// immediately.
+    /// Binds, spawns the poller pool, the accept loop, and the batch
+    /// executor, restores any registry snapshot, and returns immediately.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Io`] if binding or thread spawning fails.
+    /// [`ServeError::Io`] if binding or thread spawning fails;
+    /// [`ServeError::Snapshot`]/[`ServeError::Rejected`] if a configured
+    /// snapshot directory holds artifacts that no longer restore cleanly.
     pub fn start(config: ServerConfig) -> Result<Server, ServeError> {
         let listener = TcpListener::bind(config.addr.as_str())?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let signal = Arc::new(ShutdownSignal::new());
         let registry = Arc::new(Registry::new());
+        if let Some(dir) = &config.snapshot_dir {
+            registry.restore_from_dir(dir)?;
+        }
         let batcher = Batcher::start(config.queue_capacity, config.threads)?;
         let tracer = (config.trace_capacity > 0).then(|| Tracer {
             recorder: FlightRecorder::with_capacity(config.trace_capacity),
@@ -166,11 +206,16 @@ impl Server {
             threads: config.threads,
             max_line_bytes: config.max_line_bytes,
             default_deadline_ms: config.default_deadline_ms,
+            snapshot_dir: config.snapshot_dir.clone(),
+            poller_threads: config.poller_threads.max(1),
+            live_connections: AtomicI64::new(0),
             tracer,
         });
+        hmdiv_obs::gauge_set("serve.connections", 0.0);
+        let pool = PollerPool::start(ctx.poller_threads, &ctx)?;
         let accept = std::thread::Builder::new()
             .name("hmdiv-serve-accept".into())
-            .spawn(move || accept_loop(&listener, &ctx))?;
+            .spawn(move || accept_loop(&listener, &ctx, pool))?;
         Ok(Server {
             addr,
             signal,
@@ -221,23 +266,12 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>) {
-    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>, pool: PollerPool) {
     while !ctx.signal.is_requested() {
         match listener.accept() {
-            Ok((stream, peer)) => {
-                hmdiv_obs::counter_add("serve.connections", 1);
-                let conn_ctx = Arc::clone(ctx);
-                let spawned = std::thread::Builder::new()
-                    .name(format!("hmdiv-serve-conn-{peer}"))
-                    .spawn(move || handle_connection(stream, &conn_ctx));
-                match spawned {
-                    Ok(handle) => conns.push(handle),
-                    // Thread exhaustion: drop the stream (connection reset)
-                    // rather than taking the whole server down.
-                    Err(_) => hmdiv_obs::counter_add("serve.conn_spawn_failures", 1),
-                }
-                conns.retain(|h| !h.is_finished());
+            Ok((stream, _peer)) => {
+                hmdiv_obs::counter_add("serve.connections_accepted", 1);
+                pool.register(stream);
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 ctx.signal.wait_timeout(ACCEPT_POLL);
@@ -248,150 +282,18 @@ fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>) {
             }
         }
     }
-    // Drain order matters: connections first (they finish the lines they
-    // already read and wait on their tickets), then the executor (which
-    // flushes whatever is still queued).
-    for handle in conns {
-        drop(handle.join());
-    }
+    // Drain order matters: the pollers first (they finish writing every
+    // response they owe — the executor is still live to answer their
+    // outstanding tickets), then the executor (which flushes whatever is
+    // still queued).
+    pool.stop_and_join();
     ctx.batcher.drain();
-}
-
-/// Buffers raw socket bytes and yields complete newline-terminated lines.
-struct LineReader {
-    buf: Vec<u8>,
-    limit: usize,
-}
-
-impl LineReader {
-    fn new(limit: usize) -> Self {
-        LineReader {
-            buf: Vec::new(),
-            limit,
-        }
-    }
-
-    fn push(&mut self, bytes: &[u8]) {
-        self.buf.extend_from_slice(bytes);
-    }
-
-    /// Pops the next complete line, or `None` if more bytes are needed.
-    ///
-    /// # Errors
-    ///
-    /// [`ServeError::OversizedLine`] once a line provably exceeds the
-    /// limit; [`ServeError::Parse`] for non-UTF-8 bytes.
-    fn next_line(&mut self) -> Result<Option<String>, ServeError> {
-        match self.buf.iter().position(|&b| b == b'\n') {
-            Some(pos) => {
-                if pos > self.limit {
-                    return Err(ServeError::OversizedLine { limit: self.limit });
-                }
-                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
-                line.pop(); // the \n
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
-                let text = String::from_utf8(line).map_err(|_| ServeError::Parse {
-                    detail: "request line is not valid UTF-8".to_owned(),
-                })?;
-                Ok(Some(text))
-            }
-            None if self.buf.len() > self.limit => {
-                Err(ServeError::OversizedLine { limit: self.limit })
-            }
-            None => Ok(None),
-        }
-    }
-}
-
-fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
-    // Nagle would defeat micro-batching's latency win on small lines.
-    drop(stream.set_nodelay(true));
-    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
-        return;
-    }
-    let mut reader = LineReader::new(ctx.max_line_bytes);
-    let mut chunk = vec![0_u8; 16 * 1024];
-    loop {
-        // Phase 1: block (in READ_POLL slices, re-checking the shutdown
-        // signal) until one complete line is in. `read_start` marks the
-        // first socket bytes that contributed to this batch — the read
-        // stage of its traces (None when the line was already buffered).
-        let mut read_start: Option<Instant> = None;
-        let first = loop {
-            match reader.next_line() {
-                Ok(Some(line)) => break line,
-                Ok(None) => {}
-                Err(e) => {
-                    // Framing is broken; report once and close.
-                    drop(stream.write_all(protocol::err_line(&Json::Null, None, &e).as_bytes()));
-                    return;
-                }
-            }
-            if ctx.signal.is_requested() {
-                return;
-            }
-            match stream.read(&mut chunk) {
-                Ok(0) => return, // EOF
-                Ok(n) => {
-                    read_start.get_or_insert_with(Instant::now);
-                    reader.push(&chunk[..n]);
-                }
-                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
-                Err(_) => return,
-            }
-        };
-        let received = Instant::now();
-        // Phase 2: scoop whatever the client already pipelined, without
-        // blocking — these lines will coalesce into one executor flush.
-        if stream.set_nonblocking(true).is_ok() {
-            loop {
-                match stream.read(&mut chunk) {
-                    Ok(0) => break, // peer half-closed; serve what we have
-                    Ok(n) => reader.push(&chunk[..n]),
-                    Err(_) => break, // WouldBlock or transient: stop scooping
-                }
-            }
-            drop(stream.set_nonblocking(false));
-        }
-        let mut lines = vec![first];
-        let mut fatal: Option<ServeError> = None;
-        loop {
-            match reader.next_line() {
-                Ok(Some(line)) => lines.push(line),
-                Ok(None) => break,
-                Err(e) => {
-                    fatal = Some(e);
-                    break;
-                }
-            }
-        }
-        // Phase 3+4: route everything (filling the executor queue), then
-        // collect and write all responses in order with a single flush.
-        let (mut out, pending) = process_lines(&lines, received, read_start, ctx);
-        if let Some(ref e) = fatal {
-            out.push_str(&protocol::err_line(&Json::Null, None, e));
-        }
-        let write_start = Instant::now();
-        if stream.write_all(out.as_bytes()).is_err() {
-            // The replies never reached the client; still complete the
-            // records (without a write stage) so sheds stay observable.
-            complete_traces(ctx, pending, write_start, None);
-            return;
-        }
-        drop(stream.flush());
-        complete_traces(ctx, pending, write_start, Some(Instant::now()));
-        if fatal.is_some() {
-            return;
-        }
-    }
 }
 
 /// A traced request awaiting its final write stamp: records complete
 /// *after* the response bytes hit the socket, so the write stage and the
 /// true outcome are both in the flight recorder.
-struct PendingTrace {
+pub(crate) struct PendingTrace {
     trace_id: TraceId,
     verb: String,
     model: Option<String>,
@@ -399,39 +301,43 @@ struct PendingTrace {
     outcome: TraceOutcome,
 }
 
-/// Stamps the write stage, lands each completed record in the flight
-/// recorder (feeding the `serve.stage.*` latency histograms), and dumps
-/// the recorder if any record in the batch shed.
-fn complete_traces(
+/// Stamps the write stage (when the bytes reached the socket), lands the
+/// completed record in the flight recorder, and feeds the `serve.stage.*`
+/// latency histograms. Returns whether the record is a shed outcome, so
+/// the caller can trigger one recorder dump per write batch.
+pub(crate) fn complete_trace(
     ctx: &Ctx,
-    pending: Vec<PendingTrace>,
-    write_start: Instant,
-    write_end: Option<Instant>,
-) {
-    let Some(tracer) = &ctx.tracer else { return };
-    let mut shed = false;
-    for p in pending {
-        if let Some(end) = write_end {
-            p.stages.stamp(Stage::Write, write_start, end);
-        }
-        let record = RequestRecord {
-            trace_id: p.trace_id,
-            verb: p.verb,
-            model: p.model,
-            batch_size: p.stages.batch_size(),
-            queue_depth: p.stages.queue_depth(),
-            stages: p.stages.finish(),
-            outcome: p.outcome,
-        };
-        if hmdiv_obs::enabled() {
-            for span in record.stages.iter().flatten() {
-                hmdiv_obs::observe_ns(&format!("serve.stage.{}", span.stage.name()), span.dur_ns);
-            }
-        }
-        shed |= record.outcome.is_shed();
-        tracer.recorder.record(record);
+    p: PendingTrace,
+    write: Option<(Instant, Instant)>,
+) -> bool {
+    let Some(tracer) = &ctx.tracer else {
+        return false;
+    };
+    if let Some((start, end)) = write {
+        p.stages.stamp(Stage::Write, start, end);
     }
-    if shed {
+    let record = RequestRecord {
+        trace_id: p.trace_id,
+        verb: p.verb,
+        model: p.model,
+        batch_size: p.stages.batch_size(),
+        queue_depth: p.stages.queue_depth(),
+        stages: p.stages.finish(),
+        outcome: p.outcome,
+    };
+    if hmdiv_obs::enabled() {
+        for span in record.stages.iter().flatten() {
+            hmdiv_obs::observe_ns(&format!("serve.stage.{}", span.stage.name()), span.dur_ns);
+        }
+    }
+    let shed = record.outcome.is_shed();
+    tracer.recorder.record(record);
+    shed
+}
+
+/// Dumps the flight recorder to the configured shed-dump path, if any.
+pub(crate) fn dump_on_shed(ctx: &Ctx) {
+    if let Some(tracer) = &ctx.tracer {
         tracer.dump_on_shed();
     }
 }
@@ -457,7 +363,7 @@ enum Routed {
 
 /// Verbs the server understands (unknown verbs share one metrics bucket
 /// to keep counter cardinality bounded).
-const VERBS: [&str; 13] = [
+const VERBS: [&str; 15] = [
     "ping",
     "metrics",
     "models",
@@ -471,10 +377,12 @@ const VERBS: [&str; 13] = [
     "importance",
     "cohort",
     "trace",
+    "save",
+    "restore",
 ];
 
 /// One parsed request waiting for its response to render.
-struct RequestSlot {
+pub(crate) struct RequestSlot {
     id: Json,
     /// The trace id to echo in the response envelope.
     echo: Option<TraceId>,
@@ -483,125 +391,156 @@ struct RequestSlot {
     routed: Result<Routed, ServeError>,
 }
 
-fn process_lines(
-    lines: &[String],
+impl RequestSlot {
+    /// A slot for a line that never parsed into an envelope (over-limit,
+    /// invalid UTF-8): renders the typed error, no trace, no id echo.
+    pub(crate) fn framing_error(e: ServeError) -> RequestSlot {
+        RequestSlot {
+            id: Json::Null,
+            echo: None,
+            trace: None,
+            routed: Err(e),
+        }
+    }
+
+    /// The executor ticket when this slot is still waiting on queued
+    /// work; `None` once resolvable inline.
+    pub(crate) fn pending_ticket(&self) -> Option<&Ticket> {
+        match &self.routed {
+            Ok(Routed::Queued { ticket, .. }) => Some(ticket),
+            _ => None,
+        }
+    }
+}
+
+/// Parses and routes one request line into a slot, stamping read/parse
+/// stages exactly as the threaded server did: `received` is the batch's
+/// framing instant, `read_start` the first socket bytes that contributed
+/// to it.
+pub(crate) fn route_line(
+    line: &str,
     received: Instant,
     read_start: Option<Instant>,
     ctx: &Ctx,
-) -> (String, Vec<PendingTrace>) {
-    let mut slots: Vec<RequestSlot> = Vec::with_capacity(lines.len());
-    for line in lines {
-        let parse_start = Instant::now();
-        match protocol::parse_request(line) {
-            Ok(env) => {
-                let parse_end = Instant::now();
-                if VERBS.contains(&env.verb.as_str()) {
-                    hmdiv_obs::counter_add(&format!("serve.verb.{}", env.verb), 1);
-                } else {
-                    hmdiv_obs::counter_add("serve.verb.unknown", 1);
-                }
-                let id = env.id.clone();
-                // With tracing on, every request gets a stage set and an
-                // id (client-supplied or minted); with it off, a client
-                // trace id is still echoed for correlation.
-                let trace = ctx.tracer.as_ref().map(|_| {
-                    let tid = env.trace_id.unwrap_or_else(TraceId::mint);
-                    let set = Arc::new(StageSet::new(received));
-                    if let Some(rs) = read_start {
-                        set.stamp(Stage::Read, rs, received);
-                    }
-                    set.stamp(Stage::Parse, parse_start, parse_end);
-                    let model = env
-                        .body
-                        .get("model")
-                        .or_else(|| env.body.get("cohort"))
-                        .and_then(Json::as_str)
-                        .map(str::to_owned);
-                    (tid, set, env.verb.clone(), model)
-                });
-                let echo = trace.as_ref().map(|(tid, ..)| *tid).or(env.trace_id);
-                let stage_set = trace.as_ref().map(|(_, set, ..)| Arc::clone(set));
-                let routed = route(&env, received, ctx, stage_set.clone());
-                if let Some(set) = &stage_set {
-                    // Queued verbs spend `route` binding and submitting —
-                    // count that as parse; inline verbs do their whole
-                    // evaluation inside `route` — count that as eval.
-                    match &routed {
-                        Ok(Routed::Queued { .. }) => {
-                            set.stamp(Stage::Parse, parse_start, Instant::now());
-                        }
-                        _ => set.stamp_since(Stage::Eval, parse_end),
-                    }
-                }
-                slots.push(RequestSlot {
-                    id,
-                    echo,
-                    trace,
-                    routed,
-                });
+    waker: Option<Waker>,
+) -> RequestSlot {
+    let parse_start = Instant::now();
+    match protocol::parse_request(line) {
+        Ok(env) => {
+            let parse_end = Instant::now();
+            if VERBS.contains(&env.verb.as_str()) {
+                hmdiv_obs::counter_add(&format!("serve.verb.{}", env.verb), 1);
+            } else {
+                hmdiv_obs::counter_add("serve.verb.unknown", 1);
             }
-            Err(e) => {
-                // Best effort: echo the id even when the envelope is bad.
-                let id = json::parse(line)
-                    .ok()
-                    .and_then(|j| j.get("id").cloned())
-                    .unwrap_or(Json::Null);
-                slots.push(RequestSlot {
-                    id,
-                    echo: None,
-                    trace: None,
-                    routed: Err(e),
-                });
+            let id = env.id.clone();
+            // With tracing on, every request gets a stage set and an
+            // id (client-supplied or minted); with it off, a client
+            // trace id is still echoed for correlation.
+            let trace = ctx.tracer.as_ref().map(|_| {
+                let tid = env.trace_id.unwrap_or_else(TraceId::mint);
+                let set = Arc::new(StageSet::new(received));
+                if let Some(rs) = read_start {
+                    set.stamp(Stage::Read, rs, received);
+                }
+                set.stamp(Stage::Parse, parse_start, parse_end);
+                let model = env
+                    .body
+                    .get("model")
+                    .or_else(|| env.body.get("cohort"))
+                    .and_then(Json::as_str)
+                    .map(str::to_owned);
+                (tid, set, env.verb.clone(), model)
+            });
+            let echo = trace.as_ref().map(|(tid, ..)| *tid).or(env.trace_id);
+            let stage_set = trace.as_ref().map(|(_, set, ..)| Arc::clone(set));
+            let routed = route(&env, received, ctx, stage_set.clone(), waker);
+            if let Some(set) = &stage_set {
+                // Queued verbs spend `route` binding and submitting —
+                // count that as parse; inline verbs do their whole
+                // evaluation inside `route` — count that as eval.
+                match &routed {
+                    Ok(Routed::Queued { .. }) => {
+                        set.stamp(Stage::Parse, parse_start, Instant::now());
+                    }
+                    _ => set.stamp_since(Stage::Eval, parse_end),
+                }
+            }
+            RequestSlot {
+                id,
+                echo,
+                trace,
+                routed,
+            }
+        }
+        Err(e) => {
+            // Best effort: echo the id even when the envelope is bad.
+            let id = json::parse(line)
+                .ok()
+                .and_then(|j| j.get("id").cloned())
+                .unwrap_or(Json::Null);
+            RequestSlot {
+                id,
+                echo: None,
+                trace: None,
+                routed: Err(e),
             }
         }
     }
-    let mut out = String::new();
-    let mut pending = Vec::new();
-    for slot in slots {
-        let (ser_start, line, outcome) = match slot.routed {
-            Ok(Routed::Ready(result)) => {
-                let s = Instant::now();
-                (
+}
+
+/// Renders a resolved slot into its wire line, stamping the serialize
+/// stage and producing the pending trace record (write-stamped later,
+/// when its bytes reach the socket). `reply` carries the executor's
+/// answer for queued slots; inline and error slots pass `None`.
+pub(crate) fn finish_slot(
+    slot: RequestSlot,
+    reply: Option<Result<Outcome, ServeError>>,
+) -> (String, Option<PendingTrace>) {
+    let (ser_start, line, outcome) = match slot.routed {
+        Ok(Routed::Ready(result)) => {
+            let s = Instant::now();
+            (
+                s,
+                protocol::ok_line(&slot.id, slot.echo, result),
+                TraceOutcome::Ok,
+            )
+        }
+        Ok(Routed::Queued { ticket, render }) => {
+            // The poller hands over the reply it already took; fall back
+            // to a blocking wait for any caller that did not.
+            let reply = reply.unwrap_or_else(|| ticket.wait());
+            let s = Instant::now();
+            match reply.and_then(|o| render_outcome(&render, o)) {
+                Ok(result) => (
                     s,
                     protocol::ok_line(&slot.id, slot.echo, result),
                     TraceOutcome::Ok,
-                )
-            }
-            Ok(Routed::Queued { ticket, render }) => {
-                let reply = ticket.wait();
-                let s = Instant::now();
-                match reply.and_then(|o| render_outcome(&render, o)) {
-                    Ok(result) => (
-                        s,
-                        protocol::ok_line(&slot.id, slot.echo, result),
-                        TraceOutcome::Ok,
-                    ),
-                    Err(e) => {
-                        let outcome = e.trace_outcome();
-                        (s, protocol::err_line(&slot.id, slot.echo, &e), outcome)
-                    }
+                ),
+                Err(e) => {
+                    let outcome = e.trace_outcome();
+                    (s, protocol::err_line(&slot.id, slot.echo, &e), outcome)
                 }
             }
-            Err(e) => {
-                hmdiv_obs::counter_add("serve.errors", 1);
-                let s = Instant::now();
-                let outcome = e.trace_outcome();
-                (s, protocol::err_line(&slot.id, slot.echo, &e), outcome)
-            }
-        };
-        out.push_str(&line);
-        if let Some((trace_id, stages, verb, model)) = slot.trace {
-            stages.stamp_since(Stage::Serialize, ser_start);
-            pending.push(PendingTrace {
-                trace_id,
-                verb,
-                model,
-                stages,
-                outcome,
-            });
         }
-    }
-    (out, pending)
+        Err(e) => {
+            hmdiv_obs::counter_add("serve.errors", 1);
+            let s = Instant::now();
+            let outcome = e.trace_outcome();
+            (s, protocol::err_line(&slot.id, slot.echo, &e), outcome)
+        }
+    };
+    let pending = slot.trace.map(|(trace_id, stages, verb, model)| {
+        stages.stamp_since(Stage::Serialize, ser_start);
+        PendingTrace {
+            trace_id,
+            verb,
+            model,
+            stages,
+            outcome,
+        }
+    });
+    (line, pending)
 }
 
 fn render_outcome(render: &Render, outcome: Outcome) -> Result<Json, ServeError> {
@@ -739,11 +678,40 @@ fn trace_report_json(records: &[RequestRecord], recorder: &FlightRecorder) -> Js
     ])
 }
 
+/// Resolves the directory a `save`/`restore` request targets: the
+/// request's `dir` member, else the server's configured snapshot dir.
+fn snapshot_dir_for(body: &Json, ctx: &Ctx, verb: &str) -> Result<PathBuf, ServeError> {
+    body.get("dir")
+        .and_then(Json::as_str)
+        .map(PathBuf::from)
+        .or_else(|| ctx.snapshot_dir.clone())
+        .ok_or_else(|| ServeError::BadRequest {
+            detail: format!(
+                "`{verb}` needs a `dir` string (or start the server with a snapshot dir)"
+            ),
+        })
+}
+
+/// The `save`/`restore` result object: the directory, how many artifacts
+/// moved, and their content ids.
+#[allow(clippy::cast_precision_loss)]
+fn snapshot_result_json(dir: &Path, action: &str, ids: &[String]) -> Json {
+    Json::Obj(vec![
+        ("dir".to_owned(), Json::str(dir.display().to_string())),
+        (action.to_owned(), Json::Num(ids.len() as f64)),
+        (
+            "ids".to_owned(),
+            Json::Arr(ids.iter().map(|id| Json::str(id.as_str())).collect()),
+        ),
+    ])
+}
+
 fn route(
     env: &Envelope,
     received: Instant,
     ctx: &Ctx,
     trace: Option<Arc<StageSet>>,
+    waker: Option<Waker>,
 ) -> Result<Routed, ServeError> {
     let deadline = env
         .deadline_ms
@@ -782,6 +750,12 @@ fn route(
                 .collect();
             #[allow(clippy::cast_precision_loss)]
             let queue_depth = ctx.batcher.queue_len() as f64;
+            #[allow(clippy::cast_precision_loss)]
+            let queue_cost = ctx.batcher.queue_cost() as f64;
+            #[allow(clippy::cast_precision_loss)]
+            let connections = ctx.live_connections.load(Ordering::Relaxed) as f64;
+            #[allow(clippy::cast_precision_loss)]
+            let pollers = ctx.poller_threads as f64;
             Ok(Routed::Ready(Json::Obj(vec![
                 (
                     "prometheus".to_owned(),
@@ -792,6 +766,9 @@ fn route(
                 // HMDIV_SERVE_PAR_THRESHOLD override).
                 ("par_threshold".to_owned(), Json::Num(par_threshold)),
                 ("queue_depth".to_owned(), Json::Num(queue_depth)),
+                ("queue_cost".to_owned(), Json::Num(queue_cost)),
+                ("connections".to_owned(), Json::Num(connections)),
+                ("pollers".to_owned(), Json::Num(pollers)),
             ])))
         }
         "trace" => {
@@ -828,6 +805,16 @@ fn route(
                 Json::Bool(true),
             )])))
         }
+        "save" => {
+            let dir = snapshot_dir_for(body, ctx, "save")?;
+            let ids = ctx.registry.save_to_dir(&dir)?;
+            Ok(Routed::Ready(snapshot_result_json(&dir, "saved", &ids)))
+        }
+        "restore" => {
+            let dir = snapshot_dir_for(body, ctx, "restore")?;
+            let ids = ctx.registry.restore_from_dir(&dir)?;
+            Ok(Routed::Ready(snapshot_result_json(&dir, "restored", &ids)))
+        }
         "load" => {
             let manifest = protocol::parse_manifest(body)?;
             let kind = body
@@ -851,20 +838,8 @@ fn route(
         }
         "load_cohort" => {
             let manifest = protocol::parse_manifest(body)?;
-            let members = protocol::required(body, "members")?
-                .as_arr()
-                .ok_or_else(|| ServeError::BadRequest {
-                    detail: "`members` must be an array".to_owned(),
-                })?;
-            let mut parsed = Vec::with_capacity(members.len());
-            for member in members {
-                parsed.push(CohortMember {
-                    name: protocol::required_str(member, "name")?.to_owned(),
-                    weight: protocol::required_f64(member, "weight")?,
-                    model: SequentialModel::new(protocol::parse_model_params(member)?),
-                });
-            }
-            let receipt = ctx.registry.load_cohort(parsed, manifest.as_ref())?;
+            let members = protocol::parse_cohort_members(body)?;
+            let receipt = ctx.registry.load_cohort(members, manifest.as_ref())?;
             Ok(Routed::Ready(receipt_json(&receipt)))
         }
         "analyze" => {
@@ -886,8 +861,10 @@ fn route(
                             model: compiled,
                             profile: bound,
                         },
+                        1,
                         deadline,
                         trace.clone(),
+                        waker,
                     )?;
                     Ok(Routed::Queued {
                         ticket,
@@ -902,8 +879,10 @@ fn route(
                                 compiled.bind_profile(&profile).map_err(ServeError::Model)?;
                             Ok(Outcome::One(compiled.system_failure(&bound)))
                         })),
+                        1,
                         deadline,
                         trace.clone(),
+                        waker,
                     )?;
                     Ok(Routed::Queued {
                         ticket,
@@ -918,14 +897,19 @@ fn route(
         "scenarios" => {
             let (compiled, bound) = sequential_binding(body, ctx)?;
             let scenarios = protocol::parse_scenarios(body)?;
+            // Admission cost: one scalar evaluation per scenario, so a
+            // bulk batch cannot monopolize a flush window for free.
+            let cost = scenarios.len();
             let ticket = ctx.batcher.submit(
                 Work::Scenarios {
                     model: compiled,
                     profile: bound,
                     scenarios,
                 },
+                cost,
                 deadline,
                 trace.clone(),
+                waker,
             )?;
             Ok(Routed::Queued {
                 ticket,
@@ -941,8 +925,10 @@ fn route(
                     profile: bound,
                     scenarios: vec![Scenario::new(), scenario],
                 },
+                2,
                 deadline,
                 trace.clone(),
+                waker,
             )?;
             Ok(Routed::Queued {
                 ticket,
@@ -983,8 +969,10 @@ fn route(
                         Json::Arr(lines),
                     )])))
                 })),
+                1,
                 deadline,
                 trace.clone(),
+                waker,
             )?;
             Ok(Routed::Queued {
                 ticket,
@@ -1000,6 +988,9 @@ fn route(
             };
             let profile = protocol::parse_profile(body)?;
             let threads = ctx.threads;
+            // Admission cost: one member-model evaluation per reader in
+            // the cohort.
+            let cost = cohort.members().len();
             let ticket = ctx.batcher.submit(
                 Work::Direct(Box::new(move || {
                     let summary = cohort
@@ -1024,8 +1015,10 @@ fn route(
                         ("rows".to_owned(), Json::Arr(rows)),
                     ])))
                 })),
+                cost,
                 deadline,
                 trace.clone(),
+                waker,
             )?;
             Ok(Routed::Queued {
                 ticket,
@@ -1060,35 +1053,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn line_reader_frames_and_enforces_the_limit() {
-        let mut r = LineReader::new(16);
-        r.push(b"one\ntwo\r\npar");
-        assert_eq!(r.next_line().unwrap().as_deref(), Some("one"));
-        assert_eq!(r.next_line().unwrap().as_deref(), Some("two"));
-        assert_eq!(r.next_line().unwrap(), None);
-        r.push(b"tial\n");
-        assert_eq!(r.next_line().unwrap().as_deref(), Some("partial"));
-        // A line that provably exceeds the limit errors even unterminated.
-        let mut r = LineReader::new(8);
-        r.push(b"0123456789abcdef");
-        assert!(matches!(
-            r.next_line(),
-            Err(ServeError::OversizedLine { limit: 8 })
-        ));
-        // Non-UTF-8 is a parse error, not a panic.
-        let mut r = LineReader::new(64);
-        r.push(&[0xFF, 0xFE, b'\n']);
-        assert!(matches!(r.next_line(), Err(ServeError::Parse { .. })));
-    }
-
-    #[test]
     fn default_config_is_documented_shape() {
         let c = ServerConfig::default();
         assert_eq!(c.addr, "127.0.0.1:0");
         assert_eq!(c.queue_capacity, 1024);
+        assert_eq!(c.poller_threads, 4, "a handful of pollers by default");
         assert_eq!(c.max_line_bytes, 1 << 20);
         assert!(c.default_deadline_ms.is_none());
         assert_eq!(c.trace_capacity, 0, "tracing is opt-in");
         assert!(c.trace_dump.is_none());
+        assert!(c.snapshot_dir.is_none(), "persistence is opt-in");
     }
 }

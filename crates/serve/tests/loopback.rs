@@ -273,8 +273,17 @@ fn golden_fixtures_for_every_verb() {
         .expect("serve.batch_size");
     assert_eq!(batch.get("unit").and_then(Json::as_str), Some("count"));
     assert!(batch.get("count").and_then(Json::as_f64).unwrap() > 0.0);
-    // The live executor queue depth rides along (drained by now).
+    // The live executor queue depth rides along (drained by now), with
+    // its cost-denominated twin, plus the poller pool's live view: one
+    // open connection (ours) multiplexed over the default pool.
     assert_eq!(metrics.get("queue_depth").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(metrics.get("queue_cost").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(metrics.get("connections").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(metrics.get("pollers").and_then(Json::as_f64), Some(4.0));
+    // The event-loop satellites are registered: the live-socket gauge and
+    // the poller wakeup counter flow through the exporters too.
+    assert!(text.contains("serve_connections"), "got: {text}");
+    assert!(text.contains("serve_poll_wakeups"), "got: {text}");
 
     server.shutdown();
 }
@@ -511,8 +520,21 @@ fn malformed_json_is_rejected_but_the_connection_survives() {
     server.shutdown();
 }
 
+/// Reads one newline-terminated response off a raw socket.
+fn read_line(raw: &mut TcpStream) -> String {
+    let mut response = String::new();
+    let mut byte = [0_u8; 1];
+    loop {
+        raw.read_exact(&mut byte).expect("socket closed mid-line");
+        if byte[0] == b'\n' {
+            return response;
+        }
+        response.push(byte[0] as char);
+    }
+}
+
 #[test]
-fn oversized_lines_error_and_close_the_connection() {
+fn oversized_lines_error_but_the_connection_survives() {
     let server = Server::start(ServerConfig {
         max_line_bytes: 256,
         ..ServerConfig::default()
@@ -521,9 +543,129 @@ fn oversized_lines_error_and_close_the_connection() {
     let mut raw = TcpStream::connect(server.addr()).unwrap();
     let huge = format!("{{\"verb\":\"ping\",\"pad\":\"{}\"}}\n", "x".repeat(1024));
     raw.write_all(huge.as_bytes()).unwrap();
-    let mut all = String::new();
-    raw.read_to_string(&mut all).unwrap(); // server replies then closes
-    assert!(all.contains("\"code\":\"oversized_line\""), "got: {all}");
+    let line = read_line(&mut raw);
+    assert!(line.contains("\"code\":\"line_too_long\""), "got: {line}");
+    // Framing resynced at the newline: the same connection keeps serving.
+    raw.write_all(b"{\"id\":2,\"verb\":\"ping\"}\n").unwrap();
+    let line = read_line(&mut raw);
+    assert!(line.contains("\"pong\":true"), "got: {line}");
+    server.shutdown();
+}
+
+#[test]
+fn save_restore_round_trip_preserves_content_ids_across_servers() {
+    let dir = std::env::temp_dir().join(format!(
+        "hmdiv-serve-snapshot-roundtrip-{}",
+        std::process::id()
+    ));
+    drop(std::fs::remove_dir_all(&dir));
+    let expected_bits;
+    let model_id;
+    {
+        let server = start();
+        let mut client = Client::connect(server.addr()).unwrap();
+        model_id = load_paper_model(&mut client);
+        expected_bits = client
+            .request(
+                "evaluate",
+                vec![
+                    ("model".into(), Json::str(model_id.as_str())),
+                    field_profile(),
+                ],
+            )
+            .unwrap()
+            .get("failure")
+            .and_then(Json::as_f64)
+            .unwrap()
+            .to_bits();
+        let saved = client
+            .request(
+                "save",
+                vec![("dir".into(), Json::str(dir.to_str().unwrap()))],
+            )
+            .unwrap();
+        assert_eq!(saved.get("saved").and_then(Json::as_f64), Some(1.0));
+        let ids: Vec<&str> = saved
+            .get("ids")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        assert_eq!(ids, [model_id.as_str()]);
+        server.shutdown();
+    }
+
+    // A fresh server warm-starts from the snapshot directory: same
+    // content id, bit-identical answers, no client-side reload.
+    let server = Server::start(ServerConfig {
+        snapshot_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let listing = client.request("models", vec![]).unwrap();
+    let ids: Vec<&str> = listing
+        .get("models")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|r| r.get("id").and_then(Json::as_str))
+        .collect();
+    assert_eq!(ids, [model_id.as_str()]);
+    let failure = client
+        .request(
+            "evaluate",
+            vec![
+                ("model".into(), Json::str(model_id.as_str())),
+                field_profile(),
+            ],
+        )
+        .unwrap()
+        .get("failure")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(failure.to_bits(), expected_bits, "warm start drifted");
+    // The explicit verb restores idempotently into a live registry, and
+    // defaults to the configured directory.
+    let restored = client.request("restore", vec![]).unwrap();
+    assert_eq!(restored.get("restored").and_then(Json::as_f64), Some(1.0));
+    server.shutdown();
+    drop(std::fs::remove_dir_all(&dir));
+}
+
+#[test]
+fn admission_charges_scalar_evaluations_not_request_count() {
+    // Capacity is an evaluation-cost budget: a 4-scenario batch (cost 4)
+    // overflows a 3-cost queue even when the queue is empty, while a
+    // 3-scenario batch fits exactly.
+    let server = Server::start(ServerConfig {
+        queue_capacity: 3,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let model_id = load_paper_model(&mut client);
+    let batch = |n: usize| {
+        let grid: Vec<String> = (1..=n)
+            .map(|i| format!(r#"[{{"op":"improve_machine","class":"difficult","factor":{i}0}}]"#))
+            .collect();
+        vec![
+            ("model".to_owned(), Json::str(model_id.as_str())),
+            field_profile(),
+            (
+                "scenarios".to_owned(),
+                json::parse(&format!("[{}]", grid.join(","))).unwrap(),
+            ),
+        ]
+    };
+    let err = client.request("scenarios", batch(4)).unwrap_err();
+    assert!(matches!(
+        err,
+        ServeError::Remote { ref code, .. } if code == "overloaded"
+    ));
+    let ok = client.request("scenarios", batch(3)).unwrap();
+    assert_eq!(ok.get("failures").and_then(Json::as_arr).unwrap().len(), 3);
     server.shutdown();
 }
 

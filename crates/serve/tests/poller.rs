@@ -1,0 +1,188 @@
+//! Adversarial socket tests for the event-driven poller: slow-loris
+//! trickles, request lines split mid-UTF-8-sequence, half-closed
+//! sockets, framing resync after over-limit lines, and many idle
+//! keep-alive connections multiplexed over a tiny pool — all the shapes
+//! a thread-per-connection server never had to distinguish.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use hmdiv_serve::{json, Client, Json, Server, ServerConfig};
+
+fn start() -> Server {
+    Server::start(ServerConfig::default()).expect("server start")
+}
+
+/// Reads one newline-terminated response off a raw socket.
+fn read_line(raw: &mut TcpStream) -> String {
+    let mut response = Vec::new();
+    let mut byte = [0_u8; 1];
+    loop {
+        raw.read_exact(&mut byte).expect("socket closed mid-line");
+        if byte[0] == b'\n' {
+            return String::from_utf8(response).expect("responses are UTF-8");
+        }
+        response.push(byte[0]);
+    }
+}
+
+fn error_code(line: &str) -> String {
+    json::parse(line)
+        .expect("replies are valid JSON")
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no error code in: {line}"))
+        .to_owned()
+}
+
+#[test]
+fn slow_loris_byte_at_a_time_still_gets_served() {
+    let server = start();
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    // One byte per write with a pause: the request spans many poller
+    // sweeps and the resumable reader must hold partial-line state.
+    for &b in b"{\"id\":7,\"verb\":\"ping\"}\n" {
+        raw.write_all(&[b]).unwrap();
+        raw.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let line = read_line(&mut raw);
+    assert!(line.contains("\"pong\":true"), "got: {line}");
+    assert!(line.contains("\"id\":7"), "got: {line}");
+    server.shutdown();
+}
+
+#[test]
+fn utf8_sequences_split_across_reads_reassemble() {
+    let server = start();
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    // `é` is 0xC3 0xA9; split the codepoint across two writes so one
+    // poller read ends mid-sequence.
+    let request = "{\"id\":\"café\",\"verb\":\"ping\"}\n".as_bytes();
+    let split = request
+        .iter()
+        .position(|&b| b == 0xC3)
+        .expect("multibyte char present")
+        + 1;
+    raw.write_all(&request[..split]).unwrap();
+    raw.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    raw.write_all(&request[split..]).unwrap();
+    let line = read_line(&mut raw);
+    assert!(line.contains("\"id\":\"café\""), "got: {line}");
+    assert!(line.contains("\"pong\":true"), "got: {line}");
+    server.shutdown();
+}
+
+#[test]
+fn invalid_utf8_is_rejected_and_the_connection_survives() {
+    let server = start();
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    // A lone continuation byte can never begin a UTF-8 sequence.
+    raw.write_all(b"{\"verb\":\"p\xA9ing\"}\n").unwrap();
+    assert_eq!(error_code(&read_line(&mut raw)), "parse_error");
+    raw.write_all(b"{\"id\":1,\"verb\":\"ping\"}\n").unwrap();
+    assert!(read_line(&mut raw).contains("\"pong\":true"));
+    server.shutdown();
+}
+
+#[test]
+fn over_limit_lines_resync_without_poisoning_pipelined_requests() {
+    let server = Server::start(ServerConfig {
+        max_line_bytes: 64,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    // Three pipelined lines: good, over-limit, good. The middle one
+    // errors; both neighbours are answered in order.
+    let mut burst = Vec::new();
+    burst.extend_from_slice(b"{\"id\":1,\"verb\":\"ping\"}\n");
+    burst.extend_from_slice(format!("{{\"pad\":\"{}\"}}\n", "x".repeat(200)).as_bytes());
+    burst.extend_from_slice(b"{\"id\":3,\"verb\":\"ping\"}\n");
+    raw.write_all(&burst).unwrap();
+    let first = read_line(&mut raw);
+    assert!(
+        first.contains("\"id\":1") && first.contains("\"pong\":true"),
+        "got: {first}"
+    );
+    assert_eq!(error_code(&read_line(&mut raw)), "line_too_long");
+    let third = read_line(&mut raw);
+    assert!(
+        third.contains("\"id\":3") && third.contains("\"pong\":true"),
+        "got: {third}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn half_closed_sockets_drain_their_pipelined_replies() {
+    let server = start();
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    // Write a burst, then close the write half immediately: the server
+    // sees EOF behind the bytes but still owes every reply.
+    let mut burst = Vec::new();
+    for i in 0..5 {
+        burst.extend_from_slice(format!("{{\"id\":{i},\"verb\":\"ping\"}}\n").as_bytes());
+    }
+    raw.write_all(&burst).unwrap();
+    raw.shutdown(Shutdown::Write).unwrap();
+    let mut all = String::new();
+    raw.read_to_string(&mut all).unwrap(); // server replies then closes
+    let replies: Vec<&str> = all.lines().collect();
+    assert_eq!(replies.len(), 5, "got: {all}");
+    for (i, line) in replies.iter().enumerate() {
+        assert!(line.contains(&format!("\"id\":{i}")), "got: {line}");
+        assert!(line.contains("\"pong\":true"), "got: {line}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn a_connection_that_vanishes_mid_request_does_not_wedge_the_shard() {
+    let server = start();
+    {
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        // Half a request, then drop the socket entirely.
+        raw.write_all(b"{\"id\":1,\"verb\":\"pi").unwrap();
+    }
+    // The shard that owned the vanished socket keeps serving others.
+    let mut client = Client::connect(server.addr()).unwrap();
+    let pong = client.request("ping", vec![]).unwrap();
+    assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+    server.shutdown();
+}
+
+#[test]
+fn hundreds_of_idle_keep_alive_connections_multiplex_over_two_pollers() {
+    let server = Server::start(ServerConfig {
+        poller_threads: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    // Many connections stay open and idle; a handful interleave work.
+    // Under thread-per-connection this would be 300 threads; here it is
+    // two pollers and some buffers.
+    let mut idle: Vec<TcpStream> = Vec::new();
+    for i in 0..300 {
+        idle.push(TcpStream::connect(server.addr()).unwrap());
+        if i % 64 == 63 {
+            // Pace the burst: the accept backlog is finite.
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    for round in 0..3 {
+        for raw in idle.iter_mut().step_by(37) {
+            raw.write_all(format!("{{\"id\":{round},\"verb\":\"ping\"}}\n").as_bytes())
+                .unwrap();
+        }
+        for raw in idle.iter_mut().step_by(37) {
+            let line = read_line(raw);
+            assert!(line.contains("\"pong\":true"), "got: {line}");
+        }
+    }
+    drop(idle);
+    server.shutdown();
+}
