@@ -102,7 +102,7 @@ fn main() {
     let mut rows = Vec::new();
     for step in &steps {
         let report = loadgen::run(&LoadgenConfig {
-            addr: server.addr(),
+            targets: vec![server.addr()],
             connections: step.connections,
             pipeline_depth: step.pipeline_depth,
             requests_per_connection: step.requests_per_connection,

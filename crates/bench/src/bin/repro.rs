@@ -4,9 +4,14 @@
 //!
 //! ```text
 //! repro [EXPERIMENT...] [--monte-carlo] [--cases N] [--seed N] [--threads N] [--metrics[=PATH]]
-//! repro serve [--addr HOST:PORT] [--queue-capacity N] [--threads N]
+//! repro serve [--fleet N] [--addr HOST:PORT] [--queue-capacity N] [--threads N]
 //!             [--pollers N] [--max-line-bytes N] [--deadline-ms N] [--metrics]
 //!             [--trace N] [--trace-dump PATH] [--snapshot-dir DIR]
+//! repro route --backend HOST:PORT [--backend HOST:PORT ...] [--addr HOST:PORT]
+//!             [--vnodes N] [--probe-interval-ms N] [--probe-timeout-ms N]
+//!             [--eject-after N] [--readmit-after N] [--metrics]
+//! repro loadgen --target HOST:PORT [--target HOST:PORT ...] [--connections N]
+//!               [--pipeline N] [--requests N] [--request LINE] [--timeout-ms N]
 //! repro check [--json] ARTIFACT.json...
 //! ```
 //!
@@ -32,6 +37,16 @@
 //! connections, and `--snapshot-dir DIR` warm-starts the registry from a
 //! previous `save` (and becomes the default target for the `save` and
 //! `restore` verbs).
+//!
+//! `repro serve --fleet N` instead starts N single-replica child
+//! processes on ephemeral ports plus the `hmdiv-fleet` consistent-hash
+//! front router in-process; the remaining serve flags are forwarded to
+//! every replica. `repro route` runs the router alone over
+//! externally-managed replicas (repeat `--backend` per replica).
+//! `repro loadgen` drives any serving endpoint — one replica or the
+//! fleet router — with pipelined keep-alive connections (round-robin
+//! across repeated `--target`s) and prints a JSON report with per-target
+//! served/shed splits.
 //!
 //! `repro check` runs the `hmdiv-analyze` static passes over artifact
 //! files (see `hmdiv_bench::check` for the accepted shapes) and exits
@@ -85,9 +100,11 @@ struct Options {
 
 fn usage() -> String {
     format!(
-        "usage: repro [{}|all] [--monte-carlo] [--cases N] [--seed N] [--threads N] [--metrics[=PATH]]\n       {}\n       {}",
+        "usage: repro [{}|all] [--monte-carlo] [--cases N] [--seed N] [--threads N] [--metrics[=PATH]]\n       {}\n       {}\n       {}\n       {}",
         EXPERIMENT_NAMES.join("|"),
         serve_usage(),
+        route_usage(),
+        loadgen_usage(),
         check_usage()
     )
 }
@@ -164,9 +181,22 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn serve_usage() -> String {
-    "usage: repro serve [--addr HOST:PORT] [--queue-capacity N] [--threads N] \
+    "usage: repro serve [--fleet N] [--addr HOST:PORT] [--queue-capacity N] [--threads N] \
      [--pollers N] [--max-line-bytes N] [--deadline-ms N] [--metrics] [--trace N] \
      [--trace-dump PATH] [--snapshot-dir DIR]"
+        .to_owned()
+}
+
+fn route_usage() -> String {
+    "usage: repro route --backend HOST:PORT [--backend HOST:PORT ...] [--addr HOST:PORT] \
+     [--vnodes N] [--probe-interval-ms N] [--probe-timeout-ms N] [--eject-after N] \
+     [--readmit-after N] [--metrics]"
+        .to_owned()
+}
+
+fn loadgen_usage() -> String {
+    "usage: repro loadgen --target HOST:PORT [--target HOST:PORT ...] [--connections N] \
+     [--pipeline N] [--requests N] [--request LINE] [--timeout-ms N]"
         .to_owned()
 }
 
@@ -315,8 +345,280 @@ fn parse_serve_args(args: &[String]) -> Result<(hmdiv_serve::ServerConfig, bool)
     Ok((config, metrics))
 }
 
+/// Runs a replicated fleet: N `repro serve` child replicas on ephemeral
+/// ports plus the consistent-hash front router in-process. `addr` is the
+/// router's listen address; `extra_args` are forwarded to every replica.
+fn fleet_serve_main(count: usize, addr: String, extra_args: &[String]) -> ExitCode {
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("error: cannot locate the repro binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let replicas = match hmdiv_fleet::ReplicaSet::spawn(&exe, count, extra_args) {
+        Ok(replicas) => replicas,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let router = match hmdiv_fleet::Router::start(hmdiv_fleet::RouterConfig {
+        addr,
+        backends: replicas.addrs(),
+        ..hmdiv_fleet::RouterConfig::default()
+    }) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("error: {e}");
+            replicas.shutdown();
+            return ExitCode::FAILURE;
+        }
+    };
+    for (i, addr) in replicas.addrs().iter().enumerate() {
+        println!("hmdiv-fleet replica {i} listening on {addr}");
+    }
+    println!("hmdiv-fleet router listening on {}", router.addr());
+    router.join();
+    replicas.shutdown();
+    println!("hmdiv-fleet drained and stopped");
+    ExitCode::SUCCESS
+}
+
+/// Runs the front router alone over externally-managed replicas.
+fn route_main(args: &[String]) -> ExitCode {
+    let mut config = hmdiv_fleet::RouterConfig {
+        addr: "127.0.0.1:7413".to_owned(),
+        ..hmdiv_fleet::RouterConfig::default()
+    };
+    let mut metrics = false;
+    let mut args = args.iter();
+    let value = |flag: &str, args: &mut std::slice::Iter<'_, String>| {
+        args.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let parsed = (|| -> Result<(), String> {
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--addr" => config.addr = value("--addr", &mut args)?,
+                "--backend" => config.backends.push(
+                    value("--backend", &mut args)?
+                        .parse()
+                        .map_err(|e| format!("bad --backend: {e}"))?,
+                ),
+                "--vnodes" => {
+                    config.vnodes = value("--vnodes", &mut args)?
+                        .parse()
+                        .map_err(|e| format!("bad --vnodes: {e}"))?;
+                }
+                "--probe-interval-ms" => {
+                    config.probe_interval = std::time::Duration::from_millis(
+                        value("--probe-interval-ms", &mut args)?
+                            .parse()
+                            .map_err(|e| format!("bad --probe-interval-ms: {e}"))?,
+                    );
+                }
+                "--probe-timeout-ms" => {
+                    config.probe_timeout = std::time::Duration::from_millis(
+                        value("--probe-timeout-ms", &mut args)?
+                            .parse()
+                            .map_err(|e| format!("bad --probe-timeout-ms: {e}"))?,
+                    );
+                }
+                "--eject-after" => {
+                    config.eject_after = value("--eject-after", &mut args)?
+                        .parse()
+                        .map_err(|e| format!("bad --eject-after: {e}"))?;
+                }
+                "--readmit-after" => {
+                    config.readmit_after = value("--readmit-after", &mut args)?
+                        .parse()
+                        .map_err(|e| format!("bad --readmit-after: {e}"))?;
+                }
+                "--metrics" => metrics = true,
+                "--help" | "-h" => return Err(route_usage()),
+                other => return Err(format!("unknown route flag {other}\n{}", route_usage())),
+            }
+        }
+        if config.backends.is_empty() {
+            return Err(format!(
+                "route needs at least one --backend\n{}",
+                route_usage()
+            ));
+        }
+        Ok(())
+    })();
+    if let Err(msg) = parsed {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
+    if metrics {
+        hmdiv_obs::set_enabled(true);
+    }
+    let router = match hmdiv_fleet::Router::start(config) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("hmdiv-fleet router listening on {}", router.addr());
+    router.join();
+    println!("hmdiv-fleet drained and stopped");
+    ExitCode::SUCCESS
+}
+
+/// Drives one or more serving endpoints with pipelined keep-alive
+/// connections and prints the JSON report (per-target splits included).
+fn loadgen_main(args: &[String]) -> ExitCode {
+    let mut config = hmdiv_serve::LoadgenConfig {
+        targets: Vec::new(),
+        connections: 4,
+        pipeline_depth: 8,
+        requests_per_connection: 1000,
+        request_line: "{\"id\":1,\"verb\":\"ping\"}\n".to_owned(),
+        timeout: std::time::Duration::from_secs(60),
+    };
+    let mut args = args.iter();
+    let value = |flag: &str, args: &mut std::slice::Iter<'_, String>| {
+        args.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let parsed = (|| -> Result<(), String> {
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--target" => config.targets.push(
+                    value("--target", &mut args)?
+                        .parse()
+                        .map_err(|e| format!("bad --target: {e}"))?,
+                ),
+                "--connections" => {
+                    config.connections = value("--connections", &mut args)?
+                        .parse()
+                        .map_err(|e| format!("bad --connections: {e}"))?;
+                }
+                "--pipeline" => {
+                    config.pipeline_depth = value("--pipeline", &mut args)?
+                        .parse()
+                        .map_err(|e| format!("bad --pipeline: {e}"))?;
+                }
+                "--requests" => {
+                    config.requests_per_connection = value("--requests", &mut args)?
+                        .parse()
+                        .map_err(|e| format!("bad --requests: {e}"))?;
+                }
+                "--request" => {
+                    let mut line = value("--request", &mut args)?;
+                    if !line.ends_with('\n') {
+                        line.push('\n');
+                    }
+                    config.request_line = line;
+                }
+                "--timeout-ms" => {
+                    config.timeout = std::time::Duration::from_millis(
+                        value("--timeout-ms", &mut args)?
+                            .parse()
+                            .map_err(|e| format!("bad --timeout-ms: {e}"))?,
+                    );
+                }
+                "--help" | "-h" => return Err(loadgen_usage()),
+                other => return Err(format!("unknown loadgen flag {other}\n{}", loadgen_usage())),
+            }
+        }
+        if config.targets.is_empty() {
+            return Err(format!(
+                "loadgen needs at least one --target\n{}",
+                loadgen_usage()
+            ));
+        }
+        Ok(())
+    })();
+    if let Err(msg) = parsed {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
+    match hmdiv_serve::loadgen::run(&config) {
+        Ok(report) => {
+            println!("{}", loadgen_report_json(&report));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Renders a loadgen report as one JSON object, per-target splits and a
+/// derived served-per-second rate included.
+fn loadgen_report_json(report: &hmdiv_serve::LoadgenReport) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    let rate = if report.elapsed_ns == 0 {
+        0.0
+    } else {
+        report.served as f64 * 1e9 / report.elapsed_ns as f64
+    };
+    let per_target: Vec<String> = report
+        .per_target
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"addr\":\"{}\",\"connections\":{},\"sent\":{},\"served\":{},\
+                 \"shed_overloaded\":{},\"shed_deadline\":{},\"errors\":{}}}",
+                t.addr,
+                t.connections,
+                t.sent,
+                t.served,
+                t.shed_overloaded,
+                t.shed_deadline,
+                t.errors
+            )
+        })
+        .collect();
+    format!(
+        "{{\"connections\":{},\"completed_connections\":{},\"sent\":{},\"served\":{},\
+         \"shed_overloaded\":{},\"shed_deadline\":{},\"errors\":{},\"elapsed_ns\":{},\
+         \"served_per_sec\":{rate:.1},\"per_target\":[{}]}}",
+        report.connections,
+        report.completed_connections,
+        report.sent,
+        report.served,
+        report.shed_overloaded,
+        report.shed_deadline,
+        report.errors,
+        report.elapsed_ns,
+        per_target.join(",")
+    )
+}
+
 /// Runs the evaluation server until a `shutdown` verb arrives.
 fn serve_main(args: &[String]) -> ExitCode {
+    // `--fleet N` switches to replicated mode: pull that flag (and the
+    // router's `--addr`) out, forward everything else to the replicas.
+    if let Some(pos) = args.iter().position(|a| a == "--fleet") {
+        let Some(count) = args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) else {
+            eprintln!("bad --fleet: needs a replica count\n{}", serve_usage());
+            return ExitCode::FAILURE;
+        };
+        if count == 0 {
+            eprintln!("--fleet must be at least 1");
+            return ExitCode::FAILURE;
+        }
+        let mut rest: Vec<String> = args[..pos].to_vec();
+        rest.extend_from_slice(&args[pos + 2..]);
+        let mut addr = "127.0.0.1:7414".to_owned();
+        if let Some(apos) = rest.iter().position(|a| a == "--addr") {
+            if apos + 1 >= rest.len() {
+                eprintln!("--addr needs a value\n{}", serve_usage());
+                return ExitCode::FAILURE;
+            }
+            addr = rest.remove(apos + 1);
+            rest.remove(apos);
+        }
+        return fleet_serve_main(count, addr, &rest);
+    }
     let (config, metrics) = match parse_serve_args(args) {
         Ok(parsed) => parsed,
         Err(msg) => {
@@ -344,6 +646,12 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("serve") {
         return serve_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("route") {
+        return route_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("loadgen") {
+        return loadgen_main(&argv[1..]);
     }
     if argv.first().map(String::as_str) == Some("check") {
         return check_main(&argv[1..]);

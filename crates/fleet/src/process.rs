@@ -1,0 +1,144 @@
+//! Replica child-process management for `repro serve --fleet N`.
+//!
+//! Spawns N `repro serve` children on ephemeral ports, harvests each
+//! child's listen address from its `listening on` stdout line, and
+//! shuts the set down gracefully (a `shutdown` verb per replica, then a
+//! bounded wait, then a kill). Dropping a [`ReplicaSet`] kills any
+//! children still running, so a panicking driver never leaks replica
+//! processes.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use hmdiv_serve::{Client, ServeError};
+
+/// One spawned replica child.
+#[derive(Debug)]
+struct Replica {
+    child: Child,
+    addr: SocketAddr,
+}
+
+/// A set of replica server processes.
+#[derive(Debug)]
+pub struct ReplicaSet {
+    replicas: Vec<Replica>,
+}
+
+impl ReplicaSet {
+    /// Spawns `count` replicas of `exe serve --addr 127.0.0.1:0
+    /// <extra_args>` and waits for each to report its listen address.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when a child cannot be spawned or never
+    /// reports a listen address (the already-spawned children are
+    /// killed by the partial set's `Drop`).
+    pub fn spawn(
+        exe: &Path,
+        count: usize,
+        extra_args: &[String],
+    ) -> Result<ReplicaSet, ServeError> {
+        let mut set = ReplicaSet {
+            replicas: Vec::with_capacity(count),
+        };
+        for i in 0..count {
+            let mut child = Command::new(exe)
+                .arg("serve")
+                .arg("--addr")
+                .arg("127.0.0.1:0")
+                .args(extra_args)
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .stdin(Stdio::null())
+                .spawn()
+                .map_err(|e| ServeError::Io {
+                    detail: format!("spawning replica {i} ({}): {e}", exe.display()),
+                })?;
+            let stdout = child.stdout.take().ok_or_else(|| ServeError::Io {
+                detail: format!("replica {i}: no stdout pipe"),
+            })?;
+            let mut lines = BufReader::new(stdout).lines();
+            let addr = loop {
+                let line = match lines.next() {
+                    Some(Ok(line)) => line,
+                    Some(Err(e)) => {
+                        drop(child.kill());
+                        return Err(ServeError::Io {
+                            detail: format!("replica {i} stdout: {e}"),
+                        });
+                    }
+                    None => {
+                        drop(child.kill());
+                        return Err(ServeError::Io {
+                            detail: format!("replica {i} exited before reporting its address"),
+                        });
+                    }
+                };
+                if let Some(idx) = line.find("listening on ") {
+                    let addr = line[idx + "listening on ".len()..].trim();
+                    match addr.parse::<SocketAddr>() {
+                        Ok(addr) => break addr,
+                        Err(e) => {
+                            drop(child.kill());
+                            return Err(ServeError::Io {
+                                detail: format!("replica {i}: bad listen address `{addr}`: {e}"),
+                            });
+                        }
+                    }
+                }
+            };
+            // Keep the child's remaining stdout drained so it can never
+            // block on a full pipe.
+            std::thread::spawn(move || for _line in lines {});
+            set.replicas.push(Replica { child, addr });
+        }
+        Ok(set)
+    }
+
+    /// The replicas' listen addresses, in spawn order.
+    #[must_use]
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.replicas.iter().map(|r| r.addr).collect()
+    }
+
+    /// Gracefully shuts every replica down: a `shutdown` verb per
+    /// replica (best effort — an already-dead replica is fine), then a
+    /// bounded wait, then a kill for stragglers.
+    pub fn shutdown(mut self) {
+        for r in &self.replicas {
+            if let Ok(mut client) = Client::connect(r.addr) {
+                drop(client.request("shutdown", Vec::new()));
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        for r in &mut self.replicas {
+            loop {
+                match r.child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    _ => {
+                        drop(r.child.kill());
+                        drop(r.child.wait());
+                        break;
+                    }
+                }
+            }
+        }
+        self.replicas.clear();
+    }
+}
+
+impl Drop for ReplicaSet {
+    fn drop(&mut self) {
+        for r in &mut self.replicas {
+            drop(r.child.kill());
+            drop(r.child.wait());
+        }
+    }
+}

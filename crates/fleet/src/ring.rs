@@ -1,0 +1,179 @@
+//! Consistent-hash ring over replica backends.
+//!
+//! Each backend owns `vnodes` points on a `u64` ring; a key routes to
+//! the owner of the first point clockwise from its hash. Every point is
+//! derived only from its backend's index and vnode number, so adding or
+//! removing one backend adds or removes only *that backend's* points:
+//! roughly `1/n` of the keyspace moves, the rest keeps its owner. The
+//! same property gives failover for free — skipping a dead backend's
+//! points during the clockwise walk reassigns exactly its keys to the
+//! survivors and nothing else.
+
+/// The SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation
+/// (the same mixer the vendored `rand` stub uses for seed expansion).
+#[must_use]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring: sorted `(point, backend)` pairs.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Ring points sorted by position.
+    points: Vec<(u64, u32)>,
+    backends: u32,
+}
+
+impl HashRing {
+    /// A ring over `backends` replicas with `vnodes` points each.
+    ///
+    /// # Panics
+    ///
+    /// When `backends` or `vnodes` is zero, or `backends` exceeds
+    /// `u32::MAX` — a fleet has a small, fixed backend count.
+    #[must_use]
+    pub fn new(backends: usize, vnodes: usize) -> HashRing {
+        assert!(backends > 0, "a ring needs at least one backend");
+        assert!(vnodes > 0, "a ring needs at least one vnode per backend");
+        let backends = u32::try_from(backends).expect("backend count fits u32");
+        let mut points = Vec::with_capacity(backends as usize * vnodes);
+        for b in 0..backends {
+            for v in 0..vnodes {
+                // Point position depends only on (backend, vnode):
+                // ring membership changes never move other backends'
+                // points.
+                let point = mix64((u64::from(b) << 32) | v as u64);
+                points.push((point, b));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, backends }
+    }
+
+    /// Number of backends the ring was built over.
+    #[must_use]
+    pub fn backends(&self) -> u32 {
+        self.backends
+    }
+
+    /// The backend owning `key`, ignoring health.
+    #[must_use]
+    pub fn route(&self, key: u64) -> u32 {
+        // `alive` accepts everything, so the walk terminates at the
+        // first point.
+        self.route_filtered(key, |_| true)
+            .expect("some backend is always alive when all are")
+    }
+
+    /// The first backend clockwise from `key` for which `alive` holds,
+    /// or `None` when every backend is dead. Dead backends' points are
+    /// skipped in place, so only their keys are reassigned.
+    pub fn route_filtered(&self, key: u64, alive: impl Fn(u32) -> bool) -> Option<u32> {
+        let hashed = mix64(key);
+        let start = self.points.partition_point(|&(p, _)| p < hashed);
+        let n = self.points.len();
+        let mut seen = 0_u64;
+        for i in 0..n {
+            let (_, backend) = self.points[(start + i) % n];
+            if alive(backend) {
+                return Some(backend);
+            }
+            // Bound the walk: after passing every distinct point once,
+            // nothing new appears.
+            seen += 1;
+            if seen >= n as u64 {
+                break;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    const VNODES: usize = 64;
+
+    fn owners(ring: &HashRing, keys: u64) -> Vec<u32> {
+        (0..keys).map(|k| ring.route(k)).collect()
+    }
+
+    #[test]
+    fn distribution_covers_every_backend_roughly_evenly() {
+        let ring = HashRing::new(4, VNODES);
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for k in 0..4000_u64 {
+            *counts.entry(ring.route(k)).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 4, "every backend owns some keys");
+        for (&b, &c) in &counts {
+            // Perfectly even would be 1000; vnode variance allows a wide
+            // band but no starvation or monopoly.
+            assert!((300..=2200).contains(&c), "backend {b} owns {c}/4000");
+        }
+    }
+
+    #[test]
+    fn adding_a_backend_moves_about_one_in_n_keys() {
+        let keys = 8000_u64;
+        let before = owners(&HashRing::new(4, VNODES), keys);
+        let after = owners(&HashRing::new(5, VNODES), keys);
+        let moved = before.iter().zip(&after).filter(|(a, b)| a != b).count() as f64 / keys as f64;
+        // Expected ~ 1/5 = 0.20; a naive `hash % n` would move ~ 4/5.
+        assert!(
+            (0.05..=0.35).contains(&moved),
+            "moved fraction {moved} out of the consistent-hash band"
+        );
+        // Every moved key moved *to* the new backend, never between
+        // survivors.
+        for (a, b) in before.iter().zip(&after) {
+            if a != b {
+                assert_eq!(*b, 4, "key moved between surviving backends");
+            }
+        }
+    }
+
+    #[test]
+    fn removing_a_backend_only_moves_its_own_keys() {
+        let keys = 8000_u64;
+        let full = HashRing::new(4, VNODES);
+        let before = owners(&full, keys);
+        // "Removal" via the health filter: backend 2 is dead.
+        let after: Vec<u32> = (0..keys)
+            .map(|k| full.route_filtered(k, |b| b != 2).expect("survivors exist"))
+            .collect();
+        for (k, (a, b)) in before.iter().zip(&after).enumerate() {
+            if a != b {
+                assert_eq!(*a, 2, "key {k} moved although its owner survived");
+            }
+            assert_ne!(*b, 2, "key {k} routed to the dead backend");
+        }
+        let moved = before.iter().zip(&after).filter(|(a, b)| a != b).count() as f64 / keys as f64;
+        assert!(
+            (0.05..=0.45).contains(&moved),
+            "moved fraction {moved} out of the failover band"
+        );
+    }
+
+    #[test]
+    fn all_dead_routes_nowhere_and_revival_restores_owners() {
+        let ring = HashRing::new(3, VNODES);
+        assert_eq!(ring.route_filtered(42, |_| false), None);
+        let original = ring.route(42);
+        assert_eq!(ring.route_filtered(42, |_| true), Some(original));
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let a = HashRing::new(4, VNODES);
+        let b = HashRing::new(4, VNODES);
+        for k in 0..256 {
+            assert_eq!(a.route(k), b.route(k));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Registry reconciliation between replicas over the `manifest` /
+//! `fetch` verbs.
+//!
+//! Because the registry is content-hash addressed, two replicas can
+//! never hold *different* artifacts under the same id — a replica is
+//! only ever missing some. Reconciliation is therefore a one-way diff:
+//! list both manifests, ship every artifact the destination lacks, and
+//! let the destination's own load path re-hash and re-gate each one.
+//! The recomputed content id must equal the id the source advertised
+//! ([`ServeError::Snapshot`] otherwise), and the `hmdiv-analyze`
+//! admission gate runs exactly as it does for a fresh `load` — a
+//! corrupt or tampered transfer cannot be admitted, mirroring the
+//! snapshot-restore invariant.
+
+use hmdiv_serve::{Client, Json, ServeError};
+
+/// One manifest row: the artifact's content id and kind tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestRow {
+    /// The content-addressed artifact id.
+    pub id: String,
+    /// The kind tag (`sequential`, `detection`, `cohort`).
+    pub kind: String,
+}
+
+/// What a reconciliation did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Ids shipped to (and verified by) the destination, in id order.
+    pub shipped: Vec<String>,
+    /// Source artifacts the destination already held.
+    pub already_present: usize,
+    /// Total artifacts on the source.
+    pub source_total: usize,
+}
+
+/// Fetches a replica's manifest rows (id order, as the server lists).
+///
+/// # Errors
+///
+/// Transport errors and malformed manifests surface as [`ServeError`].
+pub fn manifest_rows(client: &mut Client) -> Result<Vec<ManifestRow>, ServeError> {
+    let result = client.request("manifest", Vec::new())?;
+    let rows = result
+        .get("artifacts")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeError::BadRequest {
+            detail: "manifest reply without `artifacts` array".to_owned(),
+        })?;
+    rows.iter()
+        .map(|row| {
+            let field = |key: &str| {
+                row.get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| ServeError::BadRequest {
+                        detail: format!("manifest row without string `{key}`"),
+                    })
+            };
+            Ok(ManifestRow {
+                id: field("id")?,
+                kind: field("kind")?,
+            })
+        })
+        .collect()
+}
+
+/// The rows present on `source` but absent from `dest`, by content id.
+/// Content addressing makes the id comparison sufficient: equal ids
+/// imply bit-identical artifacts.
+#[must_use]
+pub fn diff_manifests(source: &[ManifestRow], dest: &[ManifestRow]) -> Vec<ManifestRow> {
+    let held: std::collections::BTreeSet<&str> = dest.iter().map(|r| r.id.as_str()).collect();
+    source
+        .iter()
+        .filter(|r| !held.contains(r.id.as_str()))
+        .cloned()
+        .collect()
+}
+
+/// Ships every artifact `dest` lacks from `source`, verifying each
+/// transfer: the destination replays the fetched wire shape through its
+/// own load verb (re-hash plus the `hmdiv-analyze` admission gate) and
+/// the receipt's content id must equal the id the source advertised.
+/// Bumps the `fleet.sync_artifacts_shipped` counter per artifact.
+///
+/// # Errors
+///
+/// [`ServeError::Snapshot`] on a content-id mismatch; transport and
+/// admission errors surface verbatim.
+pub fn reconcile(source: &mut Client, dest: &mut Client) -> Result<SyncReport, ServeError> {
+    let source_rows = manifest_rows(source)?;
+    let dest_rows = manifest_rows(dest)?;
+    let missing = diff_manifests(&source_rows, &dest_rows);
+    let mut report = SyncReport {
+        shipped: Vec::with_capacity(missing.len()),
+        already_present: source_rows.len() - missing.len(),
+        source_total: source_rows.len(),
+    };
+    for row in missing {
+        let fetched = source.request(
+            "fetch",
+            vec![("model".to_owned(), Json::str(row.id.as_str()))],
+        )?;
+        let Json::Obj(members) = fetched else {
+            return Err(ServeError::BadRequest {
+                detail: format!("fetch of `{}` did not return an object", row.id),
+            });
+        };
+        // The transfer payload is the load-verb wire shape plus the
+        // advertised id; strip the id and replay the rest.
+        let fields: Vec<(String, Json)> = members.into_iter().filter(|(k, _)| k != "id").collect();
+        let verb = if row.kind == "cohort" {
+            "load_cohort"
+        } else {
+            "load"
+        };
+        let receipt = dest.request(verb, fields)?;
+        let got = receipt
+            .get("model_id")
+            .and_then(Json::as_str)
+            .unwrap_or_default();
+        if got != row.id {
+            return Err(ServeError::Snapshot {
+                detail: format!(
+                    "sync transfer of `{}` re-hashed to `{got}` on the destination; \
+                     refusing the divergent artifact",
+                    row.id
+                ),
+            });
+        }
+        hmdiv_obs::counter_add("fleet.sync_artifacts_shipped", 1);
+        report.shipped.push(row.id);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: &str, kind: &str) -> ManifestRow {
+        ManifestRow {
+            id: id.to_owned(),
+            kind: kind.to_owned(),
+        }
+    }
+
+    #[test]
+    fn diff_of_empty_registries_is_empty() {
+        assert_eq!(diff_manifests(&[], &[]), Vec::<ManifestRow>::new());
+        // An empty source needs nothing shipped regardless of dest.
+        assert_eq!(
+            diff_manifests(&[], &[row("m01", "sequential")]),
+            Vec::<ManifestRow>::new()
+        );
+    }
+
+    #[test]
+    fn diff_of_disjoint_registries_ships_the_whole_source() {
+        let source = [row("m01", "sequential"), row("c02", "cohort")];
+        let dest = [row("m03", "detection")];
+        assert_eq!(diff_manifests(&source, &dest), source.to_vec());
+    }
+
+    #[test]
+    fn diff_of_a_subset_ships_only_the_gap() {
+        let source = [
+            row("c01", "cohort"),
+            row("m02", "sequential"),
+            row("m03", "detection"),
+        ];
+        let dest = [row("c01", "cohort"), row("m03", "detection")];
+        assert_eq!(
+            diff_manifests(&source, &dest),
+            vec![row("m02", "sequential")]
+        );
+        // The reverse direction ships nothing: dest is a subset.
+        assert_eq!(diff_manifests(&dest, &source), Vec::<ManifestRow>::new());
+    }
+
+    #[test]
+    fn diff_of_identical_registries_is_empty() {
+        let rows = [row("m01", "sequential"), row("c02", "cohort")];
+        assert_eq!(diff_manifests(&rows, &rows), Vec::<ManifestRow>::new());
+    }
+}

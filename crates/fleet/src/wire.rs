@@ -1,0 +1,202 @@
+//! Shallow request-line inspection for the router.
+//!
+//! The router needs exactly two facts about a request line — the verb
+//! (routing class) and the raw `id` slice (to synthesize a
+//! `backend_unavailable` error if the owning backend dies mid-flight).
+//! Parsing the full JSON would roughly double the per-request CPU for
+//! bulk `scenarios` sweeps whose bodies the router never looks at, so
+//! this scanner walks only the *top-level* members of the object,
+//! skipping nested values by bracket counting with string/escape
+//! awareness, and copies nothing.
+//!
+//! The scanner is deliberately forgiving: on any malformed input it
+//! reports what it found so far (possibly nothing). A line with no
+//! recognizable verb still gets forwarded to the hashed backend, whose
+//! real parser produces the authoritative `parse_error` reply — the
+//! router never rejects what a replica would accept.
+
+/// What a shallow scan of a request line found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Peek<'a> {
+    /// The `verb` member's string value, if present and well-formed.
+    pub verb: Option<&'a str>,
+    /// The raw `id` member slice, verbatim (defaults to `null` — the
+    /// same id the server echoes for id-less requests).
+    pub id_raw: &'a str,
+}
+
+/// Skips whitespace from `i`, returning the next index.
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && matches!(bytes[i], b' ' | b'\t' | b'\r' | b'\n') {
+        i += 1;
+    }
+    i
+}
+
+/// Skips a string literal whose opening quote is at `i`; returns the
+/// index just past the closing quote, or `None` when unterminated.
+fn skip_string(bytes: &[u8], i: usize) -> Option<usize> {
+    debug_assert_eq!(bytes[i], b'"');
+    let mut i = i + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i + 1),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Skips one JSON value starting at `i` (string, object, array, or
+/// scalar token); returns the index just past it.
+fn skip_value(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i)? {
+        b'"' => skip_string(bytes, i),
+        b'{' | b'[' => {
+            let mut depth = 0_usize;
+            let mut j = i;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'"' => {
+                        j = skip_string(bytes, j)?;
+                        continue;
+                    }
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(j + 1);
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => {
+            // Scalar token: runs to the next structural character.
+            let mut j = i;
+            while j < bytes.len() && !matches!(bytes[j], b',' | b'}' | b']' | b' ' | b'\t') {
+                j += 1;
+            }
+            (j > i).then_some(j)
+        }
+    }
+}
+
+/// Scans the top-level members of a JSON object line for `verb` and
+/// `id`.
+pub(crate) fn peek(line: &str) -> Peek<'_> {
+    let mut found = Peek {
+        verb: None,
+        id_raw: "null",
+    };
+    let bytes = line.as_bytes();
+    let mut i = skip_ws(bytes, 0);
+    if bytes.get(i) != Some(&b'{') {
+        return found;
+    }
+    i = skip_ws(bytes, i + 1);
+    while i < bytes.len() && bytes[i] != b'}' {
+        // Member key.
+        if bytes[i] != b'"' {
+            return found;
+        }
+        let key_start = i + 1;
+        let Some(after_key) = skip_string(bytes, i) else {
+            return found;
+        };
+        let key = &line[key_start..after_key - 1];
+        i = skip_ws(bytes, after_key);
+        if bytes.get(i) != Some(&b':') {
+            return found;
+        }
+        i = skip_ws(bytes, i + 1);
+        let value_start = i;
+        let Some(after_value) = skip_value(bytes, i) else {
+            return found;
+        };
+        match key {
+            "verb" if bytes[value_start] == b'"' => {
+                found.verb = Some(&line[value_start + 1..after_value - 1]);
+            }
+            "id" => found.id_raw = line[value_start..after_value].trim_end(),
+            _ => {}
+        }
+        if found.verb.is_some() && found.id_raw != "null" {
+            // Both facts in hand; the rest of the line is opaque.
+            return found;
+        }
+        i = skip_ws(bytes, after_value);
+        if bytes.get(i) == Some(&b',') {
+            i = skip_ws(bytes, i + 1);
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_verb_and_raw_id_in_any_member_order() {
+        let p = peek(r#"{"id":7,"verb":"evaluate","model":"m01"}"#);
+        assert_eq!(p.verb, Some("evaluate"));
+        assert_eq!(p.id_raw, "7");
+        let p = peek(r#"{"model":"m01","verb":"ping","id":"abc"}"#);
+        assert_eq!(p.verb, Some("ping"));
+        assert_eq!(p.id_raw, r#""abc""#);
+    }
+
+    #[test]
+    fn id_may_be_any_json_value_and_is_kept_verbatim() {
+        assert_eq!(
+            peek(r#"{"id":[1,{"k":"}"}],"verb":"x"}"#).id_raw,
+            r#"[1,{"k":"}"}]"#
+        );
+        assert_eq!(
+            peek(r#"{"id":{"a":[1,2]},"verb":"x"}"#).id_raw,
+            r#"{"a":[1,2]}"#
+        );
+        assert_eq!(peek(r#"{"id":-12.5e3,"verb":"x"}"#).id_raw, "-12.5e3");
+        assert_eq!(peek(r#"{"id":true}"#).id_raw, "true");
+        assert_eq!(peek(r#"{"verb":"x"}"#).id_raw, "null");
+    }
+
+    #[test]
+    fn nested_verb_like_members_are_not_mistaken_for_the_verb() {
+        let p = peek(r#"{"body":{"verb":"inner","id":99},"verb":"outer","id":1}"#);
+        assert_eq!(p.verb, Some("outer"));
+        assert_eq!(p.id_raw, "1");
+    }
+
+    #[test]
+    fn strings_with_braces_and_escapes_do_not_derail_the_scan() {
+        let p = peek(r#"{"note":"a \" b } { ] [","verb":"ping","id":3}"#);
+        assert_eq!(p.verb, Some("ping"));
+        assert_eq!(p.id_raw, "3");
+    }
+
+    #[test]
+    fn malformed_lines_degrade_to_no_verb_and_null_id() {
+        for line in ["", "not json", "[1,2,3]", r#"{"verb""#, r#"{"verb":}"#, "{"] {
+            let p = peek(line);
+            assert_eq!(p.verb, None, "{line:?}");
+            assert_eq!(p.id_raw, "null", "{line:?}");
+        }
+        // A truncated object still yields what was scanned before the
+        // damage.
+        let p = peek(r#"{"verb":"evaluate","model"#);
+        assert_eq!(p.verb, Some("evaluate"));
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let p = peek("  { \"id\" : 42 , \"verb\" : \"metrics\" }  ");
+        assert_eq!(p.verb, Some("metrics"));
+        assert_eq!(p.id_raw, "42");
+    }
+}

@@ -1,0 +1,131 @@
+//! Two-replica registry reconciliation over real loopback sockets:
+//! artifacts of every kind ship across, each transfer is re-hashed and
+//! re-gated on the receiver, and a converged pair has *byte-identical*
+//! manifests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use hmdiv_fleet::sync;
+use hmdiv_serve::{json, Client, Json, Server, ServerConfig};
+
+fn start() -> Server {
+    Server::start(ServerConfig::default()).expect("server start")
+}
+
+fn load_paper_model(client: &mut Client) -> String {
+    let classes = (
+        "classes".to_owned(),
+        json::parse(
+            r#"{"easy":      {"p_mf":0.07,"p_hf_given_ms":0.14,"p_hf_given_mf":0.18},
+                "difficult": {"p_mf":0.41,"p_hf_given_ms":0.40,"p_hf_given_mf":0.90}}"#,
+        )
+        .expect("static JSON"),
+    );
+    let receipt = client.request("load", vec![classes]).expect("load");
+    receipt
+        .get("model_id")
+        .and_then(Json::as_str)
+        .expect("receipt carries model_id")
+        .to_owned()
+}
+
+fn load_cohort(client: &mut Client) -> String {
+    let members = (
+        "members".to_owned(),
+        json::parse(
+            r#"[{"name":"r1","weight":2,
+                 "classes":{"easy":{"p_mf":0.07,"p_hf_given_ms":0.14,"p_hf_given_mf":0.18},
+                            "difficult":{"p_mf":0.41,"p_hf_given_ms":0.40,"p_hf_given_mf":0.90}}},
+                {"name":"r2","weight":1,
+                 "classes":{"easy":{"p_mf":0.07,"p_hf_given_ms":0.10,"p_hf_given_mf":0.12},
+                            "difficult":{"p_mf":0.41,"p_hf_given_ms":0.30,"p_hf_given_mf":0.55}}}]"#,
+        )
+        .expect("static JSON"),
+    );
+    let receipt = client
+        .request("load_cohort", vec![members])
+        .expect("load_cohort");
+    receipt
+        .get("model_id")
+        .and_then(Json::as_str)
+        .expect("receipt carries model_id")
+        .to_owned()
+}
+
+/// The raw single-line `manifest` reply, byte for byte.
+fn raw_manifest_line(addr: SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"{\"id\":1,\"verb\":\"manifest\"}\n")
+        .expect("write");
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).expect("read");
+    line
+}
+
+#[test]
+fn reconcile_converges_two_replicas_and_manifests_match_byte_for_byte() {
+    let source_server = start();
+    let dest_server = start();
+    let mut source = Client::connect(source_server.addr()).expect("connect source");
+    let mut dest = Client::connect(dest_server.addr()).expect("connect dest");
+
+    let model_id = load_paper_model(&mut source);
+    let cohort_id = load_cohort(&mut source);
+
+    // First reconciliation ships everything the destination lacks.
+    let report = sync::reconcile(&mut source, &mut dest).expect("reconcile");
+    assert_eq!(report.source_total, 2);
+    assert_eq!(report.already_present, 0);
+    {
+        let mut shipped = report.shipped.clone();
+        shipped.sort();
+        let mut expected = vec![model_id.clone(), cohort_id.clone()];
+        expected.sort();
+        assert_eq!(shipped, expected);
+    }
+
+    // Converged: the parsed manifests agree...
+    let source_rows = sync::manifest_rows(&mut source).expect("source manifest");
+    let dest_rows = sync::manifest_rows(&mut dest).expect("dest manifest");
+    assert_eq!(source_rows, dest_rows);
+    assert!(sync::diff_manifests(&source_rows, &dest_rows).is_empty());
+
+    // ...and the raw wire replies are byte-identical, which only holds
+    // because ids are content hashes and the listing is id-ordered.
+    assert_eq!(
+        raw_manifest_line(source_server.addr()),
+        raw_manifest_line(dest_server.addr())
+    );
+
+    // A second reconciliation is a no-op: content addressing makes the
+    // transfer idempotent.
+    let again = sync::reconcile(&mut source, &mut dest).expect("reconcile again");
+    assert!(again.shipped.is_empty());
+    assert_eq!(again.already_present, 2);
+    assert_eq!(again.source_total, 2);
+
+    // The shipped model evaluates on the destination under the same id —
+    // the artifact really landed, not just the listing.
+    let result = dest
+        .request(
+            "evaluate",
+            vec![
+                ("model".to_owned(), Json::str(model_id)),
+                (
+                    "profile".to_owned(),
+                    json::parse(r#"{"easy":0.9,"difficult":0.1}"#).expect("static JSON"),
+                ),
+            ],
+        )
+        .expect("evaluate on destination");
+    let failure = result
+        .get("failure")
+        .and_then(Json::as_f64)
+        .expect("failure field");
+    assert!((failure - 0.18902).abs() < 1e-9);
+
+    source_server.shutdown();
+    dest_server.shutdown();
+}

@@ -91,6 +91,14 @@ pub enum ServeError {
         /// The human-readable message.
         message: String,
     },
+    /// The fleet router lost the backend that owned this request: the
+    /// replica was ejected (or its connection died) with the request in
+    /// flight. The request may or may not have executed; idempotent verbs
+    /// are safe to retry and will re-hash to a surviving replica.
+    BackendUnavailable {
+        /// The backend address that became unavailable.
+        backend: String,
+    },
 }
 
 impl ServeError {
@@ -123,6 +131,7 @@ impl ServeError {
             ServeError::Snapshot { .. } => "snapshot_error",
             ServeError::Io { .. } => "io",
             ServeError::Remote { code, .. } => code,
+            ServeError::BackendUnavailable { .. } => "backend_unavailable",
         }
     }
 
@@ -180,6 +189,13 @@ impl fmt::Display for ServeError {
             ServeError::Snapshot { detail } => write!(f, "registry snapshot failed: {detail}"),
             ServeError::Io { detail } => write!(f, "i/o error: {detail}"),
             ServeError::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
+            ServeError::BackendUnavailable { backend } => {
+                write!(
+                    f,
+                    "backend {backend} is unavailable; the request was in flight when it was \
+                     lost and may be retried against a surviving replica"
+                )
+            }
         }
     }
 }
@@ -289,6 +305,9 @@ mod tests {
                 code: "overloaded".into(),
                 message: "busy".into(),
             },
+            ServeError::BackendUnavailable {
+                backend: "127.0.0.1:7415".into(),
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());
@@ -330,6 +349,14 @@ mod tests {
         assert_eq!(
             ServeError::Snapshot { detail: "x".into() }.code(),
             "snapshot_error"
+        );
+        assert_eq!(
+            ServeError::BackendUnavailable {
+                backend: "127.0.0.1:7415".into()
+            }
+            .code(),
+            "backend_unavailable",
+            "failover error keeps its stable wire code"
         );
     }
 }

@@ -89,10 +89,10 @@ pub mod server;
 pub mod shutdown;
 
 pub use batcher::{Batcher, Outcome, Ticket, Waker, Work};
-pub use client::{Client, TracedResponse};
+pub use client::{Client, RetryPolicy, TracedResponse};
 pub use error::ServeError;
 pub use json::Json;
-pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use loadgen::{LoadgenConfig, LoadgenReport, TargetSplit};
 pub use registry::{Artifact, ArtifactRow, LoadReceipt, Registry};
 pub use server::{Server, ServerConfig};
 pub use shutdown::ShutdownSignal;

@@ -12,6 +12,12 @@
 //! shed (`overloaded` / `deadline_exceeded` error codes), or other
 //! errors — which is exactly the data the shed-vs-served admission
 //! curves in the benchmark reports need.
+//!
+//! Multiple [`targets`](LoadgenConfig::targets) are driven in one run:
+//! connections round-robin across them and the report carries a
+//! [per-target split](LoadgenReport::per_target) alongside the totals,
+//! so one run can compare direct-to-replica against through-router
+//! service or spot an unhealthy fleet member by its error share.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -20,12 +26,14 @@ use std::time::{Duration, Instant};
 use crate::error::ServeError;
 use crate::json::{self, Json};
 
-/// What the generator should drive at the server.
+/// What the generator should drive at the server(s).
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
-    /// Server address.
-    pub addr: SocketAddr,
-    /// Concurrent keep-alive connections to hold open.
+    /// Server addresses; connections are assigned round-robin
+    /// (connection `i` targets `targets[i % targets.len()]`).
+    pub targets: Vec<SocketAddr>,
+    /// Concurrent keep-alive connections to hold open, across all
+    /// targets.
     pub connections: usize,
     /// Requests each connection keeps in flight.
     pub pipeline_depth: usize,
@@ -36,6 +44,40 @@ pub struct LoadgenConfig {
     pub request_line: String,
     /// Abort the run if it has not drained by then.
     pub timeout: Duration,
+}
+
+/// One target's share of the ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetSplit {
+    /// The target address.
+    pub addr: SocketAddr,
+    /// Connections assigned to this target (including ones that failed
+    /// to open).
+    pub connections: usize,
+    /// Request lines fully queued on this target's connections.
+    pub sent: u64,
+    /// Replies with `"ok":true`.
+    pub served: u64,
+    /// Replies rejected by admission control (`overloaded`).
+    pub shed_overloaded: u64,
+    /// Replies past their deadline (`deadline_exceeded`).
+    pub shed_deadline: u64,
+    /// Every other reply or transport failure.
+    pub errors: u64,
+}
+
+impl TargetSplit {
+    fn new(addr: SocketAddr) -> TargetSplit {
+        TargetSplit {
+            addr,
+            connections: 0,
+            sent: 0,
+            served: 0,
+            shed_overloaded: 0,
+            shed_deadline: 0,
+            errors: 0,
+        }
+    }
 }
 
 /// What came back, bucketed for shed-vs-served curves.
@@ -58,6 +100,9 @@ pub struct LoadgenReport {
     /// Wall-clock for the whole run, in nanoseconds (kept integral so
     /// reports serialize without float noise).
     pub elapsed_ns: u128,
+    /// The same ledger split by target, in [`LoadgenConfig::targets`]
+    /// order. Column sums equal the totals above.
+    pub per_target: Vec<TargetSplit>,
 }
 
 impl LoadgenReport {
@@ -66,11 +111,47 @@ impl LoadgenReport {
     pub fn replies(&self) -> u64 {
         self.served + self.shed_overloaded + self.shed_deadline + self.errors
     }
+
+    /// Charges one classified reply to the totals and to `target`'s
+    /// split.
+    fn charge(&mut self, target: usize, bucket: Bucket) {
+        let split = &mut self.per_target[target];
+        match bucket {
+            Bucket::Served => {
+                self.served += 1;
+                split.served += 1;
+            }
+            Bucket::ShedOverloaded => {
+                self.shed_overloaded += 1;
+                split.shed_overloaded += 1;
+            }
+            Bucket::ShedDeadline => {
+                self.shed_deadline += 1;
+                split.shed_deadline += 1;
+            }
+            Bucket::Error => {
+                self.errors += 1;
+                split.errors += 1;
+            }
+        }
+    }
+
+    fn charge_sent(&mut self, target: usize) {
+        self.sent += 1;
+        self.per_target[target].sent += 1;
+    }
+
+    fn charge_errors(&mut self, target: usize, n: u64) {
+        self.errors += n;
+        self.per_target[target].errors += n;
+    }
 }
 
 /// One driven connection's progress.
 struct Driven {
     stream: TcpStream,
+    /// Index into [`LoadgenConfig::targets`] this connection drives.
+    target: usize,
     /// Bytes queued for the socket (whole request lines).
     out: Vec<u8>,
     /// Write cursor into `out`.
@@ -87,12 +168,13 @@ struct Driven {
 }
 
 impl Driven {
-    fn connect(addr: SocketAddr) -> std::io::Result<Driven> {
+    fn connect(addr: SocketAddr, target: usize) -> std::io::Result<Driven> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_nonblocking(true)?;
         Ok(Driven {
             stream,
+            target,
             out: Vec::new(),
             cursor: 0,
             inbuf: Vec::new(),
@@ -116,7 +198,7 @@ impl Driven {
         while self.sent < cfg.requests_per_connection && self.sent - self.got < cfg.pipeline_depth {
             self.out.extend_from_slice(cfg.request_line.as_bytes());
             self.sent += 1;
-            report.sent += 1;
+            report.charge_sent(self.target);
         }
         while self.cursor < self.out.len() {
             match self.stream.write(&self.out[self.cursor..]) {
@@ -181,7 +263,7 @@ impl Driven {
         let mut start = 0;
         while let Some(pos) = self.inbuf[start..].iter().position(|&b| b == b'\n') {
             let line = &self.inbuf[start..start + pos];
-            classify(line, report);
+            report.charge(self.target, classify(line));
             self.got += 1;
             start += pos + 1;
         }
@@ -197,53 +279,71 @@ impl Driven {
     /// Marks the connection dead and charges every unanswered request to
     /// the error bucket so the ledger still balances.
     fn fail(&mut self, report: &mut LoadgenReport) {
-        report.errors += (self.sent - self.got) as u64;
+        report.charge_errors(self.target, (self.sent - self.got) as u64);
         self.failed = true;
         self.done = true;
     }
 }
 
-/// Buckets one reply line into the report.
-fn classify(line: &[u8], report: &mut LoadgenReport) {
+/// A classified reply line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bucket {
+    Served,
+    ShedOverloaded,
+    ShedDeadline,
+    Error,
+}
+
+/// Buckets one reply line by its wire shape.
+fn classify(line: &[u8]) -> Bucket {
     let parsed = std::str::from_utf8(line)
         .ok()
         .and_then(|s| json::parse(s).ok());
     let Some(reply) = parsed else {
-        report.errors += 1;
-        return;
+        return Bucket::Error;
     };
     if reply.get("ok").and_then(Json::as_bool) == Some(true) {
-        report.served += 1;
-        return;
+        return Bucket::Served;
     }
     match reply
         .get("error")
         .and_then(|e| e.get("code"))
         .and_then(Json::as_str)
     {
-        Some("overloaded") => report.shed_overloaded += 1,
-        Some("deadline_exceeded") => report.shed_deadline += 1,
-        _ => report.errors += 1,
+        Some("overloaded") => Bucket::ShedOverloaded,
+        Some("deadline_exceeded") => Bucket::ShedDeadline,
+        _ => Bucket::Error,
     }
 }
 
-/// Drives the configured load at the server and reports the buckets.
+/// Drives the configured load at the targets and reports the buckets.
 ///
 /// # Errors
 ///
+/// [`ServeError::BadRequest`] when `targets` is empty;
 /// [`ServeError::Io`] if the very first connection cannot be opened
 /// (later connection failures are tallied in the report instead).
 #[allow(clippy::missing_panics_doc)] // timeout arithmetic cannot panic
 pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
     assert!(cfg.pipeline_depth > 0, "pipeline_depth must be positive");
+    if cfg.targets.is_empty() {
+        return Err(ServeError::BadRequest {
+            detail: "loadgen needs at least one target".to_owned(),
+        });
+    }
     let start = Instant::now();
-    let mut report = LoadgenReport::default();
+    let mut report = LoadgenReport {
+        per_target: cfg.targets.iter().copied().map(TargetSplit::new).collect(),
+        ..LoadgenReport::default()
+    };
     let mut conns = Vec::with_capacity(cfg.connections);
     for i in 0..cfg.connections {
-        match Driven::connect(cfg.addr) {
+        let target = i % cfg.targets.len();
+        report.per_target[target].connections += 1;
+        match Driven::connect(cfg.targets[target], target) {
             Ok(c) => conns.push(c),
             Err(e) if i == 0 => return Err(ServeError::from(e)),
-            Err(_) => report.errors += 1,
+            Err(_) => report.charge_errors(target, 1),
         }
         // Pace the connect burst: the listener's accept backlog is
         // finite and the accept loop shares the box with the pollers.
@@ -284,25 +384,69 @@ mod tests {
 
     #[test]
     fn classify_buckets_by_wire_shape() {
-        let mut r = LoadgenReport::default();
-        classify(br#"{"id":1,"ok":true,"result":{"pong":true}}"#, &mut r);
-        classify(
-            br#"{"id":2,"ok":false,"error":{"code":"overloaded","message":"x"}}"#,
-            &mut r,
+        assert_eq!(
+            classify(br#"{"id":1,"ok":true,"result":{"pong":true}}"#),
+            Bucket::Served
         );
-        classify(
-            br#"{"id":3,"ok":false,"error":{"code":"deadline_exceeded","message":"x"}}"#,
-            &mut r,
+        assert_eq!(
+            classify(br#"{"id":2,"ok":false,"error":{"code":"overloaded","message":"x"}}"#),
+            Bucket::ShedOverloaded
         );
-        classify(
-            br#"{"id":4,"ok":false,"error":{"code":"bad_request"}}"#,
-            &mut r,
+        assert_eq!(
+            classify(br#"{"id":3,"ok":false,"error":{"code":"deadline_exceeded","message":"x"}}"#),
+            Bucket::ShedDeadline
         );
-        classify(b"not json at all", &mut r);
-        assert_eq!(r.served, 1);
-        assert_eq!(r.shed_overloaded, 1);
-        assert_eq!(r.shed_deadline, 1);
-        assert_eq!(r.errors, 2);
-        assert_eq!(r.replies(), 5);
+        assert_eq!(
+            classify(br#"{"id":4,"ok":false,"error":{"code":"bad_request"}}"#),
+            Bucket::Error
+        );
+        assert_eq!(classify(b"not json at all"), Bucket::Error);
+    }
+
+    #[test]
+    fn per_target_splits_sum_to_the_totals() {
+        let a: SocketAddr = "127.0.0.1:1001".parse().unwrap();
+        let b: SocketAddr = "127.0.0.1:1002".parse().unwrap();
+        let mut report = LoadgenReport {
+            per_target: vec![TargetSplit::new(a), TargetSplit::new(b)],
+            ..LoadgenReport::default()
+        };
+        report.charge_sent(0);
+        report.charge_sent(1);
+        report.charge_sent(1);
+        report.charge(0, Bucket::Served);
+        report.charge(1, Bucket::Served);
+        report.charge(1, Bucket::ShedOverloaded);
+        report.charge(0, Bucket::ShedDeadline);
+        report.charge_errors(1, 3);
+        assert_eq!(report.sent, 3);
+        assert_eq!(
+            report.per_target.iter().map(|t| t.sent).sum::<u64>(),
+            report.sent
+        );
+        assert_eq!(
+            report.per_target.iter().map(|t| t.served).sum::<u64>(),
+            report.served
+        );
+        assert_eq!(
+            report.per_target.iter().map(|t| t.errors).sum::<u64>(),
+            report.errors
+        );
+        assert_eq!(report.per_target[1].shed_overloaded, 1);
+        assert_eq!(report.per_target[0].shed_deadline, 1);
+        assert_eq!(report.replies(), 7);
+    }
+
+    #[test]
+    fn empty_target_list_is_a_typed_error() {
+        let cfg = LoadgenConfig {
+            targets: Vec::new(),
+            connections: 1,
+            pipeline_depth: 1,
+            requests_per_connection: 1,
+            request_line: "{}\n".into(),
+            timeout: Duration::from_secs(1),
+        };
+        assert!(matches!(run(&cfg), Err(ServeError::BadRequest { .. })));
     }
 }

@@ -344,6 +344,26 @@ impl Registry {
             .collect()
     }
 
+    /// Renders the artifact under `id` in the exact wire shape its load
+    /// verb accepts — the same rendering `save_to_dir` persists — with the
+    /// content id prepended. This is the `fetch` verb's payload and the
+    /// fleet sync transfer format: a receiving replica replays the object
+    /// through its own load path (re-hash, re-analyze) and checks the
+    /// recomputed id against the `id` field, so a corrupt or tampered
+    /// transfer cannot be admitted.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownArtifact`] if nothing is loaded under `id`.
+    pub fn export_wire(&self, id: &str) -> Result<Json, ServeError> {
+        let artifact = self.get(id)?;
+        let Json::Obj(mut members) = snapshot_json(&artifact) else {
+            unreachable!("snapshot_json always renders an object");
+        };
+        members.insert(0, ("id".to_owned(), Json::str(id)));
+        Ok(Json::Obj(members))
+    }
+
     /// Number of loaded artifacts.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -797,6 +817,27 @@ mod tests {
             a.compiled().system_failure(&pa).value().to_bits(),
             b.compiled().system_failure(&pb).value().to_bits()
         );
+    }
+
+    #[test]
+    fn export_wire_round_trips_through_the_load_path() {
+        let reg = Registry::new();
+        let receipt = reg.load_sequential(paper_params(), None).unwrap();
+        let wire = reg.export_wire(&receipt.id).unwrap();
+        // The id leads the object and matches the registry key.
+        assert_eq!(wire.get("id").and_then(Json::as_str), Some(&*receipt.id));
+        assert_eq!(wire.get("kind").and_then(Json::as_str), Some("sequential"));
+        // Replaying the exported shape into a fresh registry rebuilds the
+        // identical content id — the sync transfer invariant.
+        let peer = Registry::new();
+        let replayed = peer
+            .load_sequential(protocol::parse_model_params(&wire).unwrap(), None)
+            .unwrap();
+        assert_eq!(replayed.id, receipt.id);
+        assert!(matches!(
+            reg.export_wire("m0000000000000000"),
+            Err(ServeError::UnknownArtifact { .. })
+        ));
     }
 
     #[test]

@@ -363,10 +363,12 @@ enum Routed {
 
 /// Verbs the server understands (unknown verbs share one metrics bucket
 /// to keep counter cardinality bounded).
-const VERBS: [&str; 15] = [
+const VERBS: [&str; 17] = [
     "ping",
     "metrics",
     "models",
+    "manifest",
+    "fetch",
     "shutdown",
     "load",
     "load_cohort",
@@ -797,6 +799,35 @@ fn route(
                 "models".to_owned(),
                 Json::Arr(rows),
             )])))
+        }
+        "manifest" => {
+            // The fleet sync inventory: content ids + kinds only, in
+            // BTreeMap id order, so two replicas with the same artifacts
+            // render byte-identical manifests.
+            let rows: Vec<Json> = ctx
+                .registry
+                .list()
+                .into_iter()
+                .map(|row| {
+                    Json::Obj(vec![
+                        ("id".to_owned(), Json::str(row.id)),
+                        ("kind".to_owned(), Json::str(row.kind)),
+                    ])
+                })
+                .collect();
+            #[allow(clippy::cast_precision_loss)]
+            let count = rows.len() as f64;
+            Ok(Routed::Ready(Json::Obj(vec![
+                ("artifacts".to_owned(), Json::Arr(rows)),
+                ("count".to_owned(), Json::Num(count)),
+            ])))
+        }
+        "fetch" => {
+            // The sync transfer format: the load-verb wire shape plus the
+            // content id, so the receiving side can replay it through its
+            // own load path and verify the recomputed id.
+            let id = protocol::required_str(body, "model")?;
+            Ok(Routed::Ready(ctx.registry.export_wire(id)?))
         }
         "shutdown" => {
             ctx.signal.request();

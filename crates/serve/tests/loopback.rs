@@ -865,3 +865,130 @@ fn shutdown_verb_drains_in_flight_work_and_stops_the_server() {
         "listener must be closed after join()"
     );
 }
+
+#[test]
+fn manifest_and_fetch_expose_the_registry_for_fleet_sync() {
+    let server = start();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Empty registry: an empty manifest, not an error.
+    let empty = client.request("manifest", vec![]).unwrap();
+    assert_eq!(empty.get("count").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        empty
+            .get("artifacts")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(0)
+    );
+
+    let model_id = load_paper_model(&mut client);
+    let listing = client.request("manifest", vec![]).unwrap();
+    assert_eq!(listing.get("count").and_then(Json::as_u64), Some(1));
+    let rows = listing.get("artifacts").and_then(Json::as_arr).unwrap();
+    assert_eq!(
+        rows[0].get("id").and_then(Json::as_str),
+        Some(model_id.as_str())
+    );
+    assert_eq!(
+        rows[0].get("kind").and_then(Json::as_str),
+        Some("sequential")
+    );
+
+    // fetch returns the load-verb wire shape plus the id; replaying it
+    // through load on a second server reproduces the content id exactly.
+    let fetched = client
+        .request(
+            "fetch",
+            vec![("model".into(), Json::str(model_id.as_str()))],
+        )
+        .unwrap();
+    assert_eq!(
+        fetched.get("id").and_then(Json::as_str),
+        Some(model_id.as_str())
+    );
+    assert_eq!(
+        fetched.get("kind").and_then(Json::as_str),
+        Some("sequential")
+    );
+    let Json::Obj(members) = fetched else {
+        panic!("fetch must return an object");
+    };
+    let replay: Vec<(String, Json)> = members.into_iter().filter(|(k, _)| k != "id").collect();
+    let second = start();
+    let mut second_client = Client::connect(second.addr()).unwrap();
+    let receipt = second_client.request("load", replay).unwrap();
+    assert_eq!(
+        receipt.get("model_id").and_then(Json::as_str),
+        Some(model_id.as_str()),
+        "the fetched shape must re-hash to the same content id"
+    );
+
+    // Fetching an unknown id is the usual typed error.
+    let err = client
+        .request(
+            "fetch",
+            vec![("model".into(), Json::str("m0000000000000000"))],
+        )
+        .unwrap_err();
+    let ServeError::Remote { code, .. } = err else {
+        panic!("expected Remote error");
+    };
+    assert_eq!(code, "unknown_model");
+
+    second.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn retrying_client_survives_a_server_restart_on_the_same_port() {
+    use hmdiv_serve::RetryPolicy;
+
+    let server = start();
+    let addr = server.addr();
+    let mut client = Client::connect(addr)
+        .unwrap()
+        .with_retry(RetryPolicy::default());
+    let model_id = load_paper_model(&mut client);
+
+    // Stop the server entirely, then bring a fresh one up on the same
+    // port (std listeners set SO_REUSEADDR). The registry restarts
+    // empty, so reload before evaluating.
+    server.shutdown();
+    let restarted = Server::start(ServerConfig {
+        addr: addr.to_string(),
+        ..ServerConfig::default()
+    })
+    .expect("rebind on the same port");
+    assert_eq!(restarted.addr(), addr);
+
+    // The client's next pipeline hits a dead socket (BrokenPipe or a
+    // mid-response EOF), reconnects under its backoff budget, and
+    // replays — idempotent verbs make the replay safe.
+    let reloaded = client.request("load", vec![paper_classes()]).unwrap();
+    assert_eq!(
+        reloaded.get("model_id").and_then(Json::as_str),
+        Some(model_id.as_str())
+    );
+    let result = client
+        .request(
+            "evaluate",
+            vec![
+                ("model".to_owned(), Json::str(model_id.as_str())),
+                field_profile(),
+            ],
+        )
+        .unwrap();
+    let failure = result.get("failure").and_then(Json::as_f64).unwrap();
+    assert!((failure - 0.18902).abs() < 1e-9);
+
+    // Without retry, the same restart is a hard transport error.
+    let mut bare = Client::connect(addr).unwrap();
+    let _ = bare.request("ping", vec![]).unwrap();
+    restarted.shutdown();
+    let err = bare.request("ping", vec![]).unwrap_err();
+    assert!(
+        matches!(err, ServeError::Io { .. }),
+        "expected a transport error, got: {err}"
+    );
+}

@@ -24,6 +24,9 @@
 //! * [`serve`] — a zero-dependency batched evaluation server: JSON-lines
 //!   over TCP, a content-hash-addressed model registry, and a
 //!   micro-batching executor with bit-identical results.
+//! * [`fleet`] — a replicated sharded serving tier over `serve`:
+//!   content-id registry sync between replicas, a consistent-hash front
+//!   router, and health-checked failover with sync-gated re-admission.
 //! * [`analyze`] — static analysis of compiled artifacts: a postfix
 //!   bytecode verifier, an interval abstract interpreter bounding system
 //!   reliability, and parameter-domain diagnostics with stable `HM0xx`
@@ -51,6 +54,7 @@
 
 pub use hmdiv_analyze as analyze;
 pub use hmdiv_core as core;
+pub use hmdiv_fleet as fleet;
 pub use hmdiv_obs as obs;
 pub use hmdiv_prob as prob;
 pub use hmdiv_rbd as rbd;
