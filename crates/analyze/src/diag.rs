@@ -212,6 +212,62 @@ pub mod codes {
         title: "cohort has no members",
     };
 
+    /// The statically computed per-slot sensitivity (partial-derivative)
+    /// bounds.
+    pub const SENSITIVITY_BOUNDS: CodeSpec = CodeSpec {
+        code: "HM033",
+        severity: Severity::Info,
+        title: "per-slot sensitivity (Birnbaum derivative) bounds",
+    };
+    /// Every parameter slot carries a direction certificate: the sign of
+    /// its derivative interval is determined over the whole input box.
+    pub const DIRECTIONS_CERTIFIED: CodeSpec = CodeSpec {
+        code: "HM034",
+        severity: Severity::Info,
+        title: "every parameter slot carries a direction certificate",
+    };
+    /// A derivative interval that straddles zero: the abstract
+    /// interpretation cannot certify a monotone direction for the slot.
+    pub const SIGN_INDETERMINATE: CodeSpec = CodeSpec {
+        code: "HM035",
+        severity: Severity::Warn,
+        title: "derivative interval spans zero; slot direction uncertified",
+    };
+    /// A slot whose derivative is certified negative where coherence
+    /// expects nonnegative: improving the component *worsens* the system.
+    pub const NON_COHERENT_SLOT: CodeSpec = CodeSpec {
+        code: "HM036",
+        severity: Severity::Warn,
+        title: "slot certified anti-monotone (non-coherent)",
+    };
+    /// Two compared artifacts intern different class universes; no
+    /// slot-paired gap bound exists.
+    pub const COMPARE_UNIVERSE_MISMATCH: CodeSpec = CodeSpec {
+        code: "HM037",
+        severity: Severity::Error,
+        title: "compared artifacts intern different class universes",
+    };
+    /// A certified dominance verdict from the differential comparison.
+    pub const DOMINANCE_VERDICT: CodeSpec = CodeSpec {
+        code: "HM038",
+        severity: Severity::Info,
+        title: "certified dominance verdict",
+    };
+    /// The reliability gap interval spans zero (or profiles disagree on
+    /// its sign): neither design dominates.
+    pub const GAP_INDETERMINATE: CodeSpec = CodeSpec {
+        code: "HM039",
+        severity: Severity::Info,
+        title: "reliability gap spans zero; designs incomparable",
+    };
+    /// Sensitivity bounding was infeasible (exact factoring refused);
+    /// derivative bounds widened to the trivial interval.
+    pub const SENSITIVITY_WIDENED: CodeSpec = CodeSpec {
+        code: "HM040",
+        severity: Severity::Warn,
+        title: "too many repeated components; sensitivity bounds widened",
+    };
+
     /// Every declared code, in code order. Backs the DESIGN.md table and
     /// the uniqueness test.
     pub const ALL: &[CodeSpec] = &[
@@ -239,6 +295,14 @@ pub mod codes {
         COHORT_UNIVERSE_MISMATCH,
         BAD_COHORT_WEIGHT,
         EMPTY_COHORT,
+        SENSITIVITY_BOUNDS,
+        DIRECTIONS_CERTIFIED,
+        SIGN_INDETERMINATE,
+        NON_COHERENT_SLOT,
+        COMPARE_UNIVERSE_MISMATCH,
+        DOMINANCE_VERDICT,
+        GAP_INDETERMINATE,
+        SENSITIVITY_WIDENED,
     ];
 }
 

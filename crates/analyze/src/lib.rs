@@ -17,6 +17,14 @@
 //!   profiles, detection tables and reader cohorts: slots in `[0,1]`, no
 //!   NaN/inf, profile normalisation, unreachable class slots, and the sign
 //!   of the paper's coherence index `t(x)` per class.
+//! * [`sens`] — forward-mode interval algorithmic differentiation:
+//!   certified per-slot Birnbaum-derivative bounds and monotonicity
+//!   (direction) certificates, for structure functions and for eq. (8)
+//!   of the paper.
+//! * [`diff`] — differential comparison: [`compare`] pairs two compiled
+//!   models slot by slot and returns a certified
+//!   dominates/dominated/incomparable verdict with exact gap bounds —
+//!   the pruning engine behind `design::allocate_improvement_budget_pruned`.
 //! * [`diag`] — the shared diagnostics framework: stable `HM0xx` codes,
 //!   `error`/`warn`/`info` severities, and human-text + JSON renderers.
 //!
@@ -57,14 +65,24 @@
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
+// House rule: interval endpoints and gap bounds are compared with
+// explicit tolerances, `total_cmp`, or `to_bits` — never `==`/`!=`.
+#![deny(clippy::float_cmp)]
 
 pub mod diag;
+pub mod diff;
 pub mod interp;
 pub mod params;
+pub mod sens;
 pub mod verifier;
 
 pub use diag::{codes, CodeSpec, Diagnostic, Report, Severity};
+pub use diff::{compare, ClassGap, Comparison, Dominance};
 pub use interp::{analyze_block, Interval, StructureAnalysis};
+pub use sens::{
+    model_sensitivity, structure_sensitivity, ClassSensitivity, Direction, ModelSensitivity,
+    SensitivityAnalysis, SlotSensitivity,
+};
 pub use verifier::{verify, PostfixOp, PostfixProgram};
 
 use hmdiv_core::cohort::ReaderCohort;

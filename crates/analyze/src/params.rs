@@ -69,7 +69,9 @@ pub fn check_model(model: &CompiledModel) -> Report {
         if !ok {
             continue;
         }
-        // Eq. (9): t(x) = P(Hf|Mf)(x) − P(Hf|Ms)(x).
+        // Eq. (9): t(x) = P(Hf|Mf)(x) − P(Hf|Ms)(x). Ordered comparisons
+        // keep the sign test inside the `float_cmp` house rule; both
+        // slots are finite here, so trichotomy is exhaustive.
         let t = p_hf_mf[i] - p_hf_ms[i];
         if t < 0.0 {
             report.emit(
@@ -79,7 +81,7 @@ pub fn check_model(model: &CompiledModel) -> Report {
                     "class `{class}`: t(x) = {t:.9} < 0 — the human does better when the machine fails"
                 ),
             );
-        } else if t == 0.0 {
+        } else if t <= 0.0 {
             report.emit(
                 &codes::ZERO_COHERENCE_INDEX,
                 PASS,

@@ -1,0 +1,71 @@
+//! DESIGN.md's diagnostic-code table must stay in lockstep with the
+//! declared [`hmdiv_analyze::diag::codes::ALL`] registry: every `HM0xx`
+//! code the analyzer can emit is documented with its exact severity, and
+//! the document never lists a code the analyzer does not declare. Codes
+//! are append-only, so a failure here means either a new code landed
+//! without its doc row or a doc edit drifted from the source of truth.
+
+use std::collections::BTreeMap;
+
+use hmdiv_analyze::diag::codes;
+
+const DESIGN_MD: &str = include_str!("../../../DESIGN.md");
+
+/// Extracts `code -> severity` from the DESIGN.md markdown table rows of
+/// the form `| HM0xx | severity | meaning |`.
+fn documented_codes() -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for line in DESIGN_MD.lines() {
+        let mut cells = line.split('|').map(str::trim);
+        let Some("") = cells.next() else { continue };
+        let Some(code) = cells.next() else { continue };
+        if !(code.len() == 5 && code.starts_with("HM0")) {
+            continue;
+        }
+        let severity = cells.next().unwrap_or_default();
+        let previous = out.insert(code.to_owned(), severity.to_owned());
+        assert!(
+            previous.is_none(),
+            "DESIGN.md documents {code} more than once"
+        );
+    }
+    out
+}
+
+#[test]
+fn design_md_documents_every_declared_code_with_its_severity() {
+    let documented = documented_codes();
+    assert!(
+        !documented.is_empty(),
+        "no `| HM0xx | ... |` table rows found in DESIGN.md"
+    );
+    for spec in codes::ALL {
+        match documented.get(spec.code) {
+            None => panic!(
+                "{} ({}) is declared in diag.rs but missing from the \
+                 DESIGN.md diagnostics table",
+                spec.code,
+                spec.severity.label()
+            ),
+            Some(severity) => assert_eq!(
+                severity,
+                spec.severity.label(),
+                "{} severity drifted: DESIGN.md says `{severity}`, diag.rs \
+                 declares `{}`",
+                spec.code,
+                spec.severity.label()
+            ),
+        }
+    }
+}
+
+#[test]
+fn design_md_lists_no_undeclared_code() {
+    let declared: Vec<&str> = codes::ALL.iter().map(|spec| spec.code).collect();
+    for code in documented_codes().keys() {
+        assert!(
+            declared.contains(&code.as_str()),
+            "DESIGN.md documents {code}, which diag.rs does not declare"
+        );
+    }
+}

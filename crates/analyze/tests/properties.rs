@@ -11,7 +11,10 @@
 // exempts tests, but clippy only auto-detects `#[cfg(test)]` modules.
 #![allow(clippy::unwrap_used)]
 
-use hmdiv_analyze::{analyze_block, analyze_cohort, analyze_model, Interval};
+use hmdiv_analyze::{
+    analyze_block, analyze_cohort, analyze_model, compare, model_sensitivity,
+    structure_sensitivity, Dominance, Interval,
+};
 use hmdiv_core::cohort::{CohortMember, ReaderCohort};
 use hmdiv_core::extrapolate::Scenario;
 use hmdiv_core::{ClassId, ClassParams, DemandProfile, ModelError, ModelParams, SequentialModel};
@@ -162,5 +165,153 @@ proptest! {
             bounds.lo,
             bounds.hi
         );
+    }
+
+    #[test]
+    fn derivative_bounds_contain_finite_difference_samples(block in arb_block(2), ivs in arb_intervals()) {
+        let compiled = CompiledBlock::compile(&block).unwrap();
+        let names = compiled.component_names();
+        let by_index = |name: &str| {
+            let i: usize = name.strip_prefix('c').unwrap().parse().unwrap();
+            ivs[i]
+        };
+        let bounds: Vec<Interval> = names
+            .iter()
+            .map(|n| { let (lo, hi, _) = by_index(n); Interval::new(lo, hi) })
+            .collect();
+        let analysis = structure_sensitivity(&compiled, &bounds);
+        prop_assert!(!analysis.report.has_errors(), "{}", analysis.report.render_text());
+        prop_assert_eq!(analysis.slots.len(), names.len());
+
+        let truth: Vec<f64> = names
+            .iter()
+            .map(|n| { let (_, _, t) = by_index(n); t })
+            .collect();
+        let eval = |q: &[f64]| {
+            let probs: Vec<Probability> = q.iter().map(|&v| Probability::clamped(v)).collect();
+            compiled.reliability(&probs).unwrap().value()
+        };
+        for (j, slot) in analysis.slots.iter().enumerate() {
+            // R is multilinear in each failure probability, so the secant
+            // over any two q_j values equals the exact partial derivative
+            // at the remaining (true, interior) coordinates — the central
+            // difference is exact up to float rounding, not an O(h²)
+            // approximation.
+            let a = (truth[j] - 1e-3).max(0.0);
+            let b = (truth[j] + 1e-3).min(1.0);
+            let mut qa = truth.clone();
+            qa[j] = a;
+            let mut qb = truth.clone();
+            qb[j] = b;
+            // The certified slot derivative is ∂R/∂r_j = −∂R/∂q_j.
+            let fd = (eval(&qa) - eval(&qb)) / (b - a);
+            prop_assert!(
+                slot.derivative.lo - 1e-9 <= fd && fd <= slot.derivative.hi + 1e-9,
+                "slot {} finite difference {fd} outside certified [{}, {}] for {block}",
+                slot.name,
+                slot.derivative.lo,
+                slot.derivative.hi
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_benefit_formula_matches_direct_patched_evaluation(
+        sys in arb_system(),
+        step in 1.1..=20.0f64,
+        pick in 0usize..2,
+    ) {
+        let compiled = sys.model.compiled();
+        let bound = compiled.bind_profile(&sys.profile).unwrap();
+        let sens = model_sensitivity(compiled, &bound);
+        prop_assert!(!sens.report.has_errors(), "{}", sens.report.render_text());
+        let name = if pick == 0 { "a" } else { "b" };
+        let class = sens.classes.iter().find(|c| c.class == name).unwrap();
+        let p_mf = sys.model.params().class_by_name(name).unwrap().p_mf().value();
+
+        // The design pruner's closed-form benefit bound is exactly the
+        // analyzer's eq. (8) sensitivity times the parameter step:
+        // improving PMf(x) by factor `s` moves system failure by
+        // ∂PHf/∂PMf(x) · PMf(x) · (1 − 1/s), because eq. (8) is linear
+        // in PMf. One direct patched evaluation must agree.
+        prop_assert!(class.d_machine_failure.lo == class.d_machine_failure.hi);
+        let formula = class.d_machine_failure.lo * p_mf * (1.0 - 1.0 / step);
+        let improved = Scenario::new()
+            .improve_machine(ClassId::new(name), step)
+            .apply(&sys.model)
+            .unwrap();
+        let direct = sys.model.system_failure(&sys.profile).unwrap().value()
+            - improved.system_failure(&sys.profile).unwrap().value();
+        prop_assert!(
+            (formula - direct).abs() <= 1e-12,
+            "closed-form benefit {formula} vs patched evaluation {direct} (class {name}, step {step})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compare_verdicts_are_never_contradicted_by_paired_evaluation(
+        base in arb_system(),
+        cand_v in proptest::collection::vec(0.0..=1.0f64, 6),
+    ) {
+        let cand = SequentialModel::new(
+            ModelParams::builder()
+                .class("a", ClassParams::new(p(cand_v[0]), p(cand_v[1]), p(cand_v[2])))
+                .class("b", ClassParams::new(p(cand_v[3]), p(cand_v[4]), p(cand_v[5])))
+                .build()
+                .unwrap(),
+        );
+        let bc = base.model.compiled();
+        let cc = cand.compiled();
+        let supplied = vec![bc.bind_profile(&base.profile).unwrap()];
+        let cmp = compare(bc, cc, &supplied);
+        prop_assert!(!cmp.report.has_errors(), "{}", cmp.report.render_text());
+
+        // ~1k paired evaluations across the two-class profile simplex. A
+        // uniform certificate must hold on EVERY one of them, with no
+        // tolerance: per-class gaps ≤ 0 push through eq. (8)'s weighted
+        // sum monotonically even in rounded float arithmetic.
+        let paired_gaps: Vec<f64> = (1..1000)
+            .map(|k| {
+                let w = k as f64 / 1000.0;
+                let profile = DemandProfile::builder()
+                    .class("a", w)
+                    .class("b", 1.0 - w)
+                    .build()
+                    .unwrap();
+                let sampled = bc.bind_profile(&profile).unwrap();
+                cc.system_failure(&sampled).value() - bc.system_failure(&sampled).value()
+            })
+            .collect();
+        match cmp.uniform {
+            Some(Dominance::Dominates) => {
+                for gap in &paired_gaps {
+                    prop_assert!(*gap <= 0.0, "uniform dominance contradicted: gap {gap}");
+                }
+            }
+            Some(Dominance::Dominated) => {
+                for gap in &paired_gaps {
+                    prop_assert!(*gap >= 0.0, "uniform domination contradicted: gap {gap}");
+                }
+            }
+            Some(Dominance::Incomparable) | None => {}
+        }
+
+        // The profile-scoped verdict must agree with direct paired
+        // evaluation on the supplied profile.
+        let supplied_gap = cc.system_failure(&supplied[0]).value()
+            - bc.system_failure(&supplied[0]).value();
+        match cmp.verdict {
+            Dominance::Dominates => {
+                prop_assert!(supplied_gap <= 0.0, "verdict contradicted: gap {supplied_gap}")
+            }
+            Dominance::Dominated => {
+                prop_assert!(supplied_gap >= 0.0, "verdict contradicted: gap {supplied_gap}")
+            }
+            Dominance::Incomparable => {}
+        }
     }
 }

@@ -13,6 +13,7 @@
 //! repro loadgen --target HOST:PORT [--target HOST:PORT ...] [--connections N]
 //!               [--pipeline N] [--requests N] [--request LINE] [--timeout-ms N]
 //! repro check [--json] ARTIFACT.json...
+//! repro compare [--json] BASELINE.json CANDIDATE.json
 //! ```
 //!
 //! Experiments: `table1`, `table2`, `table3`, `fig4`, `eq10`, `tradeoff`,
@@ -52,6 +53,13 @@
 //! files (see `hmdiv_bench::check` for the accepted shapes) and exits
 //! nonzero when any artifact fails to build or carries an error-severity
 //! diagnostic — the CI gate for model parameter files.
+//!
+//! `repro compare` differentially compares two sequential artifact files
+//! (`hmdiv_analyze::compare`): a certified dominates / dominated /
+//! incomparable verdict with exact per-class and per-profile gap bounds,
+//! as text or `--json`. Exits nonzero when the comparison is refused
+//! (universe mismatch, domain faults) — not when the pair is merely
+//! incomparable.
 
 use std::process::ExitCode;
 
@@ -100,12 +108,13 @@ struct Options {
 
 fn usage() -> String {
     format!(
-        "usage: repro [{}|all] [--monte-carlo] [--cases N] [--seed N] [--threads N] [--metrics[=PATH]]\n       {}\n       {}\n       {}\n       {}",
+        "usage: repro [{}|all] [--monte-carlo] [--cases N] [--seed N] [--threads N] [--metrics[=PATH]]\n       {}\n       {}\n       {}\n       {}\n       {}",
         EXPERIMENT_NAMES.join("|"),
         serve_usage(),
         route_usage(),
         loadgen_usage(),
-        check_usage()
+        check_usage(),
+        compare_usage()
     )
 }
 
@@ -202,6 +211,60 @@ fn loadgen_usage() -> String {
 
 fn check_usage() -> String {
     "usage: repro check [--json] ARTIFACT.json...".to_owned()
+}
+
+fn compare_usage() -> String {
+    "usage: repro compare [--json] BASELINE.json CANDIDATE.json".to_owned()
+}
+
+/// Differentially compares two sequential artifact files; exits nonzero
+/// when either fails to build or the comparison is refused (e.g. a
+/// universe mismatch) — an `incomparable` verdict on a well-formed pair
+/// is a successful exit.
+fn compare_main(args: &[String]) -> ExitCode {
+    let mut json_output = false;
+    let mut paths = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json_output = true,
+            "--help" | "-h" => {
+                eprintln!("{}", compare_usage());
+                return ExitCode::FAILURE;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown compare flag {other}\n{}", compare_usage());
+                return ExitCode::FAILURE;
+            }
+            path => paths.push(path),
+        }
+    }
+    let [baseline, candidate] = paths.as_slice() else {
+        eprintln!("{}", compare_usage());
+        return ExitCode::FAILURE;
+    };
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"));
+    let outcome = read(baseline)
+        .and_then(|b| read(candidate).map(|c| (b, c)))
+        .and_then(|(b, c)| hmdiv_bench::compare::compare_sources(&b, &c));
+    match outcome {
+        Ok(outcome) => {
+            if json_output {
+                println!("{}", outcome.render_json());
+            } else {
+                print!("{baseline} vs {candidate}:\n{}", outcome.render_text());
+            }
+            if outcome.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("compare: FAILED — {msg}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Statically analyzes artifact files; exits nonzero when any artifact
@@ -655,6 +718,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("check") {
         return check_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("compare") {
+        return compare_main(&argv[1..]);
     }
     let opts = match parse_args() {
         Ok(o) => o,

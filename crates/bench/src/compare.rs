@@ -1,0 +1,235 @@
+//! `repro compare` — differentially compare two sequential-model
+//! artifact files with `hmdiv-analyze` and report the certified verdict.
+//!
+//! Both files use the `"sequential"` artifact shape `repro check`
+//! accepts: `{"classes": {name: {"p_mf", "p_hf_given_ms",
+//! "p_hf_given_mf"}}, "profile": {name: weight}?}`. Embedded `"profile"`
+//! objects (from either file, deduplicated) become the demand profiles
+//! the comparison is additionally evaluated under; with none, the
+//! verdict rests on the profile-free per-class certificate alone.
+
+use hmdiv_analyze::{self as analyze, Comparison, Dominance};
+use hmdiv_core::{CompiledProfile, SequentialModel};
+use hmdiv_serve::json::{self, Json};
+use hmdiv_serve::protocol;
+
+/// The result of comparing two artifact files.
+#[derive(Debug)]
+pub struct CompareOutcome {
+    /// The full differential-analysis result.
+    pub comparison: Comparison,
+    /// How many demand profiles (embedded in the inputs) were evaluated.
+    pub profiles: usize,
+}
+
+impl CompareOutcome {
+    /// Whether the comparison itself succeeded (it may still be
+    /// [`Dominance::Incomparable`]); error-severity diagnostics — e.g. a
+    /// universe mismatch — fail it.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        !self.comparison.report.has_errors()
+    }
+
+    /// A plain-text report: verdict, certificate scope, per-class and
+    /// per-profile gaps, diagnostics.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let cmp = &self.comparison;
+        let mut out = format!("verdict: {}", cmp.verdict.label());
+        match (cmp.uniform, cmp.verdict) {
+            (Some(_), _) => out.push_str(" (certified for every demand profile)"),
+            (None, Dominance::Incomparable) => {}
+            (None, _) => {
+                out.push_str(&format!(
+                    " (certified for {} supplied profiles)",
+                    self.profiles
+                ));
+            }
+        }
+        out.push('\n');
+        for gap in &cmp.class_gaps {
+            out.push_str(&format!(
+                "  class {}: gap [{:+.9}, {:+.9}]{}\n",
+                gap.class,
+                gap.gap.lo,
+                gap.gap.hi,
+                if gap.shared { " (shared slot)" } else { "" }
+            ));
+        }
+        for (k, gap) in cmp.profile_gaps.iter().enumerate() {
+            out.push_str(&format!(
+                "  profile {k}: system-failure gap [{:+.9}, {:+.9}]\n",
+                gap.lo, gap.hi
+            ));
+        }
+        for diagnostic in cmp.report.diagnostics() {
+            out.push_str(&format!("  {diagnostic}\n"));
+        }
+        out
+    }
+
+    /// A machine-readable JSON report mirroring the serve `compare` verb.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let cmp = &self.comparison;
+        let class_gaps: Vec<Json> = cmp
+            .class_gaps
+            .iter()
+            .map(|g| {
+                Json::Obj(vec![
+                    ("class".to_owned(), Json::str(g.class.as_str())),
+                    ("shared".to_owned(), Json::Bool(g.shared)),
+                    ("gap_lo".to_owned(), Json::Num(g.gap.lo)),
+                    ("gap_hi".to_owned(), Json::Num(g.gap.hi)),
+                ])
+            })
+            .collect();
+        let profile_gaps: Vec<Json> = cmp
+            .profile_gaps
+            .iter()
+            .map(|g| Json::Arr(vec![Json::Num(g.lo), Json::Num(g.hi)]))
+            .collect();
+        let report = json::parse(&cmp.report.render_json()).unwrap_or(Json::Null);
+        let mut out = String::new();
+        Json::Obj(vec![
+            ("verdict".to_owned(), Json::str(cmp.verdict.label())),
+            (
+                "uniform".to_owned(),
+                match cmp.uniform {
+                    Some(u) => Json::str(u.label()),
+                    None => Json::Null,
+                },
+            ),
+            ("class_gaps".to_owned(), Json::Arr(class_gaps)),
+            ("profile_gaps".to_owned(), Json::Arr(profile_gaps)),
+            ("report".to_owned(), report),
+        ])
+        .write(&mut out);
+        out
+    }
+}
+
+/// Parses one sequential artifact source and its optional embedded
+/// profile.
+fn parse_artifact(label: &str, source: &str) -> Result<(SequentialModel, Option<Json>), String> {
+    let body = json::parse(source).map_err(|e| format!("{label}: invalid JSON: {e}"))?;
+    if body.as_obj().is_none() {
+        return Err(format!("{label}: artifact must be a JSON object"));
+    }
+    if let Some(kind) = body.get("kind").and_then(Json::as_str) {
+        if kind != "sequential" {
+            return Err(format!(
+                "{label}: `compare` takes sequential artifacts, got `{kind}`"
+            ));
+        }
+    }
+    let params = protocol::parse_model_params(&body).map_err(|e| format!("{label}: {e}"))?;
+    let profile = body.get("profile").cloned();
+    Ok((SequentialModel::new(params), profile))
+}
+
+/// Compares two sequential artifact sources.
+///
+/// # Errors
+///
+/// A human-readable message when either source cannot be parsed or built
+/// at all; analyzer findings on well-formed artifacts are reported in
+/// the outcome instead.
+pub fn compare_sources(baseline_src: &str, candidate_src: &str) -> Result<CompareOutcome, String> {
+    let (baseline, base_profile) = parse_artifact("baseline", baseline_src)?;
+    let (candidate, cand_profile) = parse_artifact("candidate", candidate_src)?;
+    // Embedded profiles bind against the shared universe; when universes
+    // differ, skip binding entirely and let the analyzer refuse the pair
+    // with its stable HM code.
+    let mut profiles: Vec<CompiledProfile> = Vec::new();
+    if baseline.compiled().universe().content_hash()
+        == candidate.compiled().universe().content_hash()
+    {
+        let mut seen = Vec::new();
+        for profile_json in [base_profile, cand_profile].into_iter().flatten() {
+            if seen.contains(&profile_json) {
+                continue;
+            }
+            let holder = Json::Obj(vec![("profile".to_owned(), profile_json.clone())]);
+            let profile = protocol::parse_profile(&holder).map_err(|e| e.to_string())?;
+            profiles.push(
+                baseline
+                    .compiled()
+                    .bind_profile(&profile)
+                    .map_err(|e| e.to_string())?,
+            );
+            seen.push(profile_json);
+        }
+    }
+    let comparison = analyze::compare(baseline.compiled(), candidate.compiled(), &profiles);
+    Ok(CompareOutcome {
+        profiles: comparison.profile_gaps.len(),
+        comparison,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{"kind":"sequential","classes":
+        {"easy":{"p_mf":0.07,"p_hf_given_ms":0.14,"p_hf_given_mf":0.18},
+         "difficult":{"p_mf":0.41,"p_hf_given_ms":0.4,"p_hf_given_mf":0.9}},
+        "profile":{"easy":0.85,"difficult":0.15}}"#;
+
+    const IMPROVED: &str = r#"{"kind":"sequential","classes":
+        {"easy":{"p_mf":0.07,"p_hf_given_ms":0.14,"p_hf_given_mf":0.18},
+         "difficult":{"p_mf":0.041,"p_hf_given_ms":0.4,"p_hf_given_mf":0.9}},
+        "profile":{"easy":0.85,"difficult":0.15}}"#;
+
+    #[test]
+    fn dominating_pair_reports_the_uniform_certificate() {
+        let outcome = compare_sources(BASE, IMPROVED).unwrap();
+        assert!(outcome.passed());
+        assert_eq!(outcome.comparison.verdict, Dominance::Dominates);
+        assert_eq!(outcome.comparison.uniform, Some(Dominance::Dominates));
+        // The two embedded profiles are identical, so they deduplicate.
+        assert_eq!(outcome.profiles, 1);
+        let text = outcome.render_text();
+        assert!(text.contains("verdict: dominates"), "{text}");
+        assert!(text.contains("every demand profile"), "{text}");
+        assert!(text.contains("(shared slot)"), "{text}");
+        let json_out = outcome.render_json();
+        assert!(json_out.contains(r#""verdict":"dominates""#), "{json_out}");
+    }
+
+    #[test]
+    fn universe_mismatch_fails_with_hm037() {
+        let alien = r#"{"classes":
+            {"weird":{"p_mf":0.1,"p_hf_given_ms":0.2,"p_hf_given_mf":0.3}}}"#;
+        let outcome = compare_sources(BASE, alien).unwrap();
+        assert!(!outcome.passed());
+        assert_eq!(
+            outcome.comparison.report.first_error().unwrap().code,
+            "HM037"
+        );
+        assert_eq!(outcome.comparison.verdict, Dominance::Incomparable);
+        assert!(outcome.render_text().contains("HM037"));
+    }
+
+    #[test]
+    fn trade_off_pair_is_incomparable_without_a_winning_profile() {
+        let tradeoff = r#"{"kind":"sequential","classes":
+            {"easy":{"p_mf":0.007,"p_hf_given_ms":0.14,"p_hf_given_mf":0.18},
+             "difficult":{"p_mf":0.8,"p_hf_given_ms":0.4,"p_hf_given_mf":0.9}}}"#;
+        let outcome = compare_sources(BASE, tradeoff).unwrap();
+        assert!(outcome.passed());
+        assert_eq!(outcome.comparison.uniform, None);
+        let text = outcome.render_text();
+        assert!(text.contains("verdict:"), "{text}");
+    }
+
+    #[test]
+    fn non_sequential_artifacts_are_refused_upfront() {
+        let rbd = r#"{"kind":"rbd","block":"a","probabilities":{"a":0.1}}"#;
+        let err = compare_sources(BASE, rbd).unwrap_err();
+        assert!(err.contains("candidate"), "{err}");
+        assert!(err.contains("sequential"), "{err}");
+    }
+}

@@ -201,10 +201,170 @@ pub fn allocate_improvement_budget(
     })
 }
 
+/// Evaluation counts from one run of
+/// [`allocate_improvement_budget_pruned`]: how much compiled work the
+/// certified pre-pruning stage saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruneStats {
+    /// Greedy rounds executed (= the budget).
+    pub rounds: usize,
+    /// Candidate patches considered across all rounds.
+    pub candidates: usize,
+    /// Candidates actually sent to the compiled batch evaluator.
+    pub evaluated: usize,
+    /// Candidates discarded by the static bound — never evaluated.
+    pub pruned: usize,
+}
+
+/// Absolute slack added around each candidate's closed-form benefit
+/// bound. One greedy step's exact benefit is `p(x)·t(x)·PMf(x)·(1−1/s)`
+/// in real arithmetic (eq. (8) is linear in `PMf`); both that closed
+/// form and the evaluator's `baseline − patched` difference round to
+/// within a few n·ε of it (n = class count, magnitudes ≤ 1), so a fixed
+/// `1e-12` plus `1e-15` per class over-covers the float divergence by
+/// orders of magnitude while staying far below any real benefit gap.
+fn prune_slop(classes: usize) -> f64 {
+    1e-12 + 1e-15 * classes as f64
+}
+
+/// [`allocate_improvement_budget`] with a certified static pre-pruning
+/// stage in front of the compiled evaluator.
+///
+/// Each greedy round first bounds every candidate's benefit with the
+/// closed-form derivative certificate (the same eq.-(8) sensitivity
+/// `hmdiv-analyze` certifies: benefit `= p(x)·t(x)·PMf(x)·(1−1/s)`,
+/// bracketed by [`prune_slop`]); candidates whose upper bound cannot
+/// reach the best lower bound are discarded *without* evaluation. Every
+/// possible argmax survives — the bound brackets the exact benefit — and
+/// survivors keep their original order, so running the unpruned
+/// selection rule over them picks the **bit-identical** winner; only the
+/// evaluation count changes (see [`PruneStats`]).
+///
+/// `threads > 1` evaluates survivors in contiguous chunks across that
+/// many OS threads; the batch kernel is bit-identical per candidate
+/// regardless of batch composition, so the result does not depend on
+/// `threads`.
+///
+/// # Errors
+///
+/// As [`allocate_improvement_budget`].
+pub fn allocate_improvement_budget_pruned(
+    model: &SequentialModel,
+    profile: &DemandProfile,
+    budget: usize,
+    step_factor: f64,
+    threads: usize,
+) -> Result<(BudgetAllocation, PruneStats), ModelError> {
+    if step_factor.is_nan() || step_factor <= 1.0 || step_factor.is_infinite() {
+        return Err(ModelError::InvalidFactor {
+            value: step_factor,
+            context: "step factor",
+        });
+    }
+    if budget == 0 {
+        return Err(ModelError::InvalidFactor {
+            value: 0.0,
+            context: "improvement budget",
+        });
+    }
+    let threads = threads.max(1);
+    let bound = model.compiled().bind_profile(profile)?;
+    let mut compiled = CompiledModel::clone(model.compiled());
+    let before = compiled.system_failure(&bound).value();
+    let slop = prune_slop(compiled.len());
+    let mut stats = PruneStats::default();
+    let mut spent: std::collections::BTreeMap<ClassId, usize> = Default::default();
+    let mut survivors: Vec<(u32, ClassParams)> = Vec::with_capacity(bound.len());
+    for _ in 0..budget {
+        stats.rounds += 1;
+        let baseline = compiled.system_failure(&bound).value();
+        // Static stage: closed-form benefit brackets, best lower bound.
+        survivors.clear();
+        let mut frontier = f64::NEG_INFINITY;
+        let mut bounds: Vec<(u32, f64)> = Vec::with_capacity(bound.len());
+        for (idx, weight) in bound.iter() {
+            let cp = compiled.params_at(idx);
+            let benefit =
+                weight * cp.coherence_index() * cp.p_mf().value() * (1.0 - 1.0 / step_factor);
+            frontier = frontier.max(benefit - slop);
+            bounds.push((idx, benefit));
+        }
+        stats.candidates += bounds.len();
+        // Survivors in original (bound-iteration) order: everything whose
+        // certified best case reaches the frontier.
+        for (idx, benefit) in bounds {
+            if benefit + slop >= frontier {
+                survivors.push((
+                    idx,
+                    compiled.params_at(idx).with_machine_improved(step_factor)?,
+                ));
+            }
+        }
+        stats.evaluated += survivors.len();
+        let patched = evaluate_chunked(&compiled, &bound, &survivors, threads);
+        // The unpruned selection rule over the surviving subsequence: the
+        // first maximizer of the full list survives and stays first.
+        let mut best: Option<(u32, f64)> = None;
+        for ((idx, _), failure) in survivors.iter().zip(&patched) {
+            let benefit = baseline - failure.value();
+            match &best {
+                Some((_, b)) if *b >= benefit => {}
+                _ => best = Some((*idx, benefit)),
+            }
+        }
+        let (idx, _) = best.ok_or(ModelError::Empty {
+            context: "demand profile",
+        })?;
+        let improved = compiled.params_at(idx).with_machine_improved(step_factor)?;
+        compiled.patch(idx, improved);
+        *spent
+            .entry(compiled.universe().class(idx).clone())
+            .or_insert(0) += 1;
+    }
+    stats.pruned = stats.candidates - stats.evaluated;
+    let after = compiled.system_failure(&bound).value();
+    Ok((
+        BudgetAllocation {
+            allocation: spent.into_iter().collect(),
+            before,
+            after,
+            model: SequentialModel::new(compiled.to_model_params()),
+        },
+        stats,
+    ))
+}
+
+/// Evaluates candidate patches through the lane-blocked batch kernel,
+/// split into contiguous chunks across `threads` OS threads. Per-candidate
+/// results are independent of batch composition, so the concatenation is
+/// bit-identical to a single-threaded call.
+fn evaluate_chunked(
+    compiled: &CompiledModel,
+    bound: &crate::compiled::CompiledProfile,
+    candidates: &[(u32, ClassParams)],
+    threads: usize,
+) -> Vec<hmdiv_prob::Probability> {
+    if threads <= 1 || candidates.len() < 2 {
+        return compiled.system_failure_patched_batch(bound, candidates);
+    }
+    let chunk = candidates.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || compiled.system_failure_patched_batch(bound, part)))
+            .collect();
+        let mut out = Vec::with_capacity(candidates.len());
+        for handle in handles {
+            out.extend(handle.join().expect("prune evaluation worker panicked"));
+        }
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::paper;
+    use crate::{paper, ModelParams};
 
     #[test]
     fn difficult_class_dominates_both_profiles() {
@@ -309,6 +469,82 @@ mod tests {
             greedy.after,
             best
         );
+    }
+
+    fn synthetic(n: usize) -> (SequentialModel, DemandProfile) {
+        let p = |v: f64| hmdiv_prob::Probability::new(v).unwrap();
+        let mut params = ModelParams::builder();
+        let mut profile = DemandProfile::builder();
+        for i in 0..n {
+            let f = i as f64 / n as f64;
+            params = params.class(
+                format!("class{i:03}"),
+                ClassParams::new(p(0.05 + 0.4 * f), p(0.1 + 0.3 * f), p(0.2 + 0.7 * f)),
+            );
+            profile = profile.class(format!("class{i:03}"), 1.0 + f);
+        }
+        (
+            SequentialModel::new(params.build().unwrap()),
+            profile.build().unwrap(),
+        )
+    }
+
+    #[test]
+    fn pruned_allocation_is_bit_identical_at_any_thread_count() {
+        for (model, profile, budget, step) in [
+            (
+                paper::example_model().unwrap(),
+                paper::field_profile().unwrap(),
+                6,
+                2.0,
+            ),
+            {
+                let (m, p) = synthetic(23);
+                (m, p, 9, 3.0)
+            },
+        ] {
+            let plain = allocate_improvement_budget(&model, &profile, budget, step).unwrap();
+            for threads in [1, 2, 7] {
+                let (pruned, stats) =
+                    allocate_improvement_budget_pruned(&model, &profile, budget, step, threads)
+                        .unwrap();
+                assert_eq!(pruned.allocation, plain.allocation, "threads={threads}");
+                assert_eq!(pruned.before.to_bits(), plain.before.to_bits());
+                assert_eq!(pruned.after.to_bits(), plain.after.to_bits());
+                assert_eq!(
+                    pruned.model.params(),
+                    plain.model.params(),
+                    "threads={threads}"
+                );
+                assert_eq!(stats.rounds, budget);
+                assert_eq!(stats.candidates, stats.evaluated + stats.pruned);
+                assert!(
+                    stats.evaluated < stats.candidates,
+                    "pruning never fired: {stats:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_saves_most_evaluations_on_a_wide_model() {
+        let (model, profile) = synthetic(64);
+        let (_, stats) = allocate_improvement_budget_pruned(&model, &profile, 16, 2.0, 1).unwrap();
+        // The certified bound should discard the bulk of the 64 candidates
+        // per round, not just a sliver.
+        assert!(
+            (stats.pruned as f64) >= 0.25 * stats.candidates as f64,
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn pruned_budget_validation_matches_unpruned() {
+        let model = paper::example_model().unwrap();
+        let field = paper::field_profile().unwrap();
+        assert!(allocate_improvement_budget_pruned(&model, &field, 0, 2.0, 1).is_err());
+        assert!(allocate_improvement_budget_pruned(&model, &field, 1, 1.0, 1).is_err());
+        assert!(allocate_improvement_budget_pruned(&model, &field, 1, 0.5, 2).is_err());
     }
 
     #[test]

@@ -614,6 +614,65 @@ mod tests {
         (compiled, profile)
     }
 
+    // ReplySlot is the one lock-free-adjacent cell every reply crosses;
+    // these focused tests are the CI Miri targets for it.
+
+    #[test]
+    fn reply_slot_first_fill_wins_and_never_reopens() {
+        let slot = ReplySlot::new();
+        assert!(slot.fill(Ok(Outcome::One(Probability::HALF))));
+        // A late ShuttingDown overwrite (handle drop) must lose the race.
+        assert!(!slot.fill(Err(ServeError::ShuttingDown)));
+        let ticket = Ticket {
+            slot: Arc::clone(&slot),
+        };
+        match ticket.try_take() {
+            Some(Ok(Outcome::One(p))) => assert_eq!(p.value().to_bits(), 0.5_f64.to_bits()),
+            other => panic!("expected the first fill, got {other:?}"),
+        }
+        // Taking the reply empties the cell but keeps it closed.
+        assert!(!slot.fill(Ok(Outcome::One(Probability::ZERO))));
+        let ticket = Ticket { slot };
+        assert!(ticket.try_take().is_none());
+    }
+
+    #[test]
+    fn reply_slot_concurrent_fillers_have_exactly_one_winner() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for _ in 0..16 {
+            let slot = ReplySlot::new();
+            let wins = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let slot = Arc::clone(&slot);
+                    let wins = &wins;
+                    s.spawn(move || {
+                        if slot.fill(Ok(Outcome::One(Probability::HALF))) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            assert_eq!(wins.load(Ordering::Relaxed), 1);
+            let ticket = Ticket { slot };
+            assert!(ticket.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn reply_slot_wait_observes_a_racing_fill() {
+        let slot = ReplySlot::new();
+        let filler = Arc::clone(&slot);
+        let handle = std::thread::spawn(move || {
+            filler.fill(Ok(Outcome::One(Probability::ONE)));
+        });
+        let ticket = Ticket { slot };
+        // wait() must block (not spin-fail) until the fill lands, however
+        // the threads interleave.
+        assert!(ticket.wait().is_ok());
+        handle.join().unwrap();
+    }
+
     #[test]
     fn par_threshold_override_is_validated() {
         assert_eq!(parse_par_threshold(None), DEFAULT_PAR_THRESHOLD);

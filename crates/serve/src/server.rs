@@ -363,7 +363,7 @@ enum Routed {
 
 /// Verbs the server understands (unknown verbs share one metrics bucket
 /// to keep counter cardinality bounded).
-const VERBS: [&str; 17] = [
+const VERBS: [&str; 18] = [
     "ping",
     "metrics",
     "models",
@@ -373,6 +373,7 @@ const VERBS: [&str; 17] = [
     "load",
     "load_cohort",
     "analyze",
+    "compare",
     "evaluate",
     "scenarios",
     "extrapolate",
@@ -591,6 +592,42 @@ fn report_json(report: &hmdiv_analyze::Report) -> Json {
         ("warnings".to_owned(), Json::Num(warnings as f64)),
         ("notes".to_owned(), Json::Num(notes as f64)),
         ("summary".to_owned(), Json::str(report.summary_line())),
+    ])
+}
+
+/// Renders a differential comparison as the `compare` verb's result
+/// object: the verdict, the scope of its certificate, per-class and
+/// per-profile gap bounds, and the full diagnostic report.
+fn comparison_json(cmp: &hmdiv_analyze::Comparison) -> Json {
+    let class_gaps = cmp
+        .class_gaps
+        .iter()
+        .map(|g| {
+            Json::Obj(vec![
+                ("class".to_owned(), Json::str(g.class.as_str())),
+                ("shared".to_owned(), Json::Bool(g.shared)),
+                ("gap_lo".to_owned(), Json::Num(g.gap.lo)),
+                ("gap_hi".to_owned(), Json::Num(g.gap.hi)),
+            ])
+        })
+        .collect();
+    let profile_gaps = cmp
+        .profile_gaps
+        .iter()
+        .map(|g| Json::Arr(vec![Json::Num(g.lo), Json::Num(g.hi)]))
+        .collect();
+    Json::Obj(vec![
+        ("verdict".to_owned(), Json::str(cmp.verdict.label())),
+        (
+            "uniform".to_owned(),
+            match cmp.uniform {
+                Some(u) => Json::str(u.label()),
+                None => Json::Null,
+            },
+        ),
+        ("class_gaps".to_owned(), Json::Arr(class_gaps)),
+        ("profile_gaps".to_owned(), Json::Arr(profile_gaps)),
+        ("report".to_owned(), report_json(&cmp.report)),
     ])
 }
 
@@ -880,6 +917,32 @@ fn route(
             let artifact = ctx.registry.get(protocol::required_str(body, "model")?)?;
             Ok(Routed::Ready(report_json(&artifact.analyze())))
         }
+        "compare" => {
+            // Differential comparison of two loaded artifacts. Pure and
+            // fast like `analyze`, so answered inline; error-severity
+            // findings (universe mismatch, domain faults) reject with
+            // their stable HM code, mirroring load admission.
+            let baseline = sequential_artifact(ctx, protocol::required_str(body, "baseline")?)?;
+            let candidate = sequential_artifact(ctx, protocol::required_str(body, "candidate")?)?;
+            let profiles = match body.get("profile") {
+                Some(_) => {
+                    let profile = protocol::parse_profile(body)?;
+                    vec![baseline
+                        .compiled()
+                        .bind_profile(&profile)
+                        .map_err(ServeError::Model)?]
+                }
+                None => Vec::new(),
+            };
+            let cmp = hmdiv_analyze::compare(baseline.compiled(), candidate.compiled(), &profiles);
+            if let Some(d) = cmp.report.first_error() {
+                return Err(ServeError::Rejected {
+                    code: d.code.to_owned(),
+                    detail: d.message.clone(),
+                });
+            }
+            Ok(Routed::Ready(comparison_json(&cmp)))
+        }
         "evaluate" => {
             let artifact = ctx.registry.get(protocol::required_str(body, "model")?)?;
             let profile = protocol::parse_profile(body)?;
@@ -1060,6 +1123,19 @@ fn route(
             verb: other.to_owned(),
         }),
     }
+}
+
+/// Resolves a registry id that must name a sequential model.
+fn sequential_artifact(
+    ctx: &Ctx,
+    id: &str,
+) -> Result<Arc<hmdiv_core::SequentialModel>, ServeError> {
+    let Artifact::Sequential(model) = ctx.registry.get(id)? else {
+        return Err(ServeError::BadRequest {
+            detail: "this verb needs a sequential model".to_owned(),
+        });
+    };
+    Ok(model)
 }
 
 /// Resolves a sequential model id and binds the request's profile to it.

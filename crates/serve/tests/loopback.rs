@@ -484,6 +484,124 @@ fn analyze_verb_reports_and_load_rejects_with_hm_codes() {
 }
 
 #[test]
+fn compare_verb_certifies_dominance_and_rejects_mismatches() {
+    let server = start();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let baseline_id = load_paper_model(&mut client);
+
+    // The §6.2 design change — machine improved ×10 on difficult — loads
+    // as its own content id and provably dominates the baseline.
+    let receipt = client
+        .request(
+            "load",
+            vec![(
+                "classes".into(),
+                json::parse(
+                    r#"{"easy":      {"p_mf":0.07, "p_hf_given_ms":0.14,"p_hf_given_mf":0.18},
+                        "difficult": {"p_mf":0.041,"p_hf_given_ms":0.40,"p_hf_given_mf":0.90}}"#,
+                )
+                .unwrap(),
+            )],
+        )
+        .unwrap();
+    let improved_id = receipt
+        .get("model_id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_owned();
+
+    let verdict = client
+        .request(
+            "compare",
+            vec![
+                ("baseline".into(), Json::str(baseline_id.as_str())),
+                ("candidate".into(), Json::str(improved_id.as_str())),
+                field_profile(),
+            ],
+        )
+        .unwrap();
+    assert_eq!(
+        verdict.get("verdict").and_then(Json::as_str),
+        Some("dominates")
+    );
+    assert_eq!(
+        verdict.get("uniform").and_then(Json::as_str),
+        Some("dominates"),
+        "per-class gaps are one-sided, so the certificate is profile-free"
+    );
+    let gaps = verdict.get("class_gaps").and_then(Json::as_arr).unwrap();
+    assert_eq!(gaps.len(), 2);
+    assert!(gaps
+        .iter()
+        .any(|g| g.get("shared") == Some(&Json::Bool(true))));
+    assert_eq!(
+        verdict
+            .get("profile_gaps")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .len(),
+        1
+    );
+    let report = verdict.get("report").unwrap();
+    let codes: Vec<&str> = report
+        .get("diagnostics")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|d| d.get("code").and_then(Json::as_str))
+        .collect();
+    assert!(codes.contains(&"HM038"), "got: {codes:?}");
+
+    // Swapped operands certify the mirror verdict.
+    let swapped = client
+        .request(
+            "compare",
+            vec![
+                ("baseline".into(), Json::str(improved_id.as_str())),
+                ("candidate".into(), Json::str(baseline_id.as_str())),
+            ],
+        )
+        .unwrap();
+    assert_eq!(
+        swapped.get("verdict").and_then(Json::as_str),
+        Some("dominated")
+    );
+
+    // Comparing across universes is admission-rejected with HM037.
+    let alien = client
+        .request(
+            "load",
+            vec![(
+                "classes".into(),
+                json::parse(r#"{"weird":{"p_mf":0.1,"p_hf_given_ms":0.2,"p_hf_given_mf":0.3}}"#)
+                    .unwrap(),
+            )],
+        )
+        .unwrap();
+    let alien_id = alien
+        .get("model_id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_owned();
+    let err = client
+        .request(
+            "compare",
+            vec![
+                ("baseline".into(), Json::str(baseline_id.as_str())),
+                ("candidate".into(), Json::str(alien_id)),
+            ],
+        )
+        .unwrap_err();
+    let ServeError::Remote { code, message } = err else {
+        panic!("expected Remote error");
+    };
+    assert_eq!(code, "HM037");
+    assert!(message.contains("classes"), "got: {message}");
+
+    server.shutdown();
+}
+
+#[test]
 fn malformed_json_is_rejected_but_the_connection_survives() {
     let server = start();
     let mut raw = TcpStream::connect(server.addr()).unwrap();
